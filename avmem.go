@@ -1,0 +1,189 @@
+// Package avmem is an availability-aware overlay for management
+// operations in non-cooperative distributed systems — a complete Go
+// implementation of AVMEM (Cho, Morales, Gupta; ACM/IFIP/USENIX
+// Middleware 2007).
+//
+// AVMEM gives every node two small membership lists chosen by a random
+// and consistent predicate over node identifiers and availabilities:
+// a horizontal sliver (peers with similar availability) and a vertical
+// sliver (a uniform sample across the availability space). On top of
+// the overlay it executes four availability-based management
+// operations: threshold-anycast, range-anycast, threshold-multicast,
+// and range-multicast — e.g. "select a supernode with availability
+// above 0.9" or "multicast to every node between 20% and 30% uptime".
+// Because the predicate is consistent (any third party can re-evaluate
+// it from public information), selfish nodes gain almost nothing by
+// spraying messages at non-neighbors: receivers verify and reject.
+//
+// The package offers two execution modes sharing the same core:
+//
+//   - Sim: a deterministic trace-driven simulation of a whole
+//     deployment (the paper's evaluation environment). Use it to
+//     explore parameters and regenerate the paper's figures.
+//   - Node: a live runtime driving one real node over a pluggable
+//     transport (in-memory for single-process clusters, TCP for real
+//     ones).
+//
+// Quick start:
+//
+//	sim, err := avmem.NewSim(avmem.SimConfig{Hosts: 600, Seed: 1})
+//	if err != nil { ... }
+//	sim.Warmup(24 * time.Hour)
+//	target, _ := avmem.NewRange(0.85, 0.95)
+//	res, err := sim.Anycast(avmem.AutoInitiator, target, avmem.DefaultAnycastOptions())
+//	fmt.Println(res.Outcome, res.Hops, res.Latency)
+//
+// See the examples/ directory for complete programs, DESIGN.md for the
+// architecture, and EXPERIMENTS.md for the paper-vs-measured record.
+package avmem
+
+import (
+	"time"
+
+	"avmem/internal/avdist"
+	"avmem/internal/avmon"
+	"avmem/internal/core"
+	"avmem/internal/ids"
+	"avmem/internal/node"
+	"avmem/internal/ops"
+	"avmem/internal/trace"
+	"avmem/internal/transport"
+)
+
+// Core identity and operation types, aliased from the implementation
+// packages so their methods come along.
+type (
+	// NodeID identifies a node (host:port for TCP deployments).
+	NodeID = ids.NodeID
+	// Target is an availability interval an operation addresses.
+	Target = ops.Target
+	// Policy selects the anycast forwarding algorithm.
+	Policy = ops.Policy
+	// Mode selects the multicast dissemination algorithm.
+	Mode = ops.Mode
+	// Flavor selects which sliver lists an operation may use.
+	Flavor = core.Flavor
+	// AnycastOptions parameterizes anycasts.
+	AnycastOptions = ops.AnycastOptions
+	// MulticastOptions parameterizes multicasts.
+	MulticastOptions = ops.MulticastOptions
+	// MsgID identifies one operation instance.
+	MsgID = ops.MsgID
+	// AnycastRecord is the outcome of one anycast.
+	AnycastRecord = ops.AnycastRecord
+	// MulticastRecord is the outcome of one multicast.
+	MulticastRecord = ops.MulticastRecord
+	// Outcome is an anycast's terminal state.
+	Outcome = ops.AnycastOutcome
+	// Neighbor is one AVMEM membership entry.
+	Neighbor = core.Neighbor
+	// Predicate is a full AVMEM membership predicate.
+	Predicate = core.Predicate
+	// SubPredicate computes the threshold f for one sliver kind.
+	SubPredicate = core.SubPredicate
+	// PDF is a discretized availability distribution.
+	PDF = avdist.PDF
+	// Trace is a churn trace (per-host uptime per 20-minute epoch).
+	Trace = trace.Trace
+)
+
+// Forwarding policies (paper §3.2.I).
+const (
+	Greedy        = ops.Greedy
+	RetriedGreedy = ops.RetriedGreedy
+	Annealing     = ops.Annealing
+)
+
+// Dissemination modes (paper §3.2.II).
+const (
+	Flood  = ops.Flood
+	Gossip = ops.Gossip
+)
+
+// Sliver flavors.
+const (
+	HSOnly = core.HSOnly
+	VSOnly = core.VSOnly
+	HSVS   = core.HSVS
+)
+
+// Anycast outcomes.
+const (
+	OutcomePending      = ops.OutcomePending
+	OutcomeDelivered    = ops.OutcomeDelivered
+	OutcomeTTLExpired   = ops.OutcomeTTLExpired
+	OutcomeRetryExpired = ops.OutcomeRetryExpired
+)
+
+// NewRange builds a range target [lo, hi] (range-anycast/-multicast).
+func NewRange(lo, hi float64) (Target, error) { return ops.Range(lo, hi) }
+
+// NewThreshold builds a threshold target: nodes with availability > b.
+func NewThreshold(b float64) (Target, error) { return ops.Threshold(b) }
+
+// DefaultAnycastOptions returns the paper's defaults: greedy, HS+VS,
+// TTL 6.
+func DefaultAnycastOptions() AnycastOptions { return ops.DefaultAnycastOptions() }
+
+// DefaultMulticastOptions returns the paper's defaults: greedy HS+VS
+// entry anycast, flooding dissemination.
+func DefaultMulticastOptions() MulticastOptions { return ops.DefaultMulticastOptions() }
+
+// NewPaperPredicate builds the paper's canonical predicate —
+// Logarithmic Vertical Sliver (I.B) + Logarithmic-Constant Horizontal
+// Sliver (II.B) — over the given availability PDF and stable system
+// size nStar.
+func NewPaperPredicate(epsilon, c1, c2, nStar float64, pdf *PDF) (*Predicate, error) {
+	return core.PaperPredicate(epsilon, c1, c2, nStar, pdf)
+}
+
+// NewRandomPredicate builds a consistent random-overlay predicate with
+// the given expected degree (the Figure-10 baseline).
+func NewRandomPredicate(epsilon, degree, nStar float64) (*Predicate, error) {
+	return core.RandomPredicate(epsilon, degree, nStar)
+}
+
+// OvernetPDF returns the built-in Overnet-like skewed availability
+// model (≈50% of hosts below 0.3 availability).
+func OvernetPDF() *PDF { return avdist.Overnet(avdist.DefaultBuckets) }
+
+// UniformPDF returns the uniform availability model.
+func UniformPDF() *PDF { return avdist.Uniform(avdist.DefaultBuckets) }
+
+// PDFFromSamples estimates an availability PDF from crawled samples.
+func PDFFromSamples(samples []float64) (*PDF, error) {
+	return avdist.FromSamples(samples, avdist.DefaultBuckets)
+}
+
+// Live-deployment building blocks.
+type (
+	// Node is a live AVMEM agent.
+	Node = node.Node
+	// NodeConfig assembles a live node.
+	NodeConfig = node.Config
+	// PeerSource supplies discovery candidates to a live node.
+	PeerSource = node.PeerSource
+	// PeerFunc adapts a function to PeerSource.
+	PeerFunc = node.PeerFunc
+	// Transport moves operation messages between live nodes.
+	Transport = transport.Transport
+	// Monitor answers availability queries.
+	Monitor = avmon.Service
+	// StaticMonitor is a fixed map-backed Monitor (small deployments,
+	// tests, crawler dumps).
+	StaticMonitor = avmon.Static
+)
+
+// NewNode builds a live node (call Start to run it).
+func NewNode(cfg NodeConfig) (*Node, error) { return node.New(cfg) }
+
+// NewMemoryTransport returns an in-process transport with per-message
+// latency drawn from [min, max].
+func NewMemoryTransport(min, max time.Duration) Transport {
+	return transport.NewMemory(min, max)
+}
+
+// NewTCPTransport returns the TCP transport (host:port NodeIDs).
+func NewTCPTransport(dialTimeout, ackTimeout time.Duration) Transport {
+	return transport.NewTCP(dialTimeout, ackTimeout)
+}

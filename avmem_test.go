@@ -1,0 +1,273 @@
+package avmem_test
+
+import (
+	"testing"
+	"time"
+
+	"avmem"
+)
+
+func newSmallSim(t testing.TB) *avmem.Sim {
+	t.Helper()
+	sim, err := avmem.NewSim(avmem.SimConfig{
+		Hosts:          220,
+		Days:           2,
+		Seed:           1,
+		ProtocolPeriod: 2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Warmup(6 * time.Hour)
+	return sim
+}
+
+func TestSimLifecycle(t *testing.T) {
+	sim := newSmallSim(t)
+	if got := len(sim.Nodes()); got != 220 {
+		t.Errorf("Nodes = %d, want 220", got)
+	}
+	online := sim.OnlineNodes()
+	if len(online) == 0 {
+		t.Fatal("nobody online after warmup")
+	}
+	for _, id := range online[:3] {
+		if !sim.Online(id) {
+			t.Errorf("OnlineNodes returned offline node %v", id)
+		}
+		av := sim.Availability(id)
+		if av < 0 || av > 1 {
+			t.Errorf("availability out of range: %v", av)
+		}
+	}
+	if sim.MeanDegree() <= 0 {
+		t.Error("mean degree zero after warmup")
+	}
+	if sim.Now() != 6*time.Hour {
+		t.Errorf("Now = %v, want 6h", sim.Now())
+	}
+}
+
+func TestSimAnycastAuto(t *testing.T) {
+	sim := newSmallSim(t)
+	target, err := avmem.NewRange(0.6, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Eligible(target) == 0 {
+		t.Skip("no eligible nodes in small sim")
+	}
+	rec, err := sim.Anycast(avmem.AutoInitiator, target, avmem.DefaultAnycastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Outcome != avmem.OutcomeDelivered {
+		t.Errorf("outcome = %v, want delivered", rec.Outcome)
+	}
+	if rec.Latency < 0 {
+		t.Errorf("negative latency %v", rec.Latency)
+	}
+}
+
+func TestSimAnycastExplicitInitiator(t *testing.T) {
+	sim := newSmallSim(t)
+	from, ok := sim.PickNode(0, 0.5)
+	if !ok {
+		t.Skip("no low-availability node online")
+	}
+	target, _ := avmem.NewThreshold(0.6)
+	if sim.Eligible(target) == 0 {
+		t.Skip("no eligible nodes")
+	}
+	rec, err := sim.Anycast(from, target, avmem.AnycastOptions{
+		Policy: avmem.RetriedGreedy,
+		Flavor: avmem.HSVS,
+		TTL:    6,
+		Retry:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Outcome == avmem.OutcomePending {
+		t.Error("retried-greedy anycast ended pending")
+	}
+}
+
+func TestSimAnycastUnknownInitiator(t *testing.T) {
+	sim := newSmallSim(t)
+	target, _ := avmem.NewThreshold(0.5)
+	if _, err := sim.Anycast("ghost", target, avmem.DefaultAnycastOptions()); err == nil {
+		t.Error("want error for unknown initiator")
+	}
+}
+
+func TestSimMulticastFlood(t *testing.T) {
+	sim := newSmallSim(t)
+	target, _ := avmem.NewThreshold(0.5)
+	if sim.Eligible(target) < 3 {
+		t.Skip("target too sparse")
+	}
+	rec, err := sim.Multicast(avmem.AutoInitiator, target, avmem.DefaultMulticastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.EnteredRange {
+		t.Error("multicast never entered range")
+	}
+	if rec.Reliability() < 0.5 {
+		t.Errorf("flood reliability = %v, want high", rec.Reliability())
+	}
+}
+
+func TestSimMulticastGossip(t *testing.T) {
+	sim := newSmallSim(t)
+	target, _ := avmem.NewThreshold(0.5)
+	if sim.Eligible(target) < 3 {
+		t.Skip("target too sparse")
+	}
+	opts := avmem.MulticastOptions{
+		Anycast: avmem.DefaultAnycastOptions(),
+		Mode:    avmem.Gossip,
+		Flavor:  avmem.HSVS,
+		Fanout:  5,
+		Rounds:  2,
+		Period:  time.Second,
+	}
+	rec, err := sim.Multicast(avmem.AutoInitiator, target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Delivered) == 0 {
+		t.Error("gossip delivered nothing")
+	}
+}
+
+func TestSimSliversAndNeighbors(t *testing.T) {
+	sim := newSmallSim(t)
+	var checked bool
+	for _, id := range sim.OnlineNodes() {
+		hs, vs := sim.SliverSizes(id)
+		nbs := sim.Neighbors(id, avmem.HSVS)
+		if hs+vs != len(nbs) {
+			t.Fatalf("sliver sizes %d+%d != neighbor count %d", hs, vs, len(nbs))
+		}
+		if len(nbs) > 0 {
+			checked = true
+			if got := len(sim.Neighbors(id, avmem.HSOnly)); got != hs {
+				t.Errorf("HSOnly neighbors = %d, want %d", got, hs)
+			}
+		}
+	}
+	if !checked {
+		t.Error("no node had neighbors")
+	}
+	if hs, vs := sim.SliverSizes("ghost"); hs != 0 || vs != 0 {
+		t.Error("unknown node has slivers")
+	}
+	if nbs := sim.Neighbors("ghost", avmem.HSVS); nbs != nil {
+		t.Error("unknown node has neighbors")
+	}
+}
+
+func TestNewSimValidation(t *testing.T) {
+	if _, err := avmem.NewSim(avmem.SimConfig{Hosts: -1, Seed: 1}); err == nil {
+		t.Error("want error for negative hosts")
+	}
+}
+
+func TestTargetHelpers(t *testing.T) {
+	if _, err := avmem.NewRange(0.5, 0.2); err == nil {
+		t.Error("want error for inverted range")
+	}
+	if _, err := avmem.NewThreshold(1.5); err == nil {
+		t.Error("want error for threshold out of range")
+	}
+	tgt, err := avmem.NewThreshold(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tgt.Contains(0.95) || tgt.Contains(0.85) {
+		t.Error("threshold target misbehaves")
+	}
+}
+
+func TestPredicateHelpers(t *testing.T) {
+	pdf := avmem.OvernetPDF()
+	pred, err := avmem.NewPaperPredicate(0.1, 3, 3, 442, pdf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Epsilon != 0.1 {
+		t.Errorf("epsilon = %v", pred.Epsilon)
+	}
+	if _, err := avmem.NewPaperPredicate(0.1, 3, 3, 442, nil); err == nil {
+		t.Error("want error for nil PDF")
+	}
+	rnd, err := avmem.NewRandomPredicate(0.1, 12, 442)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rnd.Threshold(0.1, 0.9); got <= 0 {
+		t.Errorf("random predicate threshold = %v", got)
+	}
+	if _, err := avmem.PDFFromSamples([]float64{0.2, 0.5, 0.9}); err != nil {
+		t.Errorf("PDFFromSamples: %v", err)
+	}
+	if _, err := avmem.PDFFromSamples(nil); err == nil {
+		t.Error("want error for no samples")
+	}
+	if avmem.UniformPDF().Density(0.5) <= 0 {
+		t.Error("uniform PDF density zero")
+	}
+}
+
+func TestLiveFacade(t *testing.T) {
+	tr := avmem.NewMemoryTransport(0, 0)
+	defer tr.Close()
+	monitor := avmem.StaticMonitor{
+		"a": 0.5,
+		"b": 0.9,
+	}
+	pdf := avmem.UniformPDF()
+	pred, err := avmem.NewPaperPredicate(0.1, 5, 5, 2, pdf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := avmem.PeerFunc(func(self avmem.NodeID) []avmem.NodeID {
+		if self == "a" {
+			return []avmem.NodeID{"b"}
+		}
+		return []avmem.NodeID{"a"}
+	})
+	var nodes []*avmem.Node
+	for _, id := range []avmem.NodeID{"a", "b"} {
+		n, err := avmem.NewNode(avmem.NodeConfig{
+			Self:           id,
+			Predicate:      pred,
+			Monitor:        monitor,
+			Peers:          peers,
+			Transport:      tr,
+			ProtocolPeriod: 50 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer n.Stop()
+		nodes = append(nodes, n)
+	}
+	deadline := time.After(3 * time.Second)
+	for {
+		if _, vs := nodes[0].SliverSizes(); vs >= 1 {
+			return // node a discovered node b as a vertical neighbor
+		}
+		select {
+		case <-deadline:
+			hs, vs := nodes[0].SliverSizes()
+			t.Fatalf("live discovery failed: hs=%d vs=%d", hs, vs)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,543 @@
+// Per-figure benchmarks: every table/figure of the paper's evaluation
+// (§4) has one testing.B target that regenerates its series at bench
+// scale (600 hosts, 8h warmup, smaller message batches) and reports the
+// headline numbers via b.ReportMetric. The full-scale regeneration
+// (1442 hosts, 24h warmup, 5×50 messages) lives in cmd/avmemsim; see
+// EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+//
+// Ablation benchmarks at the bottom sweep the design parameters that
+// DESIGN.md calls out: ε, c1/c2, cushion, gossip fanout, and coarse
+// view size.
+package avmem_test
+
+import (
+	"math"
+	"strconv"
+	"testing"
+	"time"
+
+	"avmem/internal/core"
+	"avmem/internal/exp"
+	"avmem/internal/ops"
+	"avmem/internal/trace"
+)
+
+// benchWorld builds the bench-scale world: 600 hosts, 2-minute protocol
+// period, 8-hour warmup. Setup cost is excluded by b.ResetTimer in the
+// callers.
+func benchWorld(b *testing.B, seed int64, mutate func(*exp.WorldConfig)) *exp.World {
+	b.Helper()
+	gen := trace.DefaultGenConfig(seed)
+	gen.Hosts = 600
+	tr, err := trace.Generate(gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := exp.WorldConfig{
+		Seed:           seed,
+		Trace:          tr,
+		ProtocolPeriod: 2 * time.Minute,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	w, err := exp.NewWorld(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Warmup(8 * time.Hour)
+	return w
+}
+
+func benchAnycastSpec(name string, policy ops.Policy, flavor core.Flavor, target ops.Target, bandLo, bandHi float64, retry int) exp.AnycastSpec {
+	return exp.AnycastSpec{
+		Name:   name,
+		BandLo: bandLo, BandHi: bandHi,
+		Target: target,
+		Opts:   ops.AnycastOptions{Policy: policy, Flavor: flavor, TTL: 6, Retry: retry},
+		Runs:   1, PerRun: 10,
+	}
+}
+
+func BenchmarkFig2OverlaySnapshot(b *testing.B) {
+	w := benchWorld(b, 1, nil)
+	b.ResetTimer()
+	var snap exp.OverlaySnapshot
+	for i := 0; i < b.N; i++ {
+		snap = exp.SnapshotOverlay(w)
+	}
+	b.ReportMetric(float64(snap.OnlineCount), "online-nodes")
+	b.ReportMetric(median(snap.HSMedian), "HS-median")
+	b.ReportMetric(median(snap.VSMedian), "VS-median")
+}
+
+func BenchmarkFig3HorizontalScaling(b *testing.B) {
+	w := benchWorld(b, 1, nil)
+	b.ResetTimer()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = exp.ScanHorizontalScaling(w).SublinearityRatio()
+	}
+	b.ReportMetric(ratio, "sublinearity-ratio")
+}
+
+func BenchmarkFig4VerticalInDegree(b *testing.B) {
+	w := benchWorld(b, 1, nil)
+	b.ResetTimer()
+	var deg exp.VSInDegree
+	for i := 0; i < b.N; i++ {
+		deg = exp.ScanVSInDegree(w)
+	}
+	// Uniformity: spread of per-node in-degree across interior buckets.
+	min, max := math.Inf(1), 0.0
+	for bkt := 1; bkt < 9; bkt++ {
+		if deg.Population[bkt] == 0 {
+			continue
+		}
+		v := deg.PerBucket[bkt] / float64(deg.Population[bkt])
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	if !math.IsInf(min, 1) && min > 0 {
+		b.ReportMetric(max/min, "indegree-max/min")
+	}
+}
+
+func BenchmarkFig5FloodingAttack(b *testing.B) {
+	w := benchWorld(b, 1, nil)
+	b.ResetTimer()
+	var r0, r1 exp.AttackResult
+	for i := 0; i < b.N; i++ {
+		r0 = exp.FloodingAttack(w, 0)
+		r1 = exp.FloodingAttack(w, 0.1)
+	}
+	b.ReportMetric(r0.Overall, "accept-cushion0")
+	b.ReportMetric(r1.Overall, "accept-cushion0.1")
+}
+
+func BenchmarkFig6LegitimateRejection(b *testing.B) {
+	w := benchWorld(b, 1, func(cfg *exp.WorldConfig) {
+		cfg.MonitorErr = 0.05
+		cfg.MonitorStaleness = 20 * time.Minute
+	})
+	b.ResetTimer()
+	var r0, r1 exp.AttackResult
+	for i := 0; i < b.N; i++ {
+		r0 = exp.LegitimateRejection(w, 0)
+		r1 = exp.LegitimateRejection(w, 0.1)
+	}
+	b.ReportMetric(r0.Overall, "reject-cushion0")
+	b.ReportMetric(r1.Overall, "reject-cushion0.1")
+}
+
+func BenchmarkFig7AnycastHops(b *testing.B) {
+	w := benchWorld(b, 1, nil)
+	target := ops.Target{Lo: 0.85, Hi: 0.95}
+	b.ResetTimer()
+	var delivered, oneHop float64
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunAnycasts(w, benchAnycastSpec(
+			"HS+VS", ops.Greedy, core.HSVS, target, 1.0/3, 2.0/3, 0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		delivered = res.FractionDelivered()
+		if cdf := res.HopsCDF(); len(cdf) > 1 {
+			oneHop = cdf[1]
+		}
+	}
+	b.ReportMetric(delivered, "delivered")
+	b.ReportMetric(oneHop, "within-1-hop")
+}
+
+func BenchmarkFig8AnycastHarsh(b *testing.B) {
+	w := benchWorld(b, 1, nil)
+	b.ResetTimer()
+	var easy, mid, harsh float64
+	for i := 0; i < b.N; i++ {
+		for _, tc := range []struct {
+			tgt ops.Target
+			out *float64
+		}{
+			{ops.Target{Lo: 0.85, Hi: 0.95}, &easy},
+			{ops.Target{Lo: 0.44, Hi: 0.54}, &mid},
+			{ops.Target{Lo: 0.15, Hi: 0.25}, &harsh},
+		} {
+			res, err := exp.RunAnycasts(w, benchAnycastSpec(
+				"HS+VS", ops.Greedy, core.HSVS, tc.tgt, 2.0/3, 1.01, 0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			*tc.out = res.FractionDelivered()
+		}
+	}
+	b.ReportMetric(easy, "delivered-0.85-0.95")
+	b.ReportMetric(mid, "delivered-0.44-0.54")
+	b.ReportMetric(harsh, "delivered-0.15-0.25")
+}
+
+func BenchmarkFig9RetriedGreedy(b *testing.B) {
+	w := benchWorld(b, 1, nil)
+	target := ops.Target{Lo: 0.15, Hi: 0.25}
+	b.ResetTimer()
+	var d2, d8 float64
+	var lat8 time.Duration
+	for i := 0; i < b.N; i++ {
+		r2, err := exp.RunAnycasts(w, benchAnycastSpec(
+			"retry2", ops.RetriedGreedy, core.HSVS, target, 2.0/3, 1.01, 2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r8, err := exp.RunAnycasts(w, benchAnycastSpec(
+			"retry8", ops.RetriedGreedy, core.HSVS, target, 2.0/3, 1.01, 8))
+		if err != nil {
+			b.Fatal(err)
+		}
+		d2, d8, lat8 = r2.FractionDelivered(), r8.FractionDelivered(), r8.MeanLatency()
+	}
+	b.ReportMetric(d2, "delivered-retry2")
+	b.ReportMetric(d8, "delivered-retry8")
+	b.ReportMetric(float64(lat8.Milliseconds()), "latency-ms-retry8")
+}
+
+func BenchmarkFig10RandomOverlay(b *testing.B) {
+	gen := trace.DefaultGenConfig(1)
+	gen.Hosts = 600
+	tr, err := trace.Generate(gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := exp.NewRandomWorld(exp.WorldConfig{
+		Seed:           1,
+		Trace:          tr,
+		ProtocolPeriod: 2 * time.Minute,
+	}, 2*math.Log(tr.MeanOnline()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Warmup(8 * time.Hour)
+	target := ops.Target{Lo: 0.15, Hi: 0.25}
+	b.ResetTimer()
+	var d8 float64
+	for i := 0; i < b.N; i++ {
+		r8, err := exp.RunAnycasts(w, benchAnycastSpec(
+			"retry8", ops.RetriedGreedy, core.HSVS, target, 2.0/3, 1.01, 8))
+		if err != nil {
+			b.Fatal(err)
+		}
+		d8 = r8.FractionDelivered()
+	}
+	b.ReportMetric(d8, "delivered-retry8-random")
+}
+
+func benchMulticast(b *testing.B, w *exp.World, mode ops.Mode) exp.MulticastResult {
+	b.Helper()
+	spec := exp.MulticastSpec{
+		Name:   "bench",
+		BandLo: 2.0 / 3, BandHi: 1.01,
+		Target: ops.Target{Lo: 0.9, Hi: 1},
+		Mode:   mode, Flavor: core.HSVS,
+		Fanout: 5, Rounds: 2, Period: time.Second,
+		Runs: 1, PerRun: 8,
+	}
+	res, err := exp.RunMulticasts(w, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func BenchmarkFig11MulticastLatency(b *testing.B) {
+	w := benchWorld(b, 1, nil)
+	b.ResetTimer()
+	var flood, gossip exp.MulticastResult
+	for i := 0; i < b.N; i++ {
+		flood = benchMulticast(b, w, ops.Flood)
+		gossip = benchMulticast(b, w, ops.Gossip)
+	}
+	b.ReportMetric(float64(flood.MaxWorstLatency().Milliseconds()), "flood-max-ms")
+	b.ReportMetric(float64(gossip.MaxWorstLatency().Milliseconds()), "gossip-max-ms")
+}
+
+func BenchmarkFig12MulticastSpam(b *testing.B) {
+	w := benchWorld(b, 1, nil)
+	b.ResetTimer()
+	var flood exp.MulticastResult
+	for i := 0; i < b.N; i++ {
+		flood = benchMulticast(b, w, ops.Flood)
+	}
+	b.ReportMetric(flood.MeanSpamRatio(), "flood-spam-ratio")
+}
+
+func BenchmarkFig13MulticastReliability(b *testing.B) {
+	w := benchWorld(b, 1, nil)
+	b.ResetTimer()
+	var flood, gossip exp.MulticastResult
+	for i := 0; i < b.N; i++ {
+		flood = benchMulticast(b, w, ops.Flood)
+		gossip = benchMulticast(b, w, ops.Gossip)
+	}
+	b.ReportMetric(flood.MeanReliability(), "flood-reliability")
+	b.ReportMetric(gossip.MeanReliability(), "gossip-reliability")
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationEpsilon sweeps the horizontal sliver half-width: a
+// wider ε grows the horizontal sliver (more memory) and shortens
+// within-band routes.
+func BenchmarkAblationEpsilon(b *testing.B) {
+	for _, eps := range []float64{0.05, 0.1, 0.2} {
+		eps := eps
+		b.Run(nameOfFloat("eps", eps), func(b *testing.B) {
+			w := benchWorld(b, 1, func(cfg *exp.WorldConfig) { cfg.Epsilon = eps })
+			b.ResetTimer()
+			var degree, delivered float64
+			for i := 0; i < b.N; i++ {
+				degree = w.MeanDegree()
+				res, err := exp.RunAnycasts(w, benchAnycastSpec(
+					"HS+VS", ops.Greedy, core.HSVS,
+					ops.Target{Lo: 0.85, Hi: 0.95}, 1.0/3, 2.0/3, 0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				delivered = res.FractionDelivered()
+			}
+			b.ReportMetric(degree, "mean-degree")
+			b.ReportMetric(delivered, "delivered")
+		})
+	}
+}
+
+// BenchmarkAblationConstants sweeps c1=c2: the degree/reliability
+// trade-off of the predicate constants.
+func BenchmarkAblationConstants(b *testing.B) {
+	for _, c := range []float64{1, 3, 6} {
+		c := c
+		b.Run(nameOfFloat("c", c), func(b *testing.B) {
+			w := benchWorld(b, 1, func(cfg *exp.WorldConfig) { cfg.C1, cfg.C2 = c, c })
+			b.ResetTimer()
+			var degree, delivered float64
+			for i := 0; i < b.N; i++ {
+				degree = w.MeanDegree()
+				res, err := exp.RunAnycasts(w, benchAnycastSpec(
+					"HS+VS", ops.Greedy, core.HSVS,
+					ops.Target{Lo: 0.15, Hi: 0.25}, 2.0/3, 1.01, 0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				delivered = res.FractionDelivered()
+			}
+			b.ReportMetric(degree, "mean-degree")
+			b.ReportMetric(delivered, "delivered-harsh")
+		})
+	}
+}
+
+// BenchmarkAblationCushion sweeps the verification cushion: the
+// attack-acceptance vs legitimate-rejection trade-off of §4.1.
+func BenchmarkAblationCushion(b *testing.B) {
+	w := benchWorld(b, 1, func(cfg *exp.WorldConfig) {
+		cfg.MonitorErr = 0.05
+		cfg.MonitorStaleness = 20 * time.Minute
+	})
+	for _, cushion := range []float64{0, 0.05, 0.1, 0.2} {
+		cushion := cushion
+		b.Run(nameOfFloat("cushion", cushion), func(b *testing.B) {
+			b.ResetTimer()
+			var accept, reject float64
+			for i := 0; i < b.N; i++ {
+				accept = exp.FloodingAttack(w, cushion).Overall
+				reject = exp.LegitimateRejection(w, cushion).Overall
+			}
+			b.ReportMetric(accept, "attack-accept")
+			b.ReportMetric(reject, "legit-reject")
+		})
+	}
+}
+
+// BenchmarkAblationGossipFanout sweeps the gossip fanout at fixed
+// Ng=2: reliability and latency vs message budget.
+func BenchmarkAblationGossipFanout(b *testing.B) {
+	w := benchWorld(b, 1, nil)
+	for _, fanout := range []int{2, 5, 8} {
+		fanout := fanout
+		b.Run(nameOfInt("fanout", fanout), func(b *testing.B) {
+			b.ResetTimer()
+			var rel float64
+			var lat time.Duration
+			for i := 0; i < b.N; i++ {
+				spec := exp.MulticastSpec{
+					Name:   "ablation",
+					BandLo: 2.0 / 3, BandHi: 1.01,
+					Target: ops.Target{Lo: 0.9, Hi: 1},
+					Mode:   ops.Gossip, Flavor: core.HSVS,
+					Fanout: fanout, Rounds: 2, Period: time.Second,
+					Runs: 1, PerRun: 8,
+				}
+				res, err := exp.RunMulticasts(w, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rel = res.MeanReliability()
+				lat = res.MaxWorstLatency()
+			}
+			b.ReportMetric(rel, "reliability")
+			b.ReportMetric(float64(lat.Milliseconds()), "max-latency-ms")
+		})
+	}
+}
+
+// BenchmarkAblationViewSize sweeps the coarse view size v around the
+// √N optimum of §3.1: discovery progress after a fixed warmup.
+func BenchmarkAblationViewSize(b *testing.B) {
+	for _, v := range []int{6, 24, 48} {
+		v := v
+		b.Run(nameOfInt("view", v), func(b *testing.B) {
+			w := benchWorld(b, 1, func(cfg *exp.WorldConfig) { cfg.ViewSize = v })
+			b.ResetTimer()
+			var degree float64
+			for i := 0; i < b.N; i++ {
+				degree = w.MeanDegree()
+			}
+			b.ReportMetric(degree, "mean-degree-after-8h")
+		})
+	}
+}
+
+func median(values []float64) float64 {
+	clean := make([]float64, 0, len(values))
+	for _, v := range values {
+		if !math.IsNaN(v) {
+			clean = append(clean, v)
+		}
+	}
+	if len(clean) == 0 {
+		return 0
+	}
+	// Insertion into sorted order; the slices are tiny.
+	for i := 1; i < len(clean); i++ {
+		for j := i; j > 0 && clean[j] < clean[j-1]; j-- {
+			clean[j], clean[j-1] = clean[j-1], clean[j]
+		}
+	}
+	return clean[len(clean)/2]
+}
+
+func nameOfFloat(prefix string, v float64) string {
+	return prefix + "=" + strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func nameOfInt(prefix string, v int) string {
+	return prefix + "=" + strconv.Itoa(v)
+}
+
+// BenchmarkAblationVerticalPredicate compares the paper's canonical
+// I.B vertical sliver against the Pastry-like I.C (logarithmic-
+// decreasing) variant: I.C concentrates links near one's own
+// availability, so long-distance anycasts need more hops, while near
+// targets stay cheap — the routing-table trade-off Corollary 1.1
+// describes.
+func BenchmarkAblationVerticalPredicate(b *testing.B) {
+	build := func(b *testing.B, decreasing bool) *exp.World {
+		b.Helper()
+		gen := trace.DefaultGenConfig(1)
+		gen.Hosts = 600
+		tr, err := trace.Generate(gen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := exp.WorldConfig{Seed: 1, Trace: tr, ProtocolPeriod: 2 * time.Minute}
+		if decreasing {
+			// Mirror exp.NewWorld's predicate assembly with I.C swapped
+			// in for I.B.
+			probe, err := exp.NewWorld(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			hs, err := core.NewCachedByX(core.LogConstantHorizontal{
+				C2: 3, NStar: probe.NStar, Epsilon: 0.1, PDF: probe.PDF,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pred, err := core.NewPredicate(0.1, hs,
+				core.LogDecreasingVertical{C1: 3, NStar: probe.NStar, PDF: probe.PDF})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.Predicate = pred
+		}
+		w, err := exp.NewWorld(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.Warmup(8 * time.Hour)
+		return w
+	}
+	for _, variant := range []struct {
+		name       string
+		decreasing bool
+	}{
+		{"IB-uniform", false},
+		{"IC-decreasing", true},
+	} {
+		variant := variant
+		b.Run(variant.name, func(b *testing.B) {
+			w := build(b, variant.decreasing)
+			target := ops.Target{Lo: 0.85, Hi: 0.95}
+			b.ResetTimer()
+			var delivered, meanHops float64
+			for i := 0; i < b.N; i++ {
+				res, err := exp.RunAnycasts(w, benchAnycastSpec(
+					"far", ops.Greedy, core.VSOnly, target, 0, 1.0/3, 0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				delivered = res.FractionDelivered()
+				if res.Delivered > 0 {
+					total := 0
+					for h, n := range res.HopsHist {
+						total += h * n
+					}
+					meanHops = float64(total) / float64(res.Delivered)
+				}
+			}
+			b.ReportMetric(delivered, "delivered-far")
+			b.ReportMetric(meanHops, "mean-hops-far")
+		})
+	}
+}
+
+// BenchmarkAblationMonitor compares the idealized oracle against the
+// AVMON-style distributed ping-based monitor: how much routing quality
+// costs when availability estimates are empirical.
+func BenchmarkAblationMonitor(b *testing.B) {
+	for _, variant := range []struct {
+		name        string
+		distributed bool
+	}{
+		{"oracle", false},
+		{"distributed", true},
+	} {
+		variant := variant
+		b.Run(variant.name, func(b *testing.B) {
+			w := benchWorld(b, 1, func(cfg *exp.WorldConfig) {
+				cfg.DistributedMonitor = variant.distributed
+			})
+			target := ops.Target{Lo: 0.85, Hi: 0.95}
+			b.ResetTimer()
+			var delivered float64
+			for i := 0; i < b.N; i++ {
+				res, err := exp.RunAnycasts(w, benchAnycastSpec(
+					"mon", ops.Greedy, core.HSVS, target, 0, 1.01, 0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				delivered = res.FractionDelivered()
+			}
+			b.ReportMetric(delivered, "delivered")
+			b.ReportMetric(w.MeanDegree(), "mean-degree")
+		})
+	}
+}

@@ -1,0 +1,210 @@
+// Command avmemnode runs one live AVMEM node over TCP — the deployable
+// agent. Peers and availabilities come from a crawler-dump file (one
+// "host:port availability" pair per line), the story the paper tells
+// for pre-run-time distribution of the availability PDF.
+//
+// Usage:
+//
+//	avmemnode -listen 10.0.0.5:4000 -peers peers.txt &
+//	avmemnode -listen 10.0.0.6:4000 -peers peers.txt \
+//	    -anycast 0.85,0.95 -wait 10s
+//
+// peers.txt:
+//
+//	10.0.0.5:4000 0.82
+//	10.0.0.6:4000 0.31
+//	10.0.0.7:4000 0.95
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"avmem"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "avmemnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("avmemnode", flag.ContinueOnError)
+	listen := fs.String("listen", "", "host:port to listen on (required)")
+	peersPath := fs.String("peers", "", "crawler dump: one 'host:port availability' per line (required)")
+	epsilon := fs.Float64("epsilon", 0.1, "horizontal sliver half-width")
+	c1 := fs.Float64("c1", 3, "vertical sliver constant")
+	c2 := fs.Float64("c2", 3, "horizontal sliver constant")
+	cushion := fs.Float64("cushion", 0.1, "verification cushion")
+	period := fs.Duration("period", time.Minute, "discovery period")
+	refresh := fs.Duration("refresh", 20*time.Minute, "refresh period")
+	anycast := fs.String("anycast", "", "after -wait, anycast to range 'lo,hi' and print the outcome")
+	wait := fs.Duration("wait", 5*time.Second, "discovery time before -anycast fires")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *listen == "" || *peersPath == "" {
+		return fmt.Errorf("-listen and -peers are required")
+	}
+
+	peers, monitor, err := loadPeers(*peersPath)
+	if err != nil {
+		return err
+	}
+	self := avmem.NodeID(*listen)
+	if _, ok := monitor[self]; !ok {
+		return fmt.Errorf("peers file does not list this node (%s); add it with its availability", self)
+	}
+
+	// Predicate inputs, exactly as the paper distributes them: the
+	// availability PDF and N* come from the crawler dump.
+	samples := make([]float64, 0, len(monitor))
+	nStar := 0.0
+	for _, av := range monitor {
+		samples = append(samples, av)
+		nStar += av // expected online population
+	}
+	pdf, err := avmem.PDFFromSamples(samples)
+	if err != nil {
+		return err
+	}
+	pred, err := avmem.NewPaperPredicate(*epsilon, *c1, *c2, nStar, pdf)
+	if err != nil {
+		return err
+	}
+
+	tr := avmem.NewTCPTransport(2*time.Second, 5*time.Second)
+	defer tr.Close()
+	node, err := avmem.NewNode(avmem.NodeConfig{
+		Self:           self,
+		Predicate:      pred,
+		Monitor:        monitor,
+		Peers:          avmem.PeerFunc(func(s avmem.NodeID) []avmem.NodeID { return without(peers, s) }),
+		Transport:      tr,
+		ProtocolPeriod: *period,
+		RefreshPeriod:  *refresh,
+		VerifyInbound:  true,
+		Cushion:        *cushion,
+	})
+	if err != nil {
+		return err
+	}
+	if err := node.Start(); err != nil {
+		return err
+	}
+	defer node.Stop()
+	fmt.Printf("avmemnode %s up: %d known peers, N*=%.1f\n", self, len(peers)-1, nStar)
+
+	if *anycast != "" {
+		lo, hi, err := parseRange(*anycast)
+		if err != nil {
+			return err
+		}
+		target, err := avmem.NewRange(lo, hi)
+		if err != nil {
+			return err
+		}
+		time.Sleep(*wait)
+		hs, vs := node.SliverSizes()
+		fmt.Printf("slivers after %v: HS=%d VS=%d\n", *wait, hs, vs)
+		id, err := node.Anycast(target, avmem.DefaultAnycastOptions())
+		if err != nil {
+			return err
+		}
+		deadline := time.After(10 * time.Second)
+		for {
+			rec, ok := node.AnycastResult(id)
+			if ok && rec.Outcome != avmem.OutcomePending {
+				fmt.Printf("anycast %s: %v after %d hops in %v\n",
+					target, rec.Outcome, rec.Hops, rec.Latency.Round(time.Millisecond))
+				return nil
+			}
+			select {
+			case <-deadline:
+				fmt.Printf("anycast %s: still pending\n", target)
+				return nil
+			case <-time.After(50 * time.Millisecond):
+			}
+		}
+	}
+
+	// Daemon mode: run until interrupted.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}
+
+// loadPeers parses the crawler dump.
+func loadPeers(path string) ([]avmem.NodeID, avmem.StaticMonitor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	peers := make([]avmem.NodeID, 0, 64)
+	monitor := avmem.StaticMonitor{}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		addr, avText, ok := strings.Cut(text, " ")
+		if !ok {
+			return nil, nil, fmt.Errorf("%s:%d: want 'host:port availability'", path, line)
+		}
+		av, err := strconv.ParseFloat(strings.TrimSpace(avText), 64)
+		if err != nil || av < 0 || av > 1 {
+			return nil, nil, fmt.Errorf("%s:%d: bad availability %q", path, line, avText)
+		}
+		id := avmem.NodeID(addr)
+		peers = append(peers, id)
+		monitor[id] = av
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(peers) == 0 {
+		return nil, nil, fmt.Errorf("%s: no peers", path)
+	}
+	return peers, monitor, nil
+}
+
+func without(peers []avmem.NodeID, self avmem.NodeID) []avmem.NodeID {
+	out := make([]avmem.NodeID, 0, len(peers))
+	for _, p := range peers {
+		if p != self {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseRange(s string) (lo, hi float64, err error) {
+	loText, hiText, ok := strings.Cut(s, ",")
+	if !ok {
+		return 0, 0, fmt.Errorf("want -anycast lo,hi, got %q", s)
+	}
+	lo, err = strconv.ParseFloat(strings.TrimSpace(loText), 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	hi, err = strconv.ParseFloat(strings.TrimSpace(hiText), 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
+}

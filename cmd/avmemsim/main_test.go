@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"avmem/internal/trace"
+)
+
+// writeTinyTrace archives a small synthetic trace for CLI tests.
+func writeTinyTrace(t *testing.T) string {
+	t.Helper()
+	gen := trace.DefaultGenConfig(5)
+	gen.Hosts = 150
+	gen.Epochs = 120 // ~1.7 days
+	tr, err := trace.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tiny.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Write(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFig2FromTraceFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a full world")
+	}
+	path := writeTinyTrace(t)
+	var out strings.Builder
+	start := time.Now()
+	err := run([]string{"-fig", "2", "-quick", "-trace", path, "-seed", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "Figure 2(a)") || !strings.Contains(text, "Figure 2(b,c)") {
+		t.Errorf("missing figure sections:\n%s", text)
+	}
+	if !strings.Contains(text, "150 hosts") {
+		t.Errorf("trace not loaded from file:\n%s", text)
+	}
+	t.Logf("fig 2 regeneration took %v", time.Since(start))
+}
+
+func TestRunFig5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a full world")
+	}
+	path := writeTinyTrace(t)
+	var out strings.Builder
+	if err := run([]string{"-fig", "5", "-quick", "-trace", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cushion=0") {
+		t.Errorf("missing attack table:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("want error for unknown flag")
+	}
+}
+
+func TestRunRejectsMissingTrace(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "2", "-trace", "/does/not/exist"}, &out); err == nil {
+		t.Error("want error for missing trace file")
+	}
+}
+
+func TestFmtNaN(t *testing.T) {
+	if got := fmtNaN(0.5); got != "0.500" {
+		t.Errorf("fmtNaN(0.5) = %q", got)
+	}
+	nan := 0.0
+	nan /= nan
+	if got := fmtNaN(nan); got != "-" {
+		t.Errorf("fmtNaN(NaN) = %q", got)
+	}
+}
+
+func TestFracHelper(t *testing.T) {
+	if frac(1, 2) != 0.5 || frac(1, 0) != 0 {
+		t.Error("frac helper wrong")
+	}
+}

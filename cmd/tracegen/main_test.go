@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"avmem/internal/trace"
+)
+
+func TestRunWritesReadableTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.trace")
+	err := run([]string{"-hosts", "60", "-days", "0.5", "-seed", "9", "-o", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Hosts() != 60 {
+		t.Errorf("hosts = %d, want 60", tr.Hosts())
+	}
+	if tr.Epochs() != 36 { // 0.5 days × 72 epochs/day
+		t.Errorf("epochs = %d, want 36", tr.Epochs())
+	}
+}
+
+func TestRunPDFVariants(t *testing.T) {
+	for _, pdf := range []string{"overnet", "uniform", "bimodal"} {
+		path := filepath.Join(t.TempDir(), pdf+".trace")
+		if err := run([]string{"-hosts", "40", "-days", "0.5", "-pdf", pdf, "-o", path}); err != nil {
+			t.Errorf("pdf %q: %v", pdf, err)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-pdf", "martian"}); err == nil {
+		t.Error("want error for unknown pdf")
+	}
+	if err := run([]string{"-hosts", "0"}); err == nil {
+		t.Error("want error for zero hosts")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("want error for unknown flag")
+	}
+	if err := run([]string{"-o", "/no/such/dir/file.trace", "-hosts", "10", "-days", "0.1"}); err == nil {
+		t.Error("want error for unwritable output")
+	}
+}

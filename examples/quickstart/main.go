@@ -1,0 +1,82 @@
+// Quickstart: build a simulated AVMEM deployment, let the overlay form,
+// and run one of each management operation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"avmem"
+)
+
+func main() {
+	// A 600-host deployment with Overnet-like churn. Seeded, so every
+	// run prints the same numbers.
+	sim, err := avmem.NewSim(avmem.SimConfig{Hosts: 600, Days: 3, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Slivers need time to form; the paper warms up for 24 hours.
+	fmt.Println("warming up 12h of simulated time...")
+	sim.Warmup(12 * time.Hour)
+	fmt.Printf("online nodes: %d, mean AVMEM degree: %.1f\n\n",
+		len(sim.OnlineNodes()), sim.MeanDegree())
+
+	// Range-anycast: find any node with availability in [0.85, 0.95].
+	target, err := avmem.NewRange(0.85, 0.95)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := sim.Anycast(avmem.AutoInitiator, target, avmem.DefaultAnycastOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("range-anycast %s: %v in %d hops, %v\n",
+		target, rec.Outcome, rec.Hops, rec.Latency.Round(time.Millisecond))
+
+	// Threshold-anycast with retried-greedy forwarding: survive
+	// offline next-hops by spending a retry budget.
+	thr, err := avmem.NewThreshold(0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err = sim.Anycast(avmem.AutoInitiator, thr, avmem.AnycastOptions{
+		Policy: avmem.RetriedGreedy,
+		Flavor: avmem.HSVS,
+		TTL:    6,
+		Retry:  8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("threshold-anycast %s (retried-greedy): %v in %d hops, %v\n",
+		thr, rec.Outcome, rec.Hops, rec.Latency.Round(time.Millisecond))
+
+	// Range-multicast by flooding: deliver to every node in the range.
+	mrec, err := sim.Multicast(avmem.AutoInitiator, target, avmem.DefaultMulticastOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("range-multicast %s (flood): reached %.0f%% of %d eligible nodes, worst latency %v\n",
+		target, 100*mrec.Reliability(), mrec.Eligible, mrec.WorstLatency().Round(time.Millisecond))
+
+	// The same multicast by gossip: cheaper, slower, a bit lossier.
+	gossip := avmem.MulticastOptions{
+		Anycast: avmem.DefaultAnycastOptions(),
+		Mode:    avmem.Gossip,
+		Flavor:  avmem.HSVS,
+		Fanout:  5,
+		Rounds:  2,
+		Period:  time.Second,
+	}
+	mrec, err = sim.Multicast(avmem.AutoInitiator, target, gossip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("range-multicast %s (gossip): reached %.0f%% of %d eligible nodes, worst latency %v\n",
+		target, 100*mrec.Reliability(), mrec.Eligible, mrec.WorstLatency().Round(time.Millisecond))
+}

@@ -1,0 +1,327 @@
+// Package avdist models availability probability-density functions.
+//
+// AVMEM predicates (paper §2.1) consume the availability PDF p(·) of the
+// system, together with the stable system size N*, both computed offline
+// (by a crawler, in the paper's deployment story) and communicated to all
+// nodes at pre-run-time. This package provides that object: a discretized
+// PDF over [0,1] that can answer
+//
+//   - the density p(a),
+//   - the interval mass ∫_lo^hi p(a) da,
+//   - the derived predicate quantities N*_a (expected online nodes within
+//     ±ε of a) and N*min_a (minimum expected online nodes in any ε-window
+//     wholly inside [a−ε, a+ε]),
+//   - quantiles and random sampling (used by the synthetic trace
+//     generator).
+//
+// Built-in models include the Overnet-like skewed distribution used by the
+// paper's evaluation (≈50% of hosts with availability below 0.3), a
+// uniform model, and a bimodal model. Arbitrary empirical PDFs can be
+// estimated from sample sets.
+package avdist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DefaultBuckets is the default discretization granularity. 100 buckets
+// give a 0.01-wide availability resolution, ten sub-buckets per ε=0.1
+// sliver width.
+const DefaultBuckets = 100
+
+// PDF is a discretized probability density over availabilities in [0,1].
+// Bucket i covers [i*w, (i+1)*w) with w = 1/len(mass); the final bucket
+// is closed at 1.0. The mass slice always sums to 1 (within rounding).
+//
+// PDF values are immutable after construction and safe for concurrent
+// readers.
+type PDF struct {
+	mass []float64 // probability mass per bucket; sums to 1
+	cum  []float64 // cum[i] = sum(mass[0..i]) for O(1) interval queries
+}
+
+// FromWeights builds a PDF from non-negative per-bucket weights,
+// normalizing them to total mass 1. It returns an error if weights is
+// empty, contains a negative or non-finite entry, or sums to zero.
+func FromWeights(weights []float64) (*PDF, error) {
+	if len(weights) == 0 {
+		return nil, errors.New("avdist: empty weight vector")
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("avdist: invalid weight %v at bucket %d", w, i)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, errors.New("avdist: zero total weight")
+	}
+	mass := make([]float64, len(weights))
+	cum := make([]float64, len(weights))
+	run := 0.0
+	for i, w := range weights {
+		mass[i] = w / total
+		run += mass[i]
+		cum[i] = run
+	}
+	cum[len(cum)-1] = 1 // kill rounding drift at the top
+	return &PDF{mass: mass, cum: cum}, nil
+}
+
+// FromSamples estimates an empirical PDF from observed availabilities,
+// e.g. a crawler's sample set. Samples outside [0,1] are clamped.
+// buckets <= 0 selects DefaultBuckets.
+func FromSamples(samples []float64, buckets int) (*PDF, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("avdist: no samples")
+	}
+	if buckets <= 0 {
+		buckets = DefaultBuckets
+	}
+	weights := make([]float64, buckets)
+	for _, s := range samples {
+		weights[bucketOf(clamp01(s), buckets)]++
+	}
+	return FromWeights(weights)
+}
+
+// Uniform returns the uniform availability PDF with the given bucket
+// count (<= 0 selects DefaultBuckets). Under a uniform PDF the constant
+// sub-predicates I.A/II.A behave identically to the logarithmic ones.
+func Uniform(buckets int) *PDF {
+	if buckets <= 0 {
+		buckets = DefaultBuckets
+	}
+	weights := make([]float64, buckets)
+	for i := range weights {
+		weights[i] = 1
+	}
+	p, err := FromWeights(weights)
+	if err != nil {
+		// Cannot happen: weights are fixed and valid.
+		panic(err)
+	}
+	return p
+}
+
+// Overnet returns the skewed availability model matching the published
+// Overnet measurements that drive the paper's evaluation (Bhagwan et al.,
+// IPTPS 2003): about half the hosts have long-term availability below
+// 0.3, the density decreases through the middle of the range, and a small
+// cohort of nearly-always-on hosts adds mass near 1.0.
+//
+// The model is a mixture:
+//   - 92%: Beta(0.55, 1.45) — the heavy low-availability body,
+//   - 8%:  Beta(8, 1.5)     — the stable, high-availability cohort.
+func Overnet(buckets int) *PDF {
+	if buckets <= 0 {
+		buckets = DefaultBuckets
+	}
+	weights := make([]float64, buckets)
+	w := 1.0 / float64(buckets)
+	for i := range weights {
+		a := (float64(i) + 0.5) * w
+		weights[i] = 0.92*betaDensity(a, 0.55, 1.45) + 0.08*betaDensity(a, 8, 1.5)
+	}
+	p, err := FromWeights(weights)
+	if err != nil {
+		panic(err) // fixed valid weights
+	}
+	return p
+}
+
+// Bimodal returns a two-population model: a low-availability mode around
+// loMode and a high-availability mode around hiMode, mixed by hiFrac mass
+// in the high mode. Useful for exercising predicates on non-Overnet
+// shapes (e.g. Grid-like populations).
+func Bimodal(buckets int, loMode, hiMode, hiFrac float64) (*PDF, error) {
+	if buckets <= 0 {
+		buckets = DefaultBuckets
+	}
+	if loMode < 0 || loMode > 1 || hiMode < 0 || hiMode > 1 {
+		return nil, fmt.Errorf("avdist: modes must be in [0,1]: lo=%v hi=%v", loMode, hiMode)
+	}
+	if hiFrac < 0 || hiFrac > 1 {
+		return nil, fmt.Errorf("avdist: hiFrac must be in [0,1]: %v", hiFrac)
+	}
+	const sigma = 0.08
+	weights := make([]float64, buckets)
+	w := 1.0 / float64(buckets)
+	for i := range weights {
+		a := (float64(i) + 0.5) * w
+		lo := math.Exp(-((a - loMode) * (a - loMode)) / (2 * sigma * sigma))
+		hi := math.Exp(-((a - hiMode) * (a - hiMode)) / (2 * sigma * sigma))
+		weights[i] = (1-hiFrac)*lo + hiFrac*hi
+	}
+	return FromWeights(weights)
+}
+
+// Buckets returns the number of discretization buckets.
+func (p *PDF) Buckets() int { return len(p.mass) }
+
+// BucketWidth returns the availability width of one bucket.
+func (p *PDF) BucketWidth() float64 { return 1.0 / float64(len(p.mass)) }
+
+// Mass returns a copy of the per-bucket probability masses.
+func (p *PDF) Mass() []float64 {
+	out := make([]float64, len(p.mass))
+	copy(out, p.mass)
+	return out
+}
+
+// Density returns the probability density p(a) at availability a: the
+// bucket mass divided by the bucket width. Inputs outside [0,1] are
+// clamped.
+func (p *PDF) Density(a float64) float64 {
+	i := bucketOf(clamp01(a), len(p.mass))
+	return p.mass[i] / p.BucketWidth()
+}
+
+// IntervalMass returns ∫_lo^hi p(a) da for the clamped interval
+// [lo, hi] ∩ [0,1]. Partial buckets contribute proportionally (the
+// density is piecewise constant). An empty or inverted interval has
+// mass 0.
+func (p *PDF) IntervalMass(lo, hi float64) float64 {
+	lo, hi = clamp01(lo), clamp01(hi)
+	if hi <= lo {
+		return 0
+	}
+	w := p.BucketWidth()
+	iLo := bucketOf(lo, len(p.mass))
+	iHi := bucketOf(hi, len(p.mass))
+	if iLo == iHi {
+		return p.mass[iLo] * (hi - lo) / w
+	}
+	// First partial bucket.
+	total := p.mass[iLo] * ((float64(iLo+1))*w - lo) / w
+	// Middle whole buckets via the cumulative array.
+	if iHi-1 >= iLo+1 {
+		total += p.cum[iHi-1] - p.cum[iLo]
+	}
+	// Last partial bucket.
+	total += p.mass[iHi] * (hi - float64(iHi)*w) / w
+	return total
+}
+
+// CDF returns P(availability <= a).
+func (p *PDF) CDF(a float64) float64 { return p.IntervalMass(0, a) }
+
+// Quantile returns the smallest availability a with CDF(a) >= q, for
+// q in [0,1]. Within a bucket the answer is interpolated linearly.
+func (p *PDF) Quantile(q float64) float64 {
+	q = clamp01(q)
+	w := p.BucketWidth()
+	prev := 0.0
+	for i, c := range p.cum {
+		if c >= q {
+			if p.mass[i] == 0 {
+				return float64(i) * w
+			}
+			frac := (q - prev) / p.mass[i]
+			return clamp01((float64(i) + frac) * w)
+		}
+		prev = c
+	}
+	return 1
+}
+
+// Sample draws one availability from the distribution using rng.
+func (p *PDF) Sample(rng *rand.Rand) float64 { return p.Quantile(rng.Float64()) }
+
+// NStarAv returns N*_a: the expected number of online nodes with
+// availability in [a−ε, a+ε] (clamped to [0,1]), for stable system size
+// nStar. This is the N*_av(x) of sub-predicate II.B.
+func (p *PDF) NStarAv(a, eps float64, nStar float64) float64 {
+	return nStar * p.IntervalMass(a-eps, a+eps)
+}
+
+// NStarMin returns N*min_a: the minimum expected number of online nodes
+// over all availability windows of width ε wholly contained in
+// [a−ε, a+ε] ∩ [0,1]. This is the N*min_av(x) of sub-predicate II.B.
+//
+// The interval mass as a function of the window start is piecewise
+// linear with breakpoints where either window edge crosses a bucket
+// boundary, so the minimum is attained at a breakpoint; we evaluate all
+// of them exactly.
+func (p *PDF) NStarMin(a, eps float64, nStar float64) float64 {
+	lo, hi := clamp01(a-eps), clamp01(a+eps)
+	if hi-lo < eps {
+		// Degenerate clamped range: the only window is [lo, hi] itself.
+		return nStar * p.IntervalMass(lo, hi)
+	}
+	maxStart := hi - eps
+	minMass := math.Inf(1)
+	consider := func(v float64) {
+		if v < lo || v > maxStart {
+			return
+		}
+		if m := p.IntervalMass(v, v+eps); m < minMass {
+			minMass = m
+		}
+	}
+	consider(lo)
+	consider(maxStart)
+	w := p.BucketWidth()
+	for i := 0; i <= len(p.mass); i++ {
+		edge := float64(i) * w
+		consider(edge)       // window start at a bucket edge
+		consider(edge - eps) // window end at a bucket edge
+	}
+	return nStar * minMass
+}
+
+// Mean returns the expected availability under the PDF.
+func (p *PDF) Mean() float64 {
+	w := p.BucketWidth()
+	var m float64
+	for i, q := range p.mass {
+		m += q * (float64(i) + 0.5) * w
+	}
+	return m
+}
+
+// betaDensity evaluates the Beta(alpha, beta) density at a ∈ (0,1).
+// Endpoints are nudged inward to keep the density finite under
+// discretized evaluation.
+func betaDensity(a, alpha, beta float64) float64 {
+	const edge = 1e-6
+	if a < edge {
+		a = edge
+	}
+	if a > 1-edge {
+		a = 1 - edge
+	}
+	lg := lgamma(alpha+beta) - lgamma(alpha) - lgamma(beta)
+	return math.Exp(lg + (alpha-1)*math.Log(a) + (beta-1)*math.Log(1-a))
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+func bucketOf(a float64, buckets int) int {
+	i := int(a * float64(buckets))
+	if i >= buckets {
+		i = buckets - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case math.IsNaN(v), v < 0:
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}

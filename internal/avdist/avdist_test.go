@@ -1,0 +1,346 @@
+package avdist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFromWeightsErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		weights []float64
+	}{
+		{"empty", nil},
+		{"negative", []float64{1, -1, 1}},
+		{"nan", []float64{1, math.NaN()}},
+		{"inf", []float64{math.Inf(1)}},
+		{"zero total", []float64{0, 0, 0}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := FromWeights(tc.weights); err == nil {
+				t.Errorf("FromWeights(%v): want error, got nil", tc.weights)
+			}
+		})
+	}
+}
+
+func TestFromWeightsNormalizes(t *testing.T) {
+	p, err := FromWeights([]float64{2, 6, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mass := p.Mass()
+	want := []float64{0.2, 0.6, 0.2}
+	for i := range want {
+		if !almostEqual(mass[i], want[i], 1e-12) {
+			t.Errorf("mass[%d] = %v, want %v", i, mass[i], want[i])
+		}
+	}
+	if !almostEqual(p.CDF(1), 1, 1e-12) {
+		t.Errorf("CDF(1) = %v, want 1", p.CDF(1))
+	}
+}
+
+func TestUniformDensity(t *testing.T) {
+	p := Uniform(50)
+	for _, a := range []float64{0, 0.25, 0.5, 0.999, 1} {
+		if !almostEqual(p.Density(a), 1.0, 1e-9) {
+			t.Errorf("uniform Density(%v) = %v, want 1", a, p.Density(a))
+		}
+	}
+}
+
+func TestIntervalMass(t *testing.T) {
+	p := Uniform(100)
+	tests := []struct {
+		lo, hi, want float64
+	}{
+		{0, 1, 1},
+		{0, 0.5, 0.5},
+		{0.25, 0.75, 0.5},
+		{0.5, 0.5, 0},
+		{0.7, 0.2, 0},         // inverted
+		{-1, 0.5, 0.5},        // clamped low
+		{0.5, 2, 0.5},         // clamped high
+		{0.105, 0.115, 0.01},  // sub-bucket interval spanning a boundary
+		{0.101, 0.104, 0.003}, // interval within one bucket
+	}
+	for _, tc := range tests {
+		if got := p.IntervalMass(tc.lo, tc.hi); !almostEqual(got, tc.want, 1e-9) {
+			t.Errorf("IntervalMass(%v,%v) = %v, want %v", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}
+
+func TestIntervalMassNonUniform(t *testing.T) {
+	// Buckets: [0,0.25)=0.1, [0.25,0.5)=0.4, [0.5,0.75)=0.4, [0.75,1]=0.1
+	p, err := FromWeights([]float64{1, 4, 4, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.IntervalMass(0, 0.25); !almostEqual(got, 0.1, 1e-12) {
+		t.Errorf("mass of first bucket = %v, want 0.1", got)
+	}
+	if got := p.IntervalMass(0.125, 0.375); !almostEqual(got, 0.05+0.2, 1e-12) {
+		t.Errorf("straddling mass = %v, want 0.25", got)
+	}
+	if got := p.IntervalMass(0.2, 0.8); !almostEqual(got, 0.02+0.8+0.02, 1e-12) {
+		t.Errorf("wide mass = %v, want 0.84", got)
+	}
+}
+
+func TestMassConservationProperty(t *testing.T) {
+	p := Overnet(100)
+	prop := func(rawLo, rawHi float64) bool {
+		lo := clamp01(math.Abs(math.Mod(rawLo, 1)))
+		hi := clamp01(math.Abs(math.Mod(rawHi, 1)))
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		mid := (lo + hi) / 2
+		split := p.IntervalMass(lo, mid) + p.IntervalMass(mid, hi)
+		return almostEqual(split, p.IntervalMass(lo, hi), 1e-9)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	p := Overnet(100)
+	prop := func(a, b float64) bool {
+		a = clamp01(math.Abs(math.Mod(a, 1)))
+		b = clamp01(math.Abs(math.Mod(b, 1)))
+		if a > b {
+			a, b = b, a
+		}
+		return p.CDF(a) <= p.CDF(b)+1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileInvertsCDF(t *testing.T) {
+	for _, p := range []*PDF{Uniform(100), Overnet(100)} {
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			a := p.Quantile(q)
+			if got := p.CDF(a); !almostEqual(got, q, 0.02) {
+				t.Errorf("CDF(Quantile(%v)) = %v", q, got)
+			}
+		}
+	}
+}
+
+func TestOvernetShape(t *testing.T) {
+	p := Overnet(100)
+	// The paper's motivating statistic: ~50% of hosts below 0.3.
+	if c := p.CDF(0.3); c < 0.42 || c > 0.62 {
+		t.Errorf("Overnet CDF(0.3) = %v, want ≈0.5", c)
+	}
+	// Skew: much more mass in [0,0.2] than [0.4,0.6].
+	if lo, mid := p.IntervalMass(0, 0.2), p.IntervalMass(0.4, 0.6); lo <= mid {
+		t.Errorf("Overnet not skewed: mass[0,0.2]=%v <= mass[0.4,0.6]=%v", lo, mid)
+	}
+	// A visible always-on cohort.
+	if hi := p.IntervalMass(0.9, 1.0); hi < 0.02 {
+		t.Errorf("Overnet high-availability cohort too small: %v", hi)
+	}
+}
+
+func TestBimodal(t *testing.T) {
+	p, err := Bimodal(100, 0.2, 0.9, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Density(0.2) < p.Density(0.55) {
+		t.Errorf("low mode not denser than valley")
+	}
+	if p.Density(0.9) < p.Density(0.55) {
+		t.Errorf("high mode not denser than valley")
+	}
+}
+
+func TestBimodalErrors(t *testing.T) {
+	if _, err := Bimodal(10, -0.1, 0.9, 0.5); err == nil {
+		t.Error("want error for loMode < 0")
+	}
+	if _, err := Bimodal(10, 0.1, 1.9, 0.5); err == nil {
+		t.Error("want error for hiMode > 1")
+	}
+	if _, err := Bimodal(10, 0.1, 0.9, 1.5); err == nil {
+		t.Error("want error for hiFrac > 1")
+	}
+}
+
+func TestFromSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	src := Overnet(100)
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = src.Sample(rng)
+	}
+	est, err := FromSamples(samples, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The empirical CDF should track the source closely.
+	for _, a := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		if !almostEqual(est.CDF(a), src.CDF(a), 0.03) {
+			t.Errorf("empirical CDF(%v) = %v, source %v", a, est.CDF(a), src.CDF(a))
+		}
+	}
+}
+
+func TestFromSamplesErrors(t *testing.T) {
+	if _, err := FromSamples(nil, 10); err == nil {
+		t.Error("want error for empty samples")
+	}
+}
+
+func TestFromSamplesClamps(t *testing.T) {
+	p, err := FromSamples([]float64{-5, 0.5, 7}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One sample in the bottom bucket, one mid, one top.
+	m := p.Mass()
+	if !almostEqual(m[0], 1.0/3, 1e-12) || !almostEqual(m[9], 1.0/3, 1e-12) {
+		t.Errorf("clamped masses = %v", m)
+	}
+}
+
+func TestNStarAv(t *testing.T) {
+	p := Uniform(100)
+	// Uniform: N*_a = N* * 2ε in the interior.
+	if got := p.NStarAv(0.5, 0.1, 1000); !almostEqual(got, 200, 1e-6) {
+		t.Errorf("NStarAv interior = %v, want 200", got)
+	}
+	// At the edge the window clamps to width ε.
+	if got := p.NStarAv(0, 0.1, 1000); !almostEqual(got, 100, 1e-6) {
+		t.Errorf("NStarAv at 0 = %v, want 100", got)
+	}
+}
+
+func TestNStarMinUniform(t *testing.T) {
+	p := Uniform(100)
+	// Uniform: every ε-window has mass ε.
+	if got := p.NStarMin(0.5, 0.1, 1000); !almostEqual(got, 100, 1e-6) {
+		t.Errorf("NStarMin uniform = %v, want 100", got)
+	}
+}
+
+func TestNStarMinSkewed(t *testing.T) {
+	// Density rises sharply: min window within [a-ε, a+ε] must be the
+	// lowest-density end.
+	weights := make([]float64, 100)
+	for i := range weights {
+		weights[i] = float64(i + 1)
+	}
+	p, err := FromWeights(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, eps, n := 0.5, 0.1, 1000.0
+	min := p.NStarMin(a, eps, n)
+	left := n * p.IntervalMass(a-eps, a-eps+eps)
+	right := n * p.IntervalMass(a+eps-eps, a+eps)
+	if min > left+1e-9 || min > right+1e-9 {
+		t.Errorf("NStarMin=%v exceeds a window: left=%v right=%v", min, left, right)
+	}
+	if !almostEqual(min, left, 1e-9) {
+		t.Errorf("NStarMin=%v, want left window %v for increasing density", min, left)
+	}
+}
+
+func TestNStarMinNeverExceedsAnyWindowProperty(t *testing.T) {
+	p := Overnet(100)
+	prop := func(rawA, rawV float64) bool {
+		a := clamp01(math.Abs(math.Mod(rawA, 1)))
+		const eps = 0.1
+		lo, hi := clamp01(a-eps), clamp01(a+eps)
+		if hi-lo < eps {
+			return true // degenerate handled separately
+		}
+		// Any ε-window within [lo,hi] must have at least NStarMin mass.
+		v := lo + clamp01(math.Abs(math.Mod(rawV, 1)))*(hi-eps-lo)
+		window := p.IntervalMass(v, v+eps)
+		return p.NStarMin(a, eps, 1) <= window+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNStarMinDegenerate(t *testing.T) {
+	p := Uniform(100)
+	// a=0, ε=0.1: range [0,0.1] has width exactly ε — single window.
+	if got := p.NStarMin(0, 0.1, 1000); !almostEqual(got, 100, 1e-6) {
+		t.Errorf("NStarMin(0) = %v, want 100", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Uniform(100).Mean(); !almostEqual(got, 0.5, 1e-9) {
+		t.Errorf("uniform mean = %v, want 0.5", got)
+	}
+	if got := Overnet(100).Mean(); got < 0.2 || got > 0.45 {
+		t.Errorf("Overnet mean = %v, want skewed low", got)
+	}
+}
+
+func TestSampleWithinBounds(t *testing.T) {
+	p := Overnet(100)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		s := p.Sample(rng)
+		if s < 0 || s > 1 {
+			t.Fatalf("sample out of range: %v", s)
+		}
+	}
+}
+
+func TestBucketsAndWidth(t *testing.T) {
+	p := Uniform(40)
+	if p.Buckets() != 40 {
+		t.Errorf("Buckets = %d, want 40", p.Buckets())
+	}
+	if !almostEqual(p.BucketWidth(), 0.025, 1e-12) {
+		t.Errorf("BucketWidth = %v, want 0.025", p.BucketWidth())
+	}
+}
+
+func TestDefaultBucketSelection(t *testing.T) {
+	if Uniform(0).Buckets() != DefaultBuckets {
+		t.Errorf("Uniform(0) buckets = %d, want %d", Uniform(0).Buckets(), DefaultBuckets)
+	}
+	if Overnet(-5).Buckets() != DefaultBuckets {
+		t.Errorf("Overnet(-5) buckets = %d", Overnet(-5).Buckets())
+	}
+	p, err := FromSamples([]float64{0.5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Buckets() != DefaultBuckets {
+		t.Errorf("FromSamples default buckets = %d", p.Buckets())
+	}
+}
+
+func BenchmarkIntervalMass(b *testing.B) {
+	p := Overnet(100)
+	for i := 0; i < b.N; i++ {
+		p.IntervalMass(0.2, 0.4)
+	}
+}
+
+func BenchmarkNStarMin(b *testing.B) {
+	p := Overnet(100)
+	for i := 0; i < b.N; i++ {
+		p.NStarMin(0.5, 0.1, 1442)
+	}
+}

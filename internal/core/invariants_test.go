@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"avmem/internal/avdist"
+	"avmem/internal/avmon"
+	"avmem/internal/ids"
+)
+
+// TestCushionMonotoneProperty: the accept set can only grow with the
+// cushion — for any pair and any pair of cushions c1 <= c2, acceptance
+// under c1 implies acceptance under c2.
+func TestCushionMonotoneProperty(t *testing.T) {
+	pdf := avdist.Overnet(100)
+	pred, err := PaperPredicate(0.1, 2, 2, 442, pdf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(i, j uint16, rawAvX, rawAvY, rawC1, rawC2 float64) bool {
+		x := NodeInfo{ID: ids.Synthetic(int(i)), Availability: mod1(rawAvX)}
+		y := NodeInfo{ID: ids.Synthetic(int(j) + 70000), Availability: mod1(rawAvY)}
+		c1, c2 := mod1(rawC1), mod1(rawC2)
+		if c1 > c2 {
+			c1, c2 = c2, c1
+		}
+		ok1, _ := pred.EvalNodes(x, y, c1, nil)
+		ok2, _ := pred.EvalNodes(x, y, c2, nil)
+		return !ok1 || ok2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConsistencyAcrossEvaluatorsProperty: M(x,y) is the same no matter
+// who evaluates it — with or without a shared hash cache, in any order.
+func TestConsistencyAcrossEvaluatorsProperty(t *testing.T) {
+	pdf := avdist.Overnet(100)
+	pred, err := PaperPredicate(0.1, 2, 2, 442, pdf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cacheA := ids.NewHashCache(0)
+	cacheB := ids.NewHashCache(0)
+	prop := func(i, j uint16, rawAvX, rawAvY float64) bool {
+		x := NodeInfo{ID: ids.Synthetic(int(i)), Availability: mod1(rawAvX)}
+		y := NodeInfo{ID: ids.Synthetic(int(j) + 70000), Availability: mod1(rawAvY)}
+		direct, kindD := pred.EvalNodes(x, y, 0, nil)
+		viaA, kindA := pred.EvalNodes(x, y, 0, cacheA)
+		viaB, kindB := pred.EvalNodes(x, y, 0, cacheB)
+		return direct == viaA && viaA == viaB && kindD == kindA && kindA == kindB
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRefreshIdempotent: refreshing twice with an unchanged world
+// evicts nothing the second time and leaves the lists identical.
+func TestRefreshIdempotent(t *testing.T) {
+	pdf := avdist.Overnet(100)
+	pred, err := PaperPredicate(0.1, 3, 3, 200, pdf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitor := avmon.Static{}
+	self := ids.Synthetic(0)
+	monitor[self] = 0.5
+	candidates := make([]ids.NodeID, 200)
+	for i := range candidates {
+		candidates[i] = ids.Synthetic(i + 1)
+		monitor[candidates[i]] = float64(i%100) / 100
+	}
+	m, err := NewMembership(self, Config{
+		Predicate: pred,
+		Monitor:   monitor,
+		Clock:     func() time.Duration { return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Discover(candidates)
+	if m.Size() == 0 {
+		t.Fatal("nothing discovered")
+	}
+	before := m.Neighbors(HSVS)
+	if evicted := m.Refresh(); evicted != 0 {
+		t.Errorf("first refresh evicted %d in an unchanged world", evicted)
+	}
+	if evicted := m.Refresh(); evicted != 0 {
+		t.Errorf("second refresh evicted %d", evicted)
+	}
+	after := m.Neighbors(HSVS)
+	if len(before) != len(after) {
+		t.Fatalf("refresh changed list size: %d -> %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i].ID != after[i].ID || before[i].Sliver != after[i].Sliver {
+			t.Fatalf("refresh changed entry %d: %+v -> %+v", i, before[i], after[i])
+		}
+	}
+}
+
+// TestDiscoverRefreshAgreement: every entry admitted by Discover
+// satisfies the predicate under its stored (cached) availability — the
+// membership's core invariant.
+func TestDiscoverRefreshAgreement(t *testing.T) {
+	pdf := avdist.Overnet(100)
+	pred, err := PaperPredicate(0.1, 3, 3, 200, pdf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitor := avmon.Static{}
+	self := ids.Synthetic(0)
+	monitor[self] = 0.42
+	candidates := make([]ids.NodeID, 300)
+	for i := range candidates {
+		candidates[i] = ids.Synthetic(i + 1)
+		monitor[candidates[i]] = float64((i*37)%100) / 100
+	}
+	m, err := NewMembership(self, Config{
+		Predicate: pred,
+		Monitor:   monitor,
+		Clock:     func() time.Duration { return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Discover(candidates)
+	selfInfo := m.SelfInfo()
+	for _, nb := range m.Neighbors(HSVS) {
+		ok, kind := pred.EvalNodes(selfInfo, NodeInfo{ID: nb.ID, Availability: nb.Availability}, 0, nil)
+		if !ok {
+			t.Errorf("stored neighbor %v violates predicate", nb.ID)
+		}
+		if kind != nb.Sliver {
+			t.Errorf("stored sliver %v != classified %v for %v", nb.Sliver, kind, nb.ID)
+		}
+	}
+}
+
+// TestMonitorOutageEvictsEverything: if the monitoring service loses
+// all knowledge, Refresh evicts every neighbor (fail-closed) and
+// Discover admits nothing new.
+func TestMonitorOutageEvictsEverything(t *testing.T) {
+	monitor := avmon.Static{}
+	self := ids.Synthetic(0)
+	monitor[self] = 0.5
+	y := ids.Synthetic(1)
+	monitor[y] = 0.55
+	p, err := NewPredicate(0.1, ConstantHorizontal{Fraction: 1}, UniformRandom{P: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMembership(self, Config{
+		Predicate: p,
+		Monitor:   monitor,
+		Clock:     func() time.Duration { return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Discover([]ids.NodeID{y})
+	if m.Size() != 1 {
+		t.Fatal("setup failed")
+	}
+	// Total monitor outage.
+	delete(monitor, y)
+	delete(monitor, self)
+	if evicted := m.Refresh(); evicted != 1 {
+		t.Errorf("evicted = %d, want 1", evicted)
+	}
+	if added := m.Discover([]ids.NodeID{y}); added != 0 {
+		t.Errorf("discovered %d with a dead monitor", added)
+	}
+}
+
+func mod1(v float64) float64 {
+	v = math.Abs(math.Mod(v, 1))
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"avmem/internal/avmon"
+	"avmem/internal/ids"
+)
+
+// Flavor selects which sliver lists an operation may use — the paper
+// evaluates every anycast/multicast algorithm in HS-only, VS-only, and
+// HS+VS variants.
+type Flavor int
+
+// Operation flavors.
+const (
+	HSOnly Flavor = iota + 1
+	VSOnly
+	HSVS
+)
+
+// String implements fmt.Stringer.
+func (f Flavor) String() string {
+	switch f {
+	case HSOnly:
+		return "HS-only"
+	case VSOnly:
+		return "VS-only"
+	case HSVS:
+		return "HS+VS"
+	default:
+		return fmt.Sprintf("Flavor(%d)", int(f))
+	}
+}
+
+// Neighbor is one entry of a node's AVMEM membership list, with the
+// availability value cached at the last discovery/refresh — operations
+// deliberately use these cached values rather than re-querying the
+// monitoring service per message (paper §3.2).
+type Neighbor struct {
+	ID           ids.NodeID
+	Availability float64
+	Sliver       Sliver
+	// FetchedAt records when the cached availability was obtained.
+	FetchedAt time.Duration
+}
+
+// Config wires a Membership to its dependencies.
+type Config struct {
+	// Predicate is the application-specified AVMEM predicate.
+	Predicate *Predicate
+	// Monitor answers availability queries (the black-box service).
+	Monitor avmon.Service
+	// Hashes optionally shares a memoized pair-hash cache across nodes
+	// of one simulation; nil computes hashes directly.
+	Hashes *ids.HashCache
+	// Clock supplies the current (virtual or real) time.
+	Clock func() time.Duration
+	// VerifyCushion is added to f during in-neighbor verification to
+	// tolerate stale or inconsistent availability views (paper §4.1
+	// evaluates cushion 0 and 0.1).
+	VerifyCushion float64
+}
+
+func (c Config) validate() error {
+	if c.Predicate == nil {
+		return fmt.Errorf("core: Config.Predicate is required")
+	}
+	if c.Monitor == nil {
+		return fmt.Errorf("core: Config.Monitor is required")
+	}
+	if c.Clock == nil {
+		return fmt.Errorf("core: Config.Clock is required")
+	}
+	if c.VerifyCushion < 0 || c.VerifyCushion > 1 {
+		return fmt.Errorf("core: Config.VerifyCushion must be in [0,1], got %v", c.VerifyCushion)
+	}
+	return nil
+}
+
+// Membership is one node's AVMEM state: its horizontal and vertical
+// slivers plus the cached availabilities backing them. It is driven
+// externally: the owner calls Discover once per protocol period with
+// the current coarse view, and Refresh once per refresh period.
+// Membership is not safe for concurrent use.
+type Membership struct {
+	cfg       Config
+	self      ids.NodeID
+	selfAvail float64
+	selfKnown bool
+	neighbors map[ids.NodeID]*Neighbor
+}
+
+// NewMembership creates the membership state for node self.
+func NewMembership(self ids.NodeID, cfg Config) (*Membership, error) {
+	if self.IsNil() {
+		return nil, fmt.Errorf("core: nil self id")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := &Membership{
+		cfg:       cfg,
+		self:      self,
+		neighbors: make(map[ids.NodeID]*Neighbor, 64),
+	}
+	m.RefreshSelf()
+	return m, nil
+}
+
+// Self returns this node's identifier.
+func (m *Membership) Self() ids.NodeID { return m.self }
+
+// SelfInfo returns this node's identity with its cached availability.
+func (m *Membership) SelfInfo() NodeInfo {
+	return NodeInfo{ID: m.self, Availability: m.selfAvail}
+}
+
+// Predicate exposes the configured predicate (read-only use).
+func (m *Membership) Predicate() *Predicate { return m.cfg.Predicate }
+
+// RefreshSelf re-queries the monitoring service for this node's own
+// availability. Returns the cached value.
+func (m *Membership) RefreshSelf() float64 {
+	if v, ok := m.cfg.Monitor.Availability(m.self); ok {
+		m.selfAvail = v
+		m.selfKnown = true
+	}
+	return m.selfAvail
+}
+
+// Discover runs one round of the discovery sub-protocol (paper §3.1.I):
+// it iterates the supplied coarse-view candidates, queries the
+// availability of each one not already a neighbor, evaluates the AVMEM
+// predicate, and admits those for which M(self, y) = 1. It returns the
+// number of neighbors added.
+func (m *Membership) Discover(candidates []ids.NodeID) int {
+	if !m.selfKnown {
+		m.RefreshSelf()
+	}
+	now := m.cfg.Clock()
+	added := 0
+	for _, y := range candidates {
+		if y == m.self || y.IsNil() {
+			continue
+		}
+		if _, exists := m.neighbors[y]; exists {
+			continue
+		}
+		avY, ok := m.cfg.Monitor.Availability(y)
+		if !ok {
+			continue
+		}
+		match, kind := m.cfg.Predicate.EvalNodes(
+			NodeInfo{ID: m.self, Availability: m.selfAvail},
+			NodeInfo{ID: y, Availability: avY},
+			0, m.cfg.Hashes)
+		if !match {
+			continue
+		}
+		m.neighbors[y] = &Neighbor{ID: y, Availability: avY, Sliver: kind, FetchedAt: now}
+		added++
+	}
+	return added
+}
+
+// Refresh runs one round of the refresh sub-protocol (paper §3.1.II):
+// it re-fetches the availability of every current neighbor, re-evaluates
+// the predicate, evicts entries whose M(self, y) became 0, and
+// reclassifies entries whose sliver changed. It returns the number of
+// evicted neighbors.
+func (m *Membership) Refresh() int {
+	m.RefreshSelf()
+	now := m.cfg.Clock()
+	evicted := 0
+	for id, nb := range m.neighbors {
+		avY, ok := m.cfg.Monitor.Availability(id)
+		if !ok {
+			delete(m.neighbors, id)
+			evicted++
+			continue
+		}
+		match, kind := m.cfg.Predicate.EvalNodes(
+			NodeInfo{ID: m.self, Availability: m.selfAvail},
+			NodeInfo{ID: id, Availability: avY},
+			0, m.cfg.Hashes)
+		if !match {
+			delete(m.neighbors, id)
+			evicted++
+			continue
+		}
+		nb.Availability = avY
+		nb.Sliver = kind
+		nb.FetchedAt = now
+	}
+	return evicted
+}
+
+// Contains reports whether id is currently a neighbor (either sliver).
+func (m *Membership) Contains(id ids.NodeID) bool {
+	_, ok := m.neighbors[id]
+	return ok
+}
+
+// Lookup returns the neighbor entry for id, if present.
+func (m *Membership) Lookup(id ids.NodeID) (Neighbor, bool) {
+	nb, ok := m.neighbors[id]
+	if !ok {
+		return Neighbor{}, false
+	}
+	return *nb, true
+}
+
+// Size returns the total number of neighbors (both slivers).
+func (m *Membership) Size() int { return len(m.neighbors) }
+
+// SliverSize returns the number of neighbors in one sliver.
+func (m *Membership) SliverSize(s Sliver) int {
+	n := 0
+	for _, nb := range m.neighbors {
+		if nb.Sliver == s {
+			n++
+		}
+	}
+	return n
+}
+
+// Neighbors returns the neighbor entries selected by flavor, sorted by
+// identifier for determinism. The slice is freshly allocated.
+func (m *Membership) Neighbors(f Flavor) []Neighbor {
+	out := make([]Neighbor, 0, len(m.neighbors))
+	for _, nb := range m.neighbors {
+		switch f {
+		case HSOnly:
+			if nb.Sliver != SliverHorizontal {
+				continue
+			}
+		case VSOnly:
+			if nb.Sliver != SliverVertical {
+				continue
+			}
+		case HSVS:
+			// keep all
+		default:
+			continue
+		}
+		out = append(out, *nb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// VerifyInbound is the receiving-side defense against selfish senders
+// (paper §4.1): node self, having received a message from sender,
+// checks whether it is legitimately an AVMEM neighbor of the sender —
+// that is, whether M(sender, self) holds — using self's own (possibly
+// stale) information: the monitoring service's availability for the
+// sender and self's cached own availability. The configured
+// VerifyCushion widens f to absorb benign staleness.
+//
+// It returns false when the sender's availability is unknown: an
+// unverifiable sender is rejected, never trusted.
+func (m *Membership) VerifyInbound(sender ids.NodeID) bool {
+	if sender == m.self || sender.IsNil() {
+		return false
+	}
+	avSender, ok := m.cfg.Monitor.Availability(sender)
+	if !ok {
+		return false
+	}
+	match, _ := m.cfg.Predicate.EvalNodes(
+		NodeInfo{ID: sender, Availability: avSender},
+		NodeInfo{ID: m.self, Availability: m.selfAvail},
+		m.cfg.VerifyCushion, m.cfg.Hashes)
+	return match
+}

@@ -1,0 +1,251 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"avmem/internal/core"
+	"avmem/internal/ops"
+	"avmem/internal/stats"
+)
+
+// AnycastSpec describes one anycast experiment series: a named variant
+// (policy + flavor), an initiator availability band, a target, and the
+// paper's batching (5 runs × 50 messages).
+type AnycastSpec struct {
+	Name string
+	// BandLo/BandHi bound the initiator's true availability.
+	BandLo, BandHi float64
+	Target         ops.Target
+	Opts           ops.AnycastOptions
+	Runs           int
+	PerRun         int
+	// Gap spaces successive initiations; Settle drains in-flight
+	// messages after each run.
+	Gap    time.Duration
+	Settle time.Duration
+}
+
+func (s *AnycastSpec) applyDefaults() {
+	if s.Runs == 0 {
+		s.Runs = 5
+	}
+	if s.PerRun == 0 {
+		s.PerRun = 50
+	}
+	if s.Gap == 0 {
+		s.Gap = 2 * time.Second
+	}
+	if s.Settle == 0 {
+		s.Settle = 30 * time.Second
+	}
+}
+
+// AnycastResult aggregates one series' outcomes.
+type AnycastResult struct {
+	Name                                string
+	Sent                                int
+	Delivered, TTLExpired, RetryExpired int
+	// Pending counts messages lost without a terminal verdict (plain
+	// greedy forwarding to an offline node loses the message silently).
+	Pending int
+	// HopsHist[h] counts deliveries that took exactly h hops.
+	HopsHist []int
+	// Latencies holds delivery latencies.
+	Latencies []time.Duration
+}
+
+// FractionDelivered returns Delivered/Sent (0 when nothing was sent).
+func (r AnycastResult) FractionDelivered() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Delivered) / float64(r.Sent)
+}
+
+// FractionTTLExpired returns TTLExpired/Sent.
+func (r AnycastResult) FractionTTLExpired() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.TTLExpired) / float64(r.Sent)
+}
+
+// FractionRetryExpired returns (RetryExpired+Pending)/Sent: both are
+// "dropped inside the overlay" verdicts.
+func (r AnycastResult) FractionRetryExpired() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.RetryExpired+r.Pending) / float64(r.Sent)
+}
+
+// MeanLatency returns the average delivery latency.
+func (r AnycastResult) MeanLatency() time.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range r.Latencies {
+		sum += l
+	}
+	return sum / time.Duration(len(r.Latencies))
+}
+
+// HopsCDF returns, for each hop count 0..TTL, the fraction of delivered
+// anycasts that travelled at most that many hops (Figure 7's y-axis).
+func (r AnycastResult) HopsCDF() []float64 {
+	out := make([]float64, len(r.HopsHist))
+	if r.Delivered == 0 {
+		return out
+	}
+	cum := 0
+	for h, n := range r.HopsHist {
+		cum += n
+		out[h] = float64(cum) / float64(r.Delivered)
+	}
+	return out
+}
+
+// RunAnycasts executes one anycast series on the world and aggregates
+// its outcomes.
+func RunAnycasts(w *World, spec AnycastSpec) (AnycastResult, error) {
+	spec.applyDefaults()
+	if err := spec.Target.Validate(); err != nil {
+		return AnycastResult{}, err
+	}
+	res := AnycastResult{Name: spec.Name, HopsHist: make([]int, spec.Opts.TTL+1)}
+	sent := make([]ops.MsgID, 0, spec.Runs*spec.PerRun)
+	for run := 0; run < spec.Runs; run++ {
+		for i := 0; i < spec.PerRun; i++ {
+			initiator, ok := w.PickInitiator(spec.BandLo, spec.BandHi)
+			if !ok {
+				continue
+			}
+			id, err := w.Router(initiator).Anycast(spec.Target, spec.Opts)
+			if err != nil {
+				return AnycastResult{}, fmt.Errorf("exp: initiating anycast: %w", err)
+			}
+			sent = append(sent, id)
+			w.RunFor(spec.Gap)
+		}
+		w.RunFor(spec.Settle)
+	}
+	for _, id := range sent {
+		rec, ok := w.Col.Anycast(id)
+		if !ok {
+			continue
+		}
+		res.Sent++
+		switch rec.Outcome {
+		case ops.OutcomeDelivered:
+			res.Delivered++
+			if rec.Hops < len(res.HopsHist) {
+				res.HopsHist[rec.Hops]++
+			}
+			res.Latencies = append(res.Latencies, rec.Latency)
+		case ops.OutcomeTTLExpired:
+			res.TTLExpired++
+		case ops.OutcomeRetryExpired:
+			res.RetryExpired++
+		default:
+			res.Pending++
+		}
+	}
+	return res, nil
+}
+
+// Fig7Variants returns the four variants plotted in Figure 7: greedy
+// forwarding over VS-only, HS+VS, and HS-only, plus simulated annealing
+// over HS+VS. TTL 6 everywhere.
+func Fig7Variants() []AnycastSpec {
+	target := ops.Target{Lo: 0.85, Hi: 0.95}
+	mk := func(name string, policy ops.Policy, flavor core.Flavor) AnycastSpec {
+		return AnycastSpec{
+			Name:   name,
+			BandLo: 1.0 / 3.0, BandHi: 2.0 / 3.0, // MID initiators
+			Target: target,
+			Opts:   ops.AnycastOptions{Policy: policy, Flavor: flavor, TTL: 6},
+		}
+	}
+	return []AnycastSpec{
+		mk("VS-only", ops.Greedy, core.VSOnly),
+		mk("HS+VS", ops.Greedy, core.HSVS),
+		mk("HS-only", ops.Greedy, core.HSOnly),
+		mk("sim-annealing", ops.Annealing, core.HSVS),
+	}
+}
+
+// Fig8Variants returns the 4 variants × 3 targets of Figure 8: range
+// anycasts from HIGH initiators into progressively harsher (lower)
+// availability ranges.
+func Fig8Variants() []AnycastSpec {
+	targets := []ops.Target{
+		{Lo: 0.85, Hi: 0.95},
+		{Lo: 0.44, Hi: 0.54},
+		{Lo: 0.15, Hi: 0.25},
+	}
+	variants := []struct {
+		name   string
+		policy ops.Policy
+		flavor core.Flavor
+	}{
+		{"sim-annealing", ops.Annealing, core.HSVS},
+		{"HS+VS", ops.Greedy, core.HSVS},
+		{"VS-only", ops.Greedy, core.VSOnly},
+		{"HS-only", ops.Greedy, core.HSOnly},
+	}
+	specs := make([]AnycastSpec, 0, len(targets)*len(variants))
+	for _, tgt := range targets {
+		for _, v := range variants {
+			specs = append(specs, AnycastSpec{
+				Name:   fmt.Sprintf("%s→%s", v.name, tgt),
+				BandLo: 2.0 / 3.0, BandHi: 1.01, // HIGH initiators
+				Target: tgt,
+				Opts:   ops.AnycastOptions{Policy: v.policy, Flavor: v.flavor, TTL: 6},
+			})
+		}
+	}
+	return specs
+}
+
+// Fig9Specs returns the retried-greedy series of Figure 9: HIGH
+// initiators to the harsh [0.15, 0.25] target, retry budgets
+// {2,4,8,16}. The same specs over a random-overlay world regenerate
+// Figure 10.
+func Fig9Specs() []AnycastSpec {
+	specs := make([]AnycastSpec, 0, 4)
+	for _, retry := range []int{2, 4, 8, 16} {
+		specs = append(specs, AnycastSpec{
+			Name:   fmt.Sprintf("retry=%d", retry),
+			BandLo: 2.0 / 3.0, BandHi: 1.01,
+			Target: ops.Target{Lo: 0.15, Hi: 0.25},
+			Opts: ops.AnycastOptions{
+				Policy: ops.RetriedGreedy,
+				Flavor: core.HSVS,
+				TTL:    6,
+				Retry:  retry,
+			},
+			Gap: 4 * time.Second, // retried attempts take longer
+		})
+	}
+	return specs
+}
+
+// AnycastTable formats results as one row per series.
+func AnycastTable(results []AnycastResult) string {
+	series := []stats.Series{
+		{Name: "delivered"},
+		{Name: "ttl-expired"},
+		{Name: "retry-expired"},
+		{Name: "avg-latency-ms"},
+	}
+	for i, r := range results {
+		x := float64(i)
+		series[0].Points = append(series[0].Points, stats.ScatterPoint{X: x, Y: r.FractionDelivered()})
+		series[1].Points = append(series[1].Points, stats.ScatterPoint{X: x, Y: r.FractionTTLExpired()})
+		series[2].Points = append(series[2].Points, stats.ScatterPoint{X: x, Y: r.FractionRetryExpired()})
+		series[3].Points = append(series[3].Points, stats.ScatterPoint{X: x, Y: float64(r.MeanLatency().Milliseconds())})
+	}
+	return stats.Table("series#", series...)
+}

@@ -1,0 +1,541 @@
+package exp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"avmem/internal/core"
+	"avmem/internal/ops"
+	"avmem/internal/stats"
+	"avmem/internal/trace"
+)
+
+// smallWorld builds a scaled-down deployment that keeps tests fast:
+// 220 hosts over ~2 days, 2-minute protocol period, 6-hour warmup.
+func smallWorld(t testing.TB, seed int64) *World {
+	t.Helper()
+	return worldOf(t, seed, 220, 6*time.Hour)
+}
+
+// mediumWorld (600 hosts, 10-hour warmup) is big enough for the
+// log(N*)/N* threshold regime that Figures 3 and 5 depend on;
+// predicates saturate in tiny worlds and hide those shapes.
+func mediumWorld(t testing.TB, seed int64) *World {
+	t.Helper()
+	return worldOf(t, seed, 600, 10*time.Hour)
+}
+
+func worldOf(t testing.TB, seed int64, hosts int, warmup time.Duration) *World {
+	t.Helper()
+	gen := trace.DefaultGenConfig(seed)
+	gen.Hosts = hosts
+	gen.Epochs = 150
+	tr, err := trace.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(WorldConfig{
+		Seed:           seed,
+		Trace:          tr,
+		ProtocolPeriod: 2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Warmup(warmup)
+	return w
+}
+
+func TestNewWorldDefaults(t *testing.T) {
+	w := smallWorld(t, 1)
+	if w.Cfg.Epsilon != 0.1 || w.Cfg.C1 != 3 || w.Cfg.C2 != 3 {
+		t.Errorf("defaults wrong: %+v", w.Cfg)
+	}
+	if w.Cfg.ViewSize != int(math.Round(math.Sqrt(220))) {
+		t.Errorf("view size = %d, want √220", w.Cfg.ViewSize)
+	}
+	if w.NStar <= 0 || w.NStar > 220 {
+		t.Errorf("NStar = %v", w.NStar)
+	}
+}
+
+func TestWarmupBuildsSlivers(t *testing.T) {
+	w := smallWorld(t, 1)
+	online := w.OnlineHosts()
+	if len(online) < 20 {
+		t.Fatalf("only %d nodes online after warmup", len(online))
+	}
+	withNeighbors, totalHS, totalVS := 0, 0, 0
+	for _, id := range online {
+		m := w.Membership(id)
+		if m.Size() > 0 {
+			withNeighbors++
+		}
+		totalHS += m.SliverSize(core.SliverHorizontal)
+		totalVS += m.SliverSize(core.SliverVertical)
+	}
+	if frac := float64(withNeighbors) / float64(len(online)); frac < 0.9 {
+		t.Errorf("only %.0f%% of online nodes have neighbors", frac*100)
+	}
+	if totalHS == 0 || totalVS == 0 {
+		t.Errorf("slivers empty: HS=%d VS=%d", totalHS, totalVS)
+	}
+	// Scalability: mean degree should be modest (O(log N) + band size),
+	// not O(N).
+	mean := w.MeanDegree()
+	if mean <= 1 || mean > 120 {
+		t.Errorf("mean degree = %v, implausible", mean)
+	}
+}
+
+func TestSnapshotOverlayShape(t *testing.T) {
+	w := smallWorld(t, 2)
+	snap := SnapshotOverlay(w)
+	if snap.OnlineCount == 0 {
+		t.Fatal("no online nodes in snapshot")
+	}
+	if len(snap.AvailHistogram) != 20 || len(snap.HSMedian) != 10 || len(snap.VSMedian) != 10 {
+		t.Fatalf("series dimensions wrong")
+	}
+	total := 0
+	for _, c := range snap.AvailHistogram {
+		total += c
+	}
+	if total != snap.OnlineCount {
+		t.Errorf("histogram total %d != online %d", total, snap.OnlineCount)
+	}
+	if len(snap.HS) != snap.OnlineCount || len(snap.VS) != snap.OnlineCount {
+		t.Errorf("scatter sizes wrong: %d/%d vs %d", len(snap.HS), len(snap.VS), snap.OnlineCount)
+	}
+}
+
+// TestVSUniformityFig4 checks Figure 4's claim on the small world: the
+// vertical-sliver in-degree per availability bucket is roughly uniform
+// and uncorrelated with the (skewed) population.
+func TestVSUniformityFig4(t *testing.T) {
+	w := smallWorld(t, 3)
+	deg := ScanVSInDegree(w)
+	// Compare non-empty buckets: max/min ratio of incoming VS links
+	// should be far smaller than the population skew ratio.
+	var minLinks, maxLinks float64 = math.Inf(1), 0
+	for b := 1; b < 9; b++ { // interior buckets; edges are noisy
+		if deg.Population[b] < 3 {
+			continue
+		}
+		perNode := deg.PerBucket[b] / float64(deg.Population[b])
+		if perNode < minLinks {
+			minLinks = perNode
+		}
+		if perNode > maxLinks {
+			maxLinks = perNode
+		}
+	}
+	if math.IsInf(minLinks, 1) || minLinks <= 0 {
+		t.Skip("not enough populated buckets for uniformity check")
+	}
+	// Per-node incoming VS references should not vary wildly. Uniform
+	// coverage (Theorem 1) predicts equal *totals* per range; per-node
+	// values in sparse buckets are noisy, so allow a generous factor.
+	if ratio := maxLinks / minLinks; ratio > 25 {
+		t.Errorf("VS in-degree ratio across buckets = %v, want small", ratio)
+	}
+	// And the *total* per bucket must not simply track population.
+	if deg.PerBucket[0] == 0 && deg.PerBucket[9] == 0 {
+		t.Error("no VS links at either end of the availability space")
+	}
+}
+
+func TestHorizontalScalingFig3(t *testing.T) {
+	w := mediumWorld(t, 4)
+	hs := ScanHorizontalScaling(w)
+	if len(hs.Points) == 0 {
+		t.Fatal("no scaling points")
+	}
+	ratio := hs.SublinearityRatio()
+	if ratio == 0 {
+		t.Skip("degenerate quartiles")
+	}
+	if ratio >= 1.0 {
+		t.Errorf("HS growth not sublinear: quartile ratio = %v", ratio)
+	}
+}
+
+func TestFloodingAttackFig5(t *testing.T) {
+	// Predicate thresholds scale as log(N*)/N*, so the paper's <10%
+	// acceptance is an N*≈442 property; the 220-host test world (N*≈75)
+	// legitimately sits a few times higher. The full-scale number is
+	// verified by the harness (EXPERIMENTS.md). Here we check the
+	// structural claims: the cushion can only widen acceptance, the
+	// level tracks the analytic expectation, and resilience is uniform
+	// across the selfish node's availability.
+	w := mediumWorld(t, 5)
+	res0 := FloodingAttack(w, 0)
+	res1 := FloodingAttack(w, 0.1)
+	if res0.Overall > res1.Overall {
+		t.Errorf("cushion narrowed acceptance: %v (cushion 0) > %v (cushion 0.1)", res0.Overall, res1.Overall)
+	}
+	if res0.Overall > 0.20 {
+		t.Errorf("flooding acceptance without cushion = %v, implausibly high", res0.Overall)
+	}
+	// The cushion adds at most 0.1 to every threshold, so the overall
+	// acceptance can grow by at most ~0.1.
+	if res1.Overall-res0.Overall > 0.12 {
+		t.Errorf("cushion inflated acceptance by %v, more than the cushion itself",
+			res1.Overall-res0.Overall)
+	}
+	// Uniform attack resilience: no availability bucket of the selfish
+	// sender should be wildly more permissive than another.
+	var min, max float64 = math.Inf(1), 0
+	for _, v := range res0.PerBucket {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if !math.IsInf(min, 1) && max-min > 0.35 {
+		t.Errorf("attack acceptance varies too much across sender availability: [%v, %v]", min, max)
+	}
+}
+
+func TestLegitimateRejectionFig6(t *testing.T) {
+	// Noise and staleness in the monitor drive legitimate rejections;
+	// the cushion absorbs them.
+	gen := trace.DefaultGenConfig(6)
+	gen.Hosts = 220
+	gen.Epochs = 150
+	tr, err := trace.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(WorldConfig{
+		Seed:             6,
+		Trace:            tr,
+		ProtocolPeriod:   2 * time.Minute,
+		MonitorErr:       0.05,
+		MonitorStaleness: 20 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Warmup(6 * time.Hour)
+	res0 := LegitimateRejection(w, 0)
+	res1 := LegitimateRejection(w, 0.1)
+	if res1.Overall > res0.Overall {
+		t.Errorf("cushion increased rejections: %v -> %v", res0.Overall, res1.Overall)
+	}
+	if res0.Overall > 0.5 {
+		t.Errorf("rejection rate without cushion = %v, implausibly high", res0.Overall)
+	}
+}
+
+func TestRunAnycastsDelivers(t *testing.T) {
+	w := smallWorld(t, 7)
+	spec := AnycastSpec{
+		Name:   "test",
+		BandLo: 1.0 / 3.0, BandHi: 2.0 / 3.0,
+		Target: ops.Target{Lo: 0.85, Hi: 0.95},
+		Opts:   ops.AnycastOptions{Policy: ops.Greedy, Flavor: core.HSVS, TTL: 6},
+		Runs:   1, PerRun: 20,
+	}
+	// Make sure the target is populated in this small world.
+	if w.EligibleFor(spec.Target) == 0 {
+		spec.Target = ops.Target{Lo: 0.7, Hi: 1.0}
+	}
+	res, err := RunAnycasts(w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 {
+		t.Skip("no initiators in band")
+	}
+	if res.FractionDelivered() < 0.6 {
+		t.Errorf("delivered %v of %d anycasts, want most", res.FractionDelivered(), res.Sent)
+	}
+	cdf := res.HopsCDF()
+	if len(cdf) != 7 {
+		t.Fatalf("hops CDF length = %d", len(cdf))
+	}
+	if res.Delivered > 0 && cdf[6] < 0.999 {
+		t.Errorf("hops CDF does not reach 1: %v", cdf)
+	}
+	if res.Delivered > 0 && res.MeanLatency() <= 0 {
+		t.Error("mean latency not recorded")
+	}
+}
+
+func TestRunAnycastsRetriedGreedyHarsh(t *testing.T) {
+	w := smallWorld(t, 8)
+	spec := AnycastSpec{
+		Name:   "harsh",
+		BandLo: 2.0 / 3.0, BandHi: 1.01,
+		Target: ops.Target{Lo: 0.15, Hi: 0.25},
+		Opts:   ops.AnycastOptions{Policy: ops.RetriedGreedy, Flavor: core.HSVS, TTL: 6, Retry: 8},
+		Runs:   1, PerRun: 15,
+		Gap: 4 * time.Second,
+	}
+	res, err := RunAnycasts(w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 {
+		t.Skip("no HIGH initiators online")
+	}
+	// Every message must have a terminal verdict with retried greedy
+	// (acknowledgments make losses detectable).
+	if res.Pending != 0 {
+		t.Errorf("retried greedy left %d pending", res.Pending)
+	}
+	total := res.Delivered + res.TTLExpired + res.RetryExpired
+	if total != res.Sent {
+		t.Errorf("outcomes %d != sent %d", total, res.Sent)
+	}
+}
+
+func TestRunMulticastsFloodAndGossip(t *testing.T) {
+	w := smallWorld(t, 9)
+	target := ops.Target{Lo: 0.6, Hi: 1.0}
+	if w.EligibleFor(target) < 5 {
+		t.Skip("target band too sparse in small world")
+	}
+	flood := MulticastSpec{
+		Name:   "flood",
+		BandLo: 0, BandHi: 1.01,
+		Target: target,
+		Mode:   ops.Flood, Flavor: core.HSVS,
+		Runs: 1, PerRun: 10,
+	}
+	fres, err := RunMulticasts(w, flood)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fres.Sent == 0 {
+		t.Skip("no initiators")
+	}
+	if fres.MeanReliability() < 0.5 {
+		t.Errorf("flood reliability = %v, want high", fres.MeanReliability())
+	}
+	gossip := MulticastSpec{
+		Name:   "gossip",
+		BandLo: 0, BandHi: 1.01,
+		Target: target,
+		Mode:   ops.Gossip, Flavor: core.HSVS,
+		Fanout: 5, Rounds: 2, Period: time.Second,
+		Runs: 1, PerRun: 10,
+	}
+	gres, err := RunMulticasts(w, gossip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gres.Sent == 0 {
+		t.Skip("no initiators")
+	}
+	// Gossip trades reliability for bandwidth; it should still reach a
+	// decent fraction but typically no more than flooding.
+	if gres.MeanReliability() < 0.2 {
+		t.Errorf("gossip reliability = %v, too low", gres.MeanReliability())
+	}
+	if fres.MeanSpamRatio() > 0.5 {
+		t.Errorf("flood spam ratio = %v, too high", fres.MeanSpamRatio())
+	}
+}
+
+func TestNewRandomWorldMatchesDegree(t *testing.T) {
+	gen := trace.DefaultGenConfig(10)
+	gen.Hosts = 220
+	gen.Epochs = 150
+	tr, err := trace.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewRandomWorld(WorldConfig{
+		Seed:           10,
+		Trace:          tr,
+		ProtocolPeriod: 2 * time.Minute,
+	}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Warmup(6 * time.Hour)
+	mean := w.MeanDegree()
+	if mean <= 2 {
+		t.Errorf("random overlay mean degree = %v, too sparse", mean)
+	}
+	// Under the uniform predicate, HS/VS classification still happens
+	// but acceptance is availability-independent: degree must not
+	// correlate strongly with availability. Compare low vs high halves.
+	var lo, hi, nLo, nHi float64
+	for _, id := range w.OnlineHosts() {
+		av := w.TrueAvailability(id)
+		d := float64(w.Membership(id).Size())
+		if av < 0.5 {
+			lo += d
+			nLo++
+		} else {
+			hi += d
+			nHi++
+		}
+	}
+	if nLo > 5 && nHi > 5 {
+		ratio := (hi / nHi) / (lo / nLo)
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("random overlay degree correlates with availability: ratio %v", ratio)
+		}
+	}
+}
+
+func TestAnycastTableFormats(t *testing.T) {
+	res := []AnycastResult{{Name: "a", Sent: 10, Delivered: 5}}
+	out := AnycastTable(res)
+	if out == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestFigSpecGenerators(t *testing.T) {
+	if got := len(Fig7Variants()); got != 4 {
+		t.Errorf("Fig7Variants = %d, want 4", got)
+	}
+	if got := len(Fig8Variants()); got != 12 {
+		t.Errorf("Fig8Variants = %d, want 12", got)
+	}
+	if got := len(Fig9Specs()); got != 4 {
+		t.Errorf("Fig9Specs = %d, want 4", got)
+	}
+	if got := len(Fig11Specs()); got != 5 {
+		t.Errorf("Fig11Specs = %d, want 5", got)
+	}
+	for _, s := range Fig8Variants() {
+		if err := s.Target.Validate(); err != nil {
+			t.Errorf("spec %q has invalid target: %v", s.Name, err)
+		}
+	}
+}
+
+func TestDistributedMonitorWorld(t *testing.T) {
+	// End-to-end with the AVMON-style distributed monitor instead of
+	// the oracle: estimates are ping-derived, so slivers form a little
+	// later but operations still work.
+	gen := trace.DefaultGenConfig(14)
+	gen.Hosts = 220
+	gen.Epochs = 150
+	tr, err := trace.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(WorldConfig{
+		Seed:               14,
+		Trace:              tr,
+		ProtocolPeriod:     2 * time.Minute,
+		DistributedMonitor: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Warmup(8 * time.Hour)
+
+	// The distributed estimates should track ground truth reasonably.
+	var totalErr float64
+	checked := 0
+	for _, id := range w.OnlineHosts() {
+		est, ok := w.Monitor.Availability(id)
+		if !ok {
+			continue
+		}
+		truth := w.TrueAvailability(id)
+		totalErr += math.Abs(est - truth)
+		checked++
+	}
+	if checked < 20 {
+		t.Fatalf("only %d online nodes have estimates", checked)
+	}
+	if meanErr := totalErr / float64(checked); meanErr > 0.12 {
+		t.Errorf("mean estimate error = %v, want small", meanErr)
+	}
+
+	// Slivers form and anycasts deliver on ping-derived estimates.
+	if w.MeanDegree() < 2 {
+		t.Errorf("mean degree = %v; overlay failed to form on distributed estimates", w.MeanDegree())
+	}
+	target := ops.Target{Lo: 0.6, Hi: 1.0}
+	if w.EligibleFor(target) == 0 {
+		t.Skip("target empty")
+	}
+	res, err := RunAnycasts(w, AnycastSpec{
+		Name:   "dist-monitor",
+		BandLo: 0, BandHi: 1.01,
+		Target: target,
+		Opts:   ops.AnycastOptions{Policy: ops.Greedy, Flavor: core.HSVS, TTL: 6},
+		Runs:   1, PerRun: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent > 0 && res.FractionDelivered() < 0.5 {
+		t.Errorf("delivered %v on distributed monitor, want most", res.FractionDelivered())
+	}
+}
+
+func TestMulticastMessageAccounting(t *testing.T) {
+	// Gossip must put fewer messages on the wire than flooding for the
+	// same workload — the bandwidth half of the paper's trade-off.
+	w := smallWorld(t, 15)
+	target := ops.Target{Lo: 0.5, Hi: 1.0}
+	if w.EligibleFor(target) < 5 {
+		t.Skip("target too sparse")
+	}
+	mk := func(mode ops.Mode) MulticastSpec {
+		return MulticastSpec{
+			Name:   mode.String(),
+			BandLo: 0, BandHi: 1.01,
+			Target: target,
+			Mode:   mode, Flavor: core.HSVS,
+			Fanout: 3, Rounds: 2, Period: time.Second,
+			Runs: 1, PerRun: 10,
+		}
+	}
+	flood, err := RunMulticasts(w, mk(ops.Flood))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gossip, err := RunMulticasts(w, mk(ops.Gossip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flood.NetworkMessages == 0 || gossip.NetworkMessages == 0 {
+		t.Fatalf("message accounting empty: flood=%d gossip=%d",
+			flood.NetworkMessages, gossip.NetworkMessages)
+	}
+	if gossip.NetworkMessages >= flood.NetworkMessages {
+		t.Errorf("gossip used %d messages, flood %d — gossip should be cheaper",
+			gossip.NetworkMessages, flood.NetworkMessages)
+	}
+}
+
+// TestFig2cCorrelationBounded quantifies Figure 2(c)'s claim with a
+// Pearson coefficient. A short-warmup world shows a mild positive
+// correlation between VS size and availability — the discovery-rate
+// effect documented in EXPERIMENTS.md (nodes discover in proportion to
+// their own uptime) — but it must stay far from proportionality, and
+// the predicate itself (Fig 4's uniform in-degree) must not amplify it.
+func TestFig2cCorrelationBounded(t *testing.T) {
+	w := mediumWorld(t, 16)
+	snap := SnapshotOverlay(w)
+	mid := make([]stats.ScatterPoint, 0, len(snap.VS))
+	for _, p := range snap.VS {
+		if p.X >= 0.3 && p.X <= 0.9 {
+			mid = append(mid, p)
+		}
+	}
+	if len(mid) < 30 {
+		t.Skip("too few mid-range nodes")
+	}
+	if r := stats.Correlation(mid); r > 0.8 || r < -0.3 {
+		t.Errorf("VS size vs availability correlation out of expected band: r = %v", r)
+	}
+}

@@ -1,0 +1,202 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"avmem/internal/core"
+	"avmem/internal/ops"
+)
+
+// MulticastSpec describes one multicast experiment series.
+type MulticastSpec struct {
+	Name string
+	// BandLo/BandHi bound the initiator's true availability.
+	BandLo, BandHi float64
+	Target         ops.Target
+	Mode           ops.Mode
+	Flavor         core.Flavor
+	// Fanout/Rounds/Period parameterize gossip (paper: 5 / 2 / 1s).
+	Fanout int
+	Rounds int
+	Period time.Duration
+	Runs   int
+	PerRun int
+	Gap    time.Duration
+	Settle time.Duration
+}
+
+func (s *MulticastSpec) applyDefaults() {
+	if s.Runs == 0 {
+		s.Runs = 5
+	}
+	if s.PerRun == 0 {
+		s.PerRun = 50
+	}
+	if s.Gap == 0 {
+		s.Gap = 5 * time.Second
+	}
+	if s.Settle == 0 {
+		s.Settle = 30 * time.Second
+	}
+	if s.Mode == ops.Gossip {
+		if s.Fanout == 0 {
+			s.Fanout = 5
+		}
+		if s.Rounds == 0 {
+			s.Rounds = 2
+		}
+		if s.Period == 0 {
+			s.Period = time.Second
+		}
+	}
+}
+
+// MulticastResult aggregates one series' outcomes; the three slices are
+// the raw materials of the Figure 11/12/13 CDFs.
+type MulticastResult struct {
+	Name    string
+	Sent    int
+	Entered int
+	// NetworkMessages counts every message the series put on the wire
+	// (dissemination, acks excluded) — the bandwidth side of the
+	// flood-vs-gossip trade-off. It includes concurrent maintenance
+	// traffic, which is negligible against dissemination volume.
+	NetworkMessages int
+	// WorstLatencies holds the last-delivery latency of each multicast
+	// that delivered at least once (Figure 11).
+	WorstLatencies []time.Duration
+	// SpamRatios holds spam/eligible per multicast (Figure 12).
+	SpamRatios []float64
+	// Reliabilities holds delivered/eligible per multicast (Figure 13).
+	Reliabilities []float64
+}
+
+// MeanReliability averages the per-multicast reliabilities.
+func (r MulticastResult) MeanReliability() float64 {
+	if len(r.Reliabilities) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range r.Reliabilities {
+		sum += v
+	}
+	return sum / float64(len(r.Reliabilities))
+}
+
+// MeanSpamRatio averages the per-multicast spam ratios.
+func (r MulticastResult) MeanSpamRatio() float64 {
+	if len(r.SpamRatios) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range r.SpamRatios {
+		sum += v
+	}
+	return sum / float64(len(r.SpamRatios))
+}
+
+// MaxWorstLatency returns the largest last-delivery latency observed.
+func (r MulticastResult) MaxWorstLatency() time.Duration {
+	var max time.Duration
+	for _, l := range r.WorstLatencies {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// RunMulticasts executes one multicast series on the world.
+func RunMulticasts(w *World, spec MulticastSpec) (MulticastResult, error) {
+	spec.applyDefaults()
+	if err := spec.Target.Validate(); err != nil {
+		return MulticastResult{}, err
+	}
+	res := MulticastResult{Name: spec.Name}
+	sent := make([]ops.MsgID, 0, spec.Runs*spec.PerRun)
+	netBefore := w.Net.Stats().Sent
+	for run := 0; run < spec.Runs; run++ {
+		for i := 0; i < spec.PerRun; i++ {
+			initiator, ok := w.PickInitiator(spec.BandLo, spec.BandHi)
+			if !ok {
+				continue
+			}
+			opts := ops.MulticastOptions{
+				Anycast:  ops.DefaultAnycastOptions(),
+				Mode:     spec.Mode,
+				Flavor:   spec.Flavor,
+				Fanout:   spec.Fanout,
+				Rounds:   spec.Rounds,
+				Period:   spec.Period,
+				Eligible: w.EligibleFor(spec.Target),
+			}
+			id, err := w.Router(initiator).Multicast(spec.Target, opts)
+			if err != nil {
+				return MulticastResult{}, fmt.Errorf("exp: initiating multicast: %w", err)
+			}
+			sent = append(sent, id)
+			w.RunFor(spec.Gap)
+		}
+		w.RunFor(spec.Settle)
+	}
+	res.NetworkMessages = w.Net.Stats().Sent - netBefore
+	for _, id := range sent {
+		rec, ok := w.Col.Multicast(id)
+		if !ok {
+			continue
+		}
+		res.Sent++
+		if rec.EnteredRange {
+			res.Entered++
+		}
+		res.Reliabilities = append(res.Reliabilities, rec.Reliability())
+		res.SpamRatios = append(res.SpamRatios, rec.SpamRatio())
+		if len(rec.Delivered) > 0 {
+			res.WorstLatencies = append(res.WorstLatencies, rec.WorstLatency())
+		}
+	}
+	return res, nil
+}
+
+// Fig11Specs returns the five scenarios plotted in Figures 11–13:
+// flooding for HIGH→[0.85,0.95], HIGH→(av>0.90), LOW→(av>0.20), and
+// gossip (fanout 5, Ng 2, period 1 s) for the two threshold scenarios.
+func Fig11Specs() []MulticastSpec {
+	high := [2]float64{2.0 / 3.0, 1.01}
+	low := [2]float64{0, 1.0 / 3.0}
+	return []MulticastSpec{
+		{
+			Name:   "flood HIGH→[0.85,0.95]",
+			BandLo: high[0], BandHi: high[1],
+			Target: ops.Target{Lo: 0.85, Hi: 0.95},
+			Mode:   ops.Flood, Flavor: core.HSVS,
+		},
+		{
+			Name:   "flood HIGH→av>0.90",
+			BandLo: high[0], BandHi: high[1],
+			Target: ops.Target{Lo: 0.90, Hi: 1},
+			Mode:   ops.Flood, Flavor: core.HSVS,
+		},
+		{
+			Name:   "flood LOW→av>0.20",
+			BandLo: low[0], BandHi: low[1],
+			Target: ops.Target{Lo: 0.20, Hi: 1},
+			Mode:   ops.Flood, Flavor: core.HSVS,
+		},
+		{
+			Name:   "gossip HIGH→av>0.90",
+			BandLo: high[0], BandHi: high[1],
+			Target: ops.Target{Lo: 0.90, Hi: 1},
+			Mode:   ops.Gossip, Flavor: core.HSVS,
+			Fanout: 5, Rounds: 2, Period: time.Second,
+		},
+		{
+			Name:   "gossip LOW→av>0.20",
+			BandLo: low[0], BandHi: low[1],
+			Target: ops.Target{Lo: 0.20, Hi: 1},
+			Mode:   ops.Gossip, Flavor: core.HSVS,
+			Fanout: 5, Rounds: 2, Period: time.Second,
+		},
+	}
+}

@@ -1,0 +1,425 @@
+// Package node is the live AVMEM runtime: a real-time agent that
+// maintains its slivers with wall-clock timers and executes management
+// operations over a transport. The same core and ops packages that the
+// simulator exercises run here unchanged — Node supplies the Env
+// (real time, real goroutines) instead of the simulator.
+package node
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"avmem/internal/avmon"
+	"avmem/internal/core"
+	"avmem/internal/ids"
+	"avmem/internal/ops"
+	"avmem/internal/shuffle"
+	"avmem/internal/transport"
+)
+
+// PeerSource supplies coarse-view candidates for discovery — the live
+// counterpart of the shuffling membership service. Implementations may
+// be a static seed list, a shared in-process shuffler, or a client of
+// an external membership service.
+type PeerSource interface {
+	// Peers returns current coarse-view candidates for self.
+	Peers(self ids.NodeID) []ids.NodeID
+}
+
+// PeerFunc adapts a function to PeerSource.
+type PeerFunc func(self ids.NodeID) []ids.NodeID
+
+// Peers implements PeerSource.
+func (f PeerFunc) Peers(self ids.NodeID) []ids.NodeID { return f(self) }
+
+// Config assembles a live node.
+type Config struct {
+	// Self is this node's identity; for the TCP transport it must be
+	// the host:port to listen on.
+	Self ids.NodeID
+	// Predicate is the AVMEM predicate shared by the deployment.
+	Predicate *core.Predicate
+	// Monitor answers availability queries.
+	Monitor avmon.Service
+	// Peers supplies discovery candidates. Exactly one of Peers and
+	// Seeds must be set.
+	Peers PeerSource
+	// Seeds bootstraps the node's built-in shuffling coarse view (the
+	// live CYCLON agent): give a few known peers and the view fills
+	// itself through periodic exchanges. Use instead of Peers when no
+	// external membership service exists.
+	Seeds []ids.NodeID
+	// ViewSize bounds the built-in coarse view (default 16; only used
+	// with Seeds).
+	ViewSize int
+	// ShuffleLen is the per-exchange entry count (default ViewSize/4,
+	// min 3; only used with Seeds).
+	ShuffleLen int
+	// Transport moves operation messages.
+	Transport transport.Transport
+	// ProtocolPeriod is the discovery period (default 1 min).
+	ProtocolPeriod time.Duration
+	// RefreshPeriod is the refresh period (default 20 min).
+	RefreshPeriod time.Duration
+	// VerifyInbound enables the in-neighbor check on received messages.
+	VerifyInbound bool
+	// Cushion is the verification cushion.
+	Cushion float64
+	// Seed seeds the node's private randomness (annealing); 0 derives
+	// one from Self.
+	Seed int64
+}
+
+func (c *Config) validate() error {
+	if c.Self.IsNil() {
+		return fmt.Errorf("node: Self is required")
+	}
+	if c.Predicate == nil {
+		return fmt.Errorf("node: Predicate is required")
+	}
+	if c.Monitor == nil {
+		return fmt.Errorf("node: Monitor is required")
+	}
+	if c.Peers == nil && len(c.Seeds) == 0 {
+		return fmt.Errorf("node: either Peers or Seeds is required")
+	}
+	if c.Peers != nil && len(c.Seeds) > 0 {
+		return fmt.Errorf("node: Peers and Seeds are mutually exclusive")
+	}
+	if c.Transport == nil {
+		return fmt.Errorf("node: Transport is required")
+	}
+	if c.ViewSize == 0 {
+		c.ViewSize = 16
+	}
+	if c.ShuffleLen == 0 {
+		c.ShuffleLen = c.ViewSize / 4
+	}
+	if c.ShuffleLen < 3 {
+		c.ShuffleLen = 3
+	}
+	if c.ShuffleLen > c.ViewSize {
+		c.ShuffleLen = c.ViewSize
+	}
+	if c.ProtocolPeriod == 0 {
+		c.ProtocolPeriod = time.Minute
+	}
+	if c.RefreshPeriod == 0 {
+		c.RefreshPeriod = 20 * time.Minute
+	}
+	if c.Seed == 0 {
+		c.Seed = int64(ids.SelfHash(c.Self) * (1 << 62))
+	}
+	return nil
+}
+
+// Node is a live AVMEM agent. Create with New, then Start; all exported
+// methods are safe for concurrent use.
+type Node struct {
+	cfg Config
+
+	mu      sync.Mutex
+	mem     *core.Membership
+	router  *ops.Router
+	col     *ops.Collector
+	rng     *rand.Rand
+	started time.Time
+	timers  []*time.Timer
+	stopped chan struct{}
+	running bool
+	// agent is the built-in live CYCLON (Seeds mode); nil in Peers mode.
+	agent *shuffle.Agent
+}
+
+// New builds a live node (not yet started).
+func New(cfg Config) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:     cfg,
+		col:     ops.NewCollector(),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		stopped: make(chan struct{}),
+	}
+	if len(cfg.Seeds) > 0 {
+		agent, err := shuffle.NewAgent(cfg.Self, cfg.ViewSize, cfg.ShuffleLen, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		agent.Seed(cfg.Seeds)
+		n.agent = agent
+	}
+	mem, err := core.NewMembership(cfg.Self, core.Config{
+		Predicate:     cfg.Predicate,
+		Monitor:       cfg.Monitor,
+		Clock:         n.now,
+		VerifyCushion: cfg.Cushion,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.mem = mem
+	router, err := ops.NewRouter(ops.RouterConfig{
+		Membership:    mem,
+		Env:           (*liveEnv)(n),
+		Collector:     n.col,
+		VerifyInbound: cfg.VerifyInbound,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.router = router
+	return n, nil
+}
+
+// now returns time since Start (zero before starting).
+func (n *Node) now() time.Duration {
+	if n.started.IsZero() {
+		return 0
+	}
+	return time.Since(n.started)
+}
+
+// Self returns the node's identity.
+func (n *Node) Self() ids.NodeID { return n.cfg.Self }
+
+// Start registers with the transport and launches the periodic
+// discovery and refresh loops.
+func (n *Node) Start() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.running {
+		return fmt.Errorf("node: already started")
+	}
+	n.started = time.Now()
+	if err := n.cfg.Transport.Register(n.cfg.Self, n.handleMessage); err != nil {
+		return err
+	}
+	n.running = true
+	n.loop(n.cfg.ProtocolPeriod, n.discoverOnce)
+	n.loop(n.cfg.RefreshPeriod, n.refreshOnce)
+	// Run one discovery immediately so the node is useful right away.
+	go n.discoverOnce()
+	return nil
+}
+
+// loop schedules fn every period until Stop. Caller holds n.mu.
+func (n *Node) loop(period time.Duration, fn func()) {
+	var schedule func()
+	schedule = func() {
+		t := time.AfterFunc(period, func() {
+			select {
+			case <-n.stopped:
+				return
+			default:
+			}
+			fn()
+			n.mu.Lock()
+			if n.running {
+				schedule()
+			}
+			n.mu.Unlock()
+		})
+		n.timers = append(n.timers, t)
+	}
+	schedule()
+}
+
+// Stop halts the loops and unregisters from the transport.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if !n.running {
+		n.mu.Unlock()
+		return
+	}
+	n.running = false
+	close(n.stopped)
+	for _, t := range n.timers {
+		t.Stop()
+	}
+	n.timers = nil
+	n.mu.Unlock()
+	n.cfg.Transport.Unregister(n.cfg.Self)
+}
+
+// discoverOnce runs one discovery round: in Seeds mode it first
+// initiates a shuffle exchange, then discovers over the current coarse
+// view; in Peers mode it asks the external source.
+func (n *Node) discoverOnce() {
+	var candidates []ids.NodeID
+	if n.agent != nil {
+		if peer, req, ok := n.agent.Tick(); ok {
+			n.cfg.Transport.Send(n.cfg.Self, peer, req)
+		} else {
+			n.agent.Seed(n.cfg.Seeds) // view emptied: re-bootstrap
+		}
+		candidates = n.agent.View()
+	} else {
+		candidates = n.cfg.Peers.Peers(n.cfg.Self)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.mem.Discover(candidates)
+}
+
+// refreshOnce runs one refresh round.
+func (n *Node) refreshOnce() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.mem.Refresh()
+}
+
+// handleMessage is the transport callback.
+func (n *Node) handleMessage(from ids.NodeID, msg any) {
+	// Shuffle traffic goes to the agent (it has its own lock and must
+	// not wait on operation handling).
+	switch m := msg.(type) {
+	case shuffle.Request:
+		if n.agent != nil {
+			reply := n.agent.HandleRequest(from, m)
+			n.cfg.Transport.Send(n.cfg.Self, from, reply)
+		}
+		return
+	case shuffle.Reply:
+		if n.agent != nil {
+			n.agent.HandleReply(from, m)
+		}
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.router.HandleMessage(from, msg)
+}
+
+// CoarseView returns the node's current coarse view (Seeds mode only;
+// nil in Peers mode).
+func (n *Node) CoarseView() []ids.NodeID {
+	if n.agent == nil {
+		return nil
+	}
+	return n.agent.View()
+}
+
+// Anycast initiates an anycast and returns its operation ID.
+func (n *Node) Anycast(target ops.Target, opts ops.AnycastOptions) (ops.MsgID, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.router.Anycast(target, opts)
+}
+
+// Multicast initiates a multicast and returns its operation ID.
+func (n *Node) Multicast(target ops.Target, opts ops.MulticastOptions) (ops.MsgID, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.router.Multicast(target, opts)
+}
+
+// AnycastResult returns the current record of an anycast this node
+// initiated.
+func (n *Node) AnycastResult(id ops.MsgID) (ops.AnycastRecord, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r, ok := n.col.Anycast(id)
+	if !ok {
+		return ops.AnycastRecord{}, false
+	}
+	return *r, true
+}
+
+// MulticastResult returns the current record of a multicast this node
+// initiated. The Delivered map reflects only deliveries observed by
+// this node's collector (its own receipt); cluster-wide accounting
+// needs a shared collector, which the simulation provides.
+func (n *Node) MulticastResult(id ops.MsgID) (ops.MulticastRecord, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r, ok := n.col.Multicast(id)
+	if !ok {
+		return ops.MulticastRecord{}, false
+	}
+	return *r, true
+}
+
+// Neighbors returns a snapshot of the node's current AVMEM neighbors.
+func (n *Node) Neighbors(f core.Flavor) []core.Neighbor {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.mem.Neighbors(f)
+}
+
+// SliverSizes returns the current horizontal and vertical sliver sizes.
+func (n *Node) SliverSizes() (hs, vs int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.mem.SliverSize(core.SliverHorizontal), n.mem.SliverSize(core.SliverVertical)
+}
+
+// DiscoverNow forces an immediate discovery round (useful in tests and
+// demos; production nodes rely on the periodic loop).
+func (n *Node) DiscoverNow() { n.discoverOnce() }
+
+// liveEnv adapts Node to ops.Env. Methods may be called with n.mu held
+// (from router code paths), so they must not lock it.
+type liveEnv Node
+
+var _ ops.Env = (*liveEnv)(nil)
+
+// Now implements ops.Env.
+func (e *liveEnv) Now() time.Duration { return (*Node)(e).now() }
+
+// After implements ops.Env.
+func (e *liveEnv) After(d time.Duration, fn func()) {
+	n := (*Node)(e)
+	time.AfterFunc(d, func() {
+		select {
+		case <-n.stopped:
+			return
+		default:
+		}
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		fn()
+	})
+}
+
+// RandFloat implements ops.Env.
+func (e *liveEnv) RandFloat() float64 { return e.rng.Float64() }
+
+// Send implements ops.Env.
+func (e *liveEnv) Send(to ids.NodeID, msg any) {
+	e.cfg.Transport.Send(e.cfg.Self, to, msg)
+}
+
+// SendCall implements ops.Env.
+func (e *liveEnv) SendCall(to ids.NodeID, msg any, onResult func(ok bool)) {
+	n := (*Node)(e)
+	e.cfg.Transport.SendCall(e.cfg.Self, to, msg, func(ok bool) {
+		// The transport calls back on its own goroutine; re-enter the
+		// node under its lock.
+		select {
+		case <-n.stopped:
+			return
+		default:
+		}
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if onResult != nil {
+			onResult(ok)
+		}
+	})
+}
+
+// Online implements ops.Env: a running live node is online by
+// definition.
+func (e *liveEnv) Online() bool {
+	n := (*Node)(e)
+	select {
+	case <-n.stopped:
+		return false
+	default:
+		return n.running
+	}
+}

@@ -1,0 +1,55 @@
+package ops
+
+import (
+	"fmt"
+	"time"
+
+	"avmem/internal/ids"
+	"avmem/internal/sim"
+)
+
+// SimEnv adapts a simulation world + network into the Env a Router
+// needs. One SimEnv exists per simulated node.
+type SimEnv struct {
+	world  *sim.World
+	net    *sim.Network
+	self   ids.NodeID
+	online func() bool
+}
+
+var _ Env = (*SimEnv)(nil)
+
+// NewSimEnv builds the adapter. online reports this node's liveness
+// (nil means always online).
+func NewSimEnv(world *sim.World, net *sim.Network, self ids.NodeID, online func() bool) (*SimEnv, error) {
+	if world == nil || net == nil {
+		return nil, fmt.Errorf("ops: SimEnv needs a world and a network")
+	}
+	if self.IsNil() {
+		return nil, fmt.Errorf("ops: SimEnv needs a node identity")
+	}
+	if online == nil {
+		online = func() bool { return true }
+	}
+	return &SimEnv{world: world, net: net, self: self, online: online}, nil
+}
+
+// Now implements Env.
+func (e *SimEnv) Now() time.Duration { return e.world.Now() }
+
+// After implements Env.
+func (e *SimEnv) After(d time.Duration, fn func()) { e.world.After(d, fn) }
+
+// RandFloat implements Env.
+func (e *SimEnv) RandFloat() float64 { return e.world.Rand().Float64() }
+
+// Send implements Env.
+func (e *SimEnv) Send(to ids.NodeID, msg any) { e.net.Send(e.self, to, msg) }
+
+// SendCall implements Env.
+func (e *SimEnv) SendCall(to ids.NodeID, msg any, onResult func(ok bool)) {
+	e.net.SendCall(e.self, to, msg, onResult)
+}
+
+// Online implements Env.
+func (e *SimEnv) Online() bool { return e.online() }

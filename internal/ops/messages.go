@@ -1,0 +1,130 @@
+package ops
+
+import (
+	"fmt"
+	"time"
+
+	"avmem/internal/core"
+	"avmem/internal/ids"
+)
+
+// MsgID uniquely identifies one management operation instance.
+type MsgID struct {
+	Origin ids.NodeID
+	Seq    uint64
+}
+
+// String implements fmt.Stringer.
+func (m MsgID) String() string { return fmt.Sprintf("%s#%d", m.Origin, m.Seq) }
+
+// Policy selects the anycast forwarding algorithm (paper §3.2.I).
+type Policy int
+
+// Anycast forwarding policies.
+const (
+	// Greedy forwards to a neighbor inside the target, or failing that
+	// the neighbor whose cached availability is closest to the target.
+	Greedy Policy = iota + 1
+	// RetriedGreedy is Greedy plus next-hop acknowledgments: an
+	// unresponsive next hop is retried with the next-best neighbor,
+	// spending one unit of the message's retry budget.
+	RetriedGreedy
+	// Annealing chooses a random next hop with probability
+	// p = exp(−Δ/ttl) while traversing the neighbor list, falling back
+	// to the greedy choice.
+	Annealing
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Greedy:
+		return "greedy"
+	case RetriedGreedy:
+		return "retried-greedy"
+	case Annealing:
+		return "simulated-annealing"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Mode selects the multicast dissemination algorithm (paper §3.2.II).
+type Mode int
+
+// Multicast modes.
+const (
+	// Flood forwards to every in-range neighbor exactly once.
+	Flood Mode = iota + 1
+	// Gossip periodically forwards to up to fanout in-range neighbors
+	// for Ng protocol periods.
+	Gossip
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Flood:
+		return "flood"
+	case Gossip:
+		return "gossip"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// AnycastMsg is the wire message for {threshold,range}-anycast. It is
+// also the first stage of a multicast: when Multicast is non-nil, a
+// node inside the target switches to dissemination instead of
+// terminating the operation.
+type AnycastMsg struct {
+	ID     MsgID
+	Target Target
+	Policy Policy
+	Flavor core.Flavor
+	// TTL is the remaining time-to-live in virtual hops; decremented at
+	// every forward.
+	TTL int
+	// Retry is the message's remaining retry budget (RetriedGreedy).
+	Retry int
+	// Hops counts virtual hops travelled so far.
+	Hops int
+	// SentAt is the operation's start time (for latency measurement).
+	SentAt time.Duration
+	// Multicast carries stage-two parameters when this anycast fronts a
+	// multicast operation.
+	Multicast *MulticastSpec
+}
+
+// MulticastSpec carries the dissemination parameters of a multicast.
+type MulticastSpec struct {
+	Mode   Mode
+	Flavor core.Flavor
+	// Fanout and Rounds (Ng) parameterize gossip; the paper selects
+	// them so Fanout×Rounds ≈ log(N*).
+	Fanout int
+	Rounds int
+	// Period is the gossip period (paper: 1 s).
+	Period time.Duration
+}
+
+// MulticastMsg is the wire message of the dissemination stage.
+type MulticastMsg struct {
+	ID     MsgID
+	Target Target
+	Spec   MulticastSpec
+	SentAt time.Duration
+}
+
+// DeliveredMsg notifies an anycast's origin that the operation reached
+// a node inside the target. In the simulation the shared collector
+// already observed the delivery and the notice is a harmless duplicate;
+// in a live deployment, where every node keeps its own collector, the
+// notice is what materializes the outcome at the initiator.
+type DeliveredMsg struct {
+	ID   MsgID
+	Hops int
+	// SentAt echoes the operation's start time on the origin's clock,
+	// so the origin can compute the delivery latency locally.
+	SentAt time.Duration
+}

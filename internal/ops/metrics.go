@@ -1,0 +1,204 @@
+package ops
+
+import (
+	"time"
+)
+
+// AnycastOutcome is the terminal state of one anycast operation.
+type AnycastOutcome int
+
+// Anycast outcomes. Pending operations have OutcomePending.
+const (
+	OutcomePending AnycastOutcome = iota
+	// OutcomeDelivered: the message reached a node inside the target.
+	OutcomeDelivered
+	// OutcomeTTLExpired: the TTL ran out before reaching the target.
+	OutcomeTTLExpired
+	// OutcomeRetryExpired: the retry budget ran out (RetriedGreedy) or
+	// no next hop existed.
+	OutcomeRetryExpired
+)
+
+// String implements fmt.Stringer.
+func (o AnycastOutcome) String() string {
+	switch o {
+	case OutcomeDelivered:
+		return "delivered"
+	case OutcomeTTLExpired:
+		return "ttl-expired"
+	case OutcomeRetryExpired:
+		return "retry-expired"
+	default:
+		return "pending"
+	}
+}
+
+// AnycastRecord accumulates the result of one anycast.
+type AnycastRecord struct {
+	ID      MsgID
+	Target  Target
+	Outcome AnycastOutcome
+	// Hops is the virtual hop count at delivery.
+	Hops int
+	// Latency is the time from initiation to delivery.
+	Latency time.Duration
+}
+
+// MulticastRecord accumulates the result of one multicast.
+type MulticastRecord struct {
+	ID     MsgID
+	Target Target
+	// Eligible is the number of online in-range nodes at initiation
+	// (set by the experiment; denominators for reliability and spam).
+	Eligible int
+	// Delivered maps in-range receivers to their first delivery time.
+	Delivered map[string]time.Duration
+	// Spam counts first deliveries to nodes outside the target.
+	Spam int
+	// EnteredRange reports whether stage one (the anycast) succeeded.
+	EnteredRange bool
+	// SentAt is the initiation time.
+	SentAt time.Duration
+	// LastDelivery is the latest first-delivery time observed.
+	LastDelivery time.Duration
+}
+
+// Reliability returns delivered/eligible in [0,1].
+func (r *MulticastRecord) Reliability() float64 {
+	if r.Eligible == 0 {
+		return 0
+	}
+	return float64(len(r.Delivered)) / float64(r.Eligible)
+}
+
+// SpamRatio returns spam receptions per eligible node.
+func (r *MulticastRecord) SpamRatio() float64 {
+	if r.Eligible == 0 {
+		return 0
+	}
+	return float64(r.Spam) / float64(r.Eligible)
+}
+
+// WorstLatency returns the time from initiation to the last first
+// delivery — the paper's multicast latency metric ("the time of the
+// last receiving node obtaining the multicast"). Zero if nothing was
+// delivered.
+func (r *MulticastRecord) WorstLatency() time.Duration {
+	if len(r.Delivered) == 0 {
+		return 0
+	}
+	return r.LastDelivery - r.SentAt
+}
+
+// Collector aggregates operation outcomes across an experiment run.
+// The Router reports into it; experiments read it after the run.
+// Collector is not safe for concurrent use (the simulator is
+// single-threaded; the live runtime wraps it).
+type Collector struct {
+	anycasts   map[MsgID]*AnycastRecord
+	multicasts map[MsgID]*MulticastRecord
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		anycasts:   make(map[MsgID]*AnycastRecord, 256),
+		multicasts: make(map[MsgID]*MulticastRecord, 64),
+	}
+}
+
+// StartAnycast registers an anycast before initiation.
+func (c *Collector) StartAnycast(id MsgID, target Target) {
+	c.anycasts[id] = &AnycastRecord{ID: id, Target: target, Outcome: OutcomePending}
+}
+
+// StartMulticast registers a multicast before initiation. eligible is
+// the online in-range population at initiation.
+func (c *Collector) StartMulticast(id MsgID, target Target, eligible int, sentAt time.Duration) {
+	c.multicasts[id] = &MulticastRecord{
+		ID:        id,
+		Target:    target,
+		Eligible:  eligible,
+		Delivered: make(map[string]time.Duration, eligible),
+		SentAt:    sentAt,
+	}
+}
+
+// Anycast returns the record for id, if registered.
+func (c *Collector) Anycast(id MsgID) (*AnycastRecord, bool) {
+	r, ok := c.anycasts[id]
+	return r, ok
+}
+
+// Multicast returns the record for id, if registered.
+func (c *Collector) Multicast(id MsgID) (*MulticastRecord, bool) {
+	r, ok := c.multicasts[id]
+	return r, ok
+}
+
+// Anycasts returns all anycast records (map iteration order; callers
+// aggregate, never enumerate positionally).
+func (c *Collector) Anycasts() []*AnycastRecord {
+	out := make([]*AnycastRecord, 0, len(c.anycasts))
+	for _, r := range c.anycasts {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Multicasts returns all multicast records.
+func (c *Collector) Multicasts() []*MulticastRecord {
+	out := make([]*MulticastRecord, 0, len(c.multicasts))
+	for _, r := range c.multicasts {
+		out = append(out, r)
+	}
+	return out
+}
+
+// anycastDelivered records the terminal delivered state (first success
+// wins; later duplicates are ignored).
+func (c *Collector) anycastDelivered(id MsgID, hops int, latency time.Duration) {
+	r, ok := c.anycasts[id]
+	if !ok || r.Outcome != OutcomePending {
+		return
+	}
+	r.Outcome = OutcomeDelivered
+	r.Hops = hops
+	r.Latency = latency
+}
+
+// anycastFailed records a terminal failure if the operation is still
+// pending. An anycast that already succeeded stays delivered.
+func (c *Collector) anycastFailed(id MsgID, outcome AnycastOutcome) {
+	r, ok := c.anycasts[id]
+	if !ok || r.Outcome != OutcomePending {
+		return
+	}
+	r.Outcome = outcome
+}
+
+// multicastEntered flags stage-one success.
+func (c *Collector) multicastEntered(id MsgID) {
+	if r, ok := c.multicasts[id]; ok {
+		r.EnteredRange = true
+	}
+}
+
+// multicastDelivered records a first delivery at node, inRange or spam.
+func (c *Collector) multicastDelivered(id MsgID, node string, at time.Duration, inRange bool) {
+	r, ok := c.multicasts[id]
+	if !ok {
+		return
+	}
+	if !inRange {
+		r.Spam++
+		return
+	}
+	if _, seen := r.Delivered[node]; seen {
+		return
+	}
+	r.Delivered[node] = at
+	if at > r.LastDelivery {
+		r.LastDelivery = at
+	}
+}

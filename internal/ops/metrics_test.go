@@ -1,0 +1,118 @@
+package ops
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCollectorAnycastLifecycle(t *testing.T) {
+	c := NewCollector()
+	id := MsgID{Origin: "a", Seq: 1}
+	tgt, _ := Range(0.8, 0.9)
+	c.StartAnycast(id, tgt)
+	r, ok := c.Anycast(id)
+	if !ok || r.Outcome != OutcomePending {
+		t.Fatalf("record = %+v ok=%v", r, ok)
+	}
+	c.anycastDelivered(id, 3, 150*time.Millisecond)
+	if r.Outcome != OutcomeDelivered || r.Hops != 3 || r.Latency != 150*time.Millisecond {
+		t.Errorf("after delivery = %+v", r)
+	}
+	// Terminal states are sticky.
+	c.anycastFailed(id, OutcomeTTLExpired)
+	if r.Outcome != OutcomeDelivered {
+		t.Error("failure overwrote delivery")
+	}
+	c.anycastDelivered(id, 9, time.Second)
+	if r.Hops != 3 {
+		t.Error("second delivery overwrote the first")
+	}
+}
+
+func TestCollectorAnycastFailure(t *testing.T) {
+	c := NewCollector()
+	id := MsgID{Origin: "a", Seq: 1}
+	tgt, _ := Range(0.8, 0.9)
+	c.StartAnycast(id, tgt)
+	c.anycastFailed(id, OutcomeRetryExpired)
+	r, _ := c.Anycast(id)
+	if r.Outcome != OutcomeRetryExpired {
+		t.Errorf("outcome = %v", r.Outcome)
+	}
+	// Late delivery cannot resurrect a failed operation.
+	c.anycastDelivered(id, 1, time.Millisecond)
+	if r.Outcome != OutcomeRetryExpired {
+		t.Error("delivery overwrote failure")
+	}
+}
+
+func TestCollectorUnknownIDsIgnored(t *testing.T) {
+	c := NewCollector()
+	id := MsgID{Origin: "ghost", Seq: 1}
+	c.anycastDelivered(id, 1, time.Millisecond) // must not panic
+	c.anycastFailed(id, OutcomeTTLExpired)
+	c.multicastEntered(id)
+	c.multicastDelivered(id, "n", time.Millisecond, true)
+	if _, ok := c.Anycast(id); ok {
+		t.Error("unregistered anycast materialized")
+	}
+	if _, ok := c.Multicast(id); ok {
+		t.Error("unregistered multicast materialized")
+	}
+}
+
+func TestMulticastRecordMetrics(t *testing.T) {
+	c := NewCollector()
+	id := MsgID{Origin: "a", Seq: 1}
+	tgt, _ := Range(0.8, 0.9)
+	c.StartMulticast(id, tgt, 4, 100*time.Millisecond)
+	c.multicastEntered(id)
+	c.multicastDelivered(id, "n1", 150*time.Millisecond, true)
+	c.multicastDelivered(id, "n2", 300*time.Millisecond, true)
+	c.multicastDelivered(id, "n1", 999*time.Millisecond, true) // duplicate
+	c.multicastDelivered(id, "out", 200*time.Millisecond, false)
+
+	r, ok := c.Multicast(id)
+	if !ok {
+		t.Fatal("record missing")
+	}
+	if !r.EnteredRange {
+		t.Error("EnteredRange = false")
+	}
+	if got := r.Reliability(); got != 0.5 {
+		t.Errorf("Reliability = %v, want 0.5 (2/4)", got)
+	}
+	if got := r.SpamRatio(); got != 0.25 {
+		t.Errorf("SpamRatio = %v, want 0.25 (1/4)", got)
+	}
+	if got := r.WorstLatency(); got != 200*time.Millisecond {
+		t.Errorf("WorstLatency = %v, want 200ms (300-100)", got)
+	}
+	if r.Delivered["n1"] != 150*time.Millisecond {
+		t.Error("duplicate overwrote first delivery time")
+	}
+}
+
+func TestMulticastRecordZeroEligible(t *testing.T) {
+	r := &MulticastRecord{}
+	if r.Reliability() != 0 || r.SpamRatio() != 0 || r.WorstLatency() != 0 {
+		t.Error("zero-eligible record not all-zero")
+	}
+}
+
+func TestCollectorEnumeration(t *testing.T) {
+	c := NewCollector()
+	tgt, _ := Range(0, 1)
+	for i := 0; i < 5; i++ {
+		c.StartAnycast(MsgID{Origin: "a", Seq: uint64(i)}, tgt)
+	}
+	for i := 0; i < 3; i++ {
+		c.StartMulticast(MsgID{Origin: "m", Seq: uint64(i)}, tgt, 1, 0)
+	}
+	if got := len(c.Anycasts()); got != 5 {
+		t.Errorf("Anycasts len = %d", got)
+	}
+	if got := len(c.Multicasts()); got != 3 {
+		t.Errorf("Multicasts len = %d", got)
+	}
+}

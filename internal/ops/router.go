@@ -1,0 +1,481 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"avmem/internal/core"
+	"avmem/internal/ids"
+)
+
+// Env is the host environment a Router runs in. The simulator and the
+// live runtime both implement it, so the operation logic is written
+// once and executed in both worlds.
+type Env interface {
+	// Now returns the current (virtual or wall-clock) time.
+	Now() time.Duration
+	// After schedules fn after delay d.
+	After(d time.Duration, fn func())
+	// RandFloat returns a uniform float in [0,1) (simulated annealing).
+	RandFloat() float64
+	// Send delivers msg to the target with one hop latency, best effort.
+	Send(to ids.NodeID, msg any)
+	// SendCall is Send plus an acknowledgment: onResult(true) after the
+	// target processed the message, onResult(false) when it could not
+	// be reached (retried-greedy forwarding relies on this).
+	SendCall(to ids.NodeID, msg any, onResult func(ok bool))
+	// Online reports whether this node itself is currently online.
+	Online() bool
+}
+
+// maxSeen bounds the duplicate-suppression set; operations are
+// short-lived so a full reset on overflow is harmless.
+const maxSeen = 1 << 14
+
+// Router executes management operations at one node: it initiates
+// anycasts and multicasts, forwards in-flight messages according to
+// their policy, and reports outcomes into a shared Collector.
+type Router struct {
+	mem *core.Membership
+	env Env
+	col *Collector
+	// verifyInbound enables the §4.1 in-neighbor check on every
+	// received operation message.
+	verifyInbound bool
+	rejected      int
+	seq           uint64
+	seen          map[MsgID]bool
+	gossipSent    map[MsgID]map[ids.NodeID]bool
+}
+
+// RouterConfig assembles a Router.
+type RouterConfig struct {
+	Membership *core.Membership
+	Env        Env
+	Collector  *Collector
+	// VerifyInbound drops operation messages whose sender fails the
+	// consistent in-neighbor predicate check.
+	VerifyInbound bool
+}
+
+// NewRouter validates and builds a Router.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.Membership == nil {
+		return nil, fmt.Errorf("ops: RouterConfig.Membership is required")
+	}
+	if cfg.Env == nil {
+		return nil, fmt.Errorf("ops: RouterConfig.Env is required")
+	}
+	if cfg.Collector == nil {
+		return nil, fmt.Errorf("ops: RouterConfig.Collector is required")
+	}
+	return &Router{
+		mem:           cfg.Membership,
+		env:           cfg.Env,
+		col:           cfg.Collector,
+		verifyInbound: cfg.VerifyInbound,
+		seen:          make(map[MsgID]bool, 256),
+		gossipSent:    make(map[MsgID]map[ids.NodeID]bool, 16),
+	}, nil
+}
+
+// Self returns the owning node's identifier.
+func (r *Router) Self() ids.NodeID { return r.mem.Self() }
+
+// Rejected returns how many inbound messages failed verification.
+func (r *Router) Rejected() int { return r.rejected }
+
+// nextID mints a fresh operation identifier.
+func (r *Router) nextID() MsgID {
+	r.seq++
+	return MsgID{Origin: r.mem.Self(), Seq: r.seq}
+}
+
+// AnycastOptions parameterizes an anycast initiation.
+type AnycastOptions struct {
+	Policy Policy
+	Flavor core.Flavor
+	// TTL in virtual hops (paper default 6).
+	TTL int
+	// Retry is the retry budget k for RetriedGreedy (ignored otherwise).
+	Retry int
+}
+
+// DefaultAnycastOptions returns the paper's defaults: greedy HS+VS,
+// TTL 6.
+func DefaultAnycastOptions() AnycastOptions {
+	return AnycastOptions{Policy: Greedy, Flavor: core.HSVS, TTL: 6}
+}
+
+func (o AnycastOptions) validate() error {
+	switch o.Policy {
+	case Greedy, RetriedGreedy, Annealing:
+	default:
+		return fmt.Errorf("ops: invalid policy %v", o.Policy)
+	}
+	switch o.Flavor {
+	case core.HSOnly, core.VSOnly, core.HSVS:
+	default:
+		return fmt.Errorf("ops: invalid flavor %v", o.Flavor)
+	}
+	if o.TTL <= 0 {
+		return fmt.Errorf("ops: TTL must be positive, got %d", o.TTL)
+	}
+	if o.Policy == RetriedGreedy && o.Retry <= 0 {
+		return fmt.Errorf("ops: RetriedGreedy needs a positive retry budget")
+	}
+	return nil
+}
+
+// Anycast initiates a {threshold,range}-anycast toward target and
+// returns its operation ID; the outcome materializes in the Collector.
+func (r *Router) Anycast(target Target, opts AnycastOptions) (MsgID, error) {
+	if err := target.Validate(); err != nil {
+		return MsgID{}, err
+	}
+	if err := opts.validate(); err != nil {
+		return MsgID{}, err
+	}
+	id := r.nextID()
+	r.col.StartAnycast(id, target)
+	msg := AnycastMsg{
+		ID:     id,
+		Target: target,
+		Policy: opts.Policy,
+		Flavor: opts.Flavor,
+		TTL:    opts.TTL,
+		Retry:  opts.Retry,
+		SentAt: r.env.Now(),
+	}
+	r.handleAnycast(ids.Nil, msg)
+	return id, nil
+}
+
+// MulticastOptions parameterizes a multicast initiation.
+type MulticastOptions struct {
+	// Anycast configures stage one (entering the range).
+	Anycast AnycastOptions
+	// Mode selects flooding or gossip for stage two.
+	Mode Mode
+	// Flavor selects the sliver lists used for dissemination.
+	Flavor core.Flavor
+	// Fanout and Rounds parameterize gossip (fanout×Ng ≈ log N*).
+	Fanout int
+	Rounds int
+	// Period is the gossip period (paper: 1 s).
+	Period time.Duration
+	// Eligible is the online in-range population at initiation, the
+	// denominator of reliability and spam (supplied by the caller,
+	// which in experiments knows ground truth).
+	Eligible int
+}
+
+// DefaultMulticastOptions returns the paper's defaults: greedy HS+VS
+// entry, flooding dissemination over HS+VS.
+func DefaultMulticastOptions() MulticastOptions {
+	return MulticastOptions{
+		Anycast: DefaultAnycastOptions(),
+		Mode:    Flood,
+		Flavor:  core.HSVS,
+	}
+}
+
+func (o MulticastOptions) validate() error {
+	if err := o.Anycast.validate(); err != nil {
+		return err
+	}
+	switch o.Flavor {
+	case core.HSOnly, core.VSOnly, core.HSVS:
+	default:
+		return fmt.Errorf("ops: invalid multicast flavor %v", o.Flavor)
+	}
+	switch o.Mode {
+	case Flood:
+	case Gossip:
+		if o.Fanout <= 0 || o.Rounds <= 0 || o.Period <= 0 {
+			return fmt.Errorf("ops: gossip needs positive fanout/rounds/period, got %d/%d/%v",
+				o.Fanout, o.Rounds, o.Period)
+		}
+	default:
+		return fmt.Errorf("ops: invalid mode %v", o.Mode)
+	}
+	return nil
+}
+
+// Multicast initiates a {threshold,range}-multicast toward target and
+// returns its operation ID.
+func (r *Router) Multicast(target Target, opts MulticastOptions) (MsgID, error) {
+	if err := target.Validate(); err != nil {
+		return MsgID{}, err
+	}
+	if err := opts.validate(); err != nil {
+		return MsgID{}, err
+	}
+	id := r.nextID()
+	now := r.env.Now()
+	r.col.StartMulticast(id, target, opts.Eligible, now)
+	spec := MulticastSpec{
+		Mode:   opts.Mode,
+		Flavor: opts.Flavor,
+		Fanout: opts.Fanout,
+		Rounds: opts.Rounds,
+		Period: opts.Period,
+	}
+	msg := AnycastMsg{
+		ID:        id,
+		Target:    target,
+		Policy:    opts.Anycast.Policy,
+		Flavor:    opts.Anycast.Flavor,
+		TTL:       opts.Anycast.TTL,
+		Retry:     opts.Anycast.Retry,
+		SentAt:    now,
+		Multicast: &spec,
+	}
+	r.handleAnycast(ids.Nil, msg)
+	return id, nil
+}
+
+// HandleMessage is the network entry point: the simulator and live
+// runtime register it as the node's message handler.
+func (r *Router) HandleMessage(from ids.NodeID, msg any) {
+	// Delivery notices bypass the in-neighbor check: the delivering
+	// node is rarely the origin's neighbor. They are harmless to spoof —
+	// the collector only accepts verdicts for operations this node
+	// registered, and first-wins semantics keep them idempotent.
+	if m, ok := msg.(DeliveredMsg); ok {
+		r.col.anycastDelivered(m.ID, m.Hops, r.env.Now()-m.SentAt)
+		return
+	}
+	if r.verifyInbound && !from.IsNil() && !r.mem.VerifyInbound(from) {
+		r.rejected++
+		return
+	}
+	switch m := msg.(type) {
+	case AnycastMsg:
+		r.handleAnycast(from, m)
+	case MulticastMsg:
+		r.handleMulticast(m)
+	default:
+		// Unknown payloads are dropped; the overlay carries only
+		// operation traffic.
+	}
+}
+
+// handleAnycast processes an anycast hop at this node (paper §3.2.I):
+// terminate if inside the target, otherwise forward by policy.
+func (r *Router) handleAnycast(from ids.NodeID, m AnycastMsg) {
+	self := r.mem.SelfInfo()
+	if m.Target.Contains(self.Availability) {
+		if m.Multicast != nil {
+			r.col.multicastEntered(m.ID)
+			r.disseminate(MulticastMsg{ID: m.ID, Target: m.Target, Spec: *m.Multicast, SentAt: m.SentAt})
+		} else {
+			r.col.anycastDelivered(m.ID, m.Hops, r.env.Now()-m.SentAt)
+			if m.ID.Origin != self.ID {
+				r.env.Send(m.ID.Origin, DeliveredMsg{ID: m.ID, Hops: m.Hops, SentAt: m.SentAt})
+			}
+		}
+		return
+	}
+	r.forwardAnycast(from, m)
+}
+
+// unlimitedBudget marks policies without an explicit retry cap.
+const unlimitedBudget = -1
+
+// forwardAnycast picks the next hop by policy and sends with failure
+// detection. Transport-level failure of a next hop (offline target) is
+// observable — a connection attempt to a dead host fails — so every
+// policy fails over to its next choice rather than losing the message.
+// RetriedGreedy additionally caps the number of attempts with the
+// message's retry budget (paper §3.2.I); Greedy and Annealing stop only
+// when the candidate list is exhausted.
+func (r *Router) forwardAnycast(from ids.NodeID, m AnycastMsg) {
+	if m.TTL <= 0 {
+		r.col.anycastFailed(m.ID, OutcomeTTLExpired)
+		return
+	}
+	candidates := r.candidates(from, m.Flavor, m.Target)
+	next := m
+	next.TTL--
+	next.Hops++
+	budget := unlimitedBudget
+	if m.Policy == RetriedGreedy {
+		budget = m.Retry
+	}
+	r.attempt(candidates, next, budget)
+}
+
+// attempt sends m to the policy's pick among candidates; on failure the
+// pick is removed and the next is attempted, spending one unit of a
+// bounded budget per failure. Exhausting either candidates or budget
+// fails the operation with OutcomeRetryExpired.
+func (r *Router) attempt(candidates []core.Neighbor, m AnycastMsg, budget int) {
+	if len(candidates) == 0 || budget == 0 {
+		r.col.anycastFailed(m.ID, OutcomeRetryExpired)
+		return
+	}
+	idx := 0
+	if m.Policy == Annealing {
+		idx = r.annealIndex(candidates, m)
+	}
+	choice := candidates[idx]
+	if m.Policy == RetriedGreedy {
+		m.Retry = budget
+	}
+	r.env.SendCall(choice.ID, m, func(ok bool) {
+		if ok {
+			return
+		}
+		rest := append(append(make([]core.Neighbor, 0, len(candidates)-1),
+			candidates[:idx]...), candidates[idx+1:]...)
+		nextBudget := budget
+		if budget > 0 {
+			nextBudget = budget - 1
+		}
+		r.attempt(rest, m, nextBudget)
+	})
+}
+
+// annealIndex implements simulated annealing (paper §3.2.I): traverse
+// the neighbor list in greedy order; each candidate is chosen outright
+// with probability p = exp(−Δ/ttl), where Δ is the candidate's
+// availability distance to the target edge and ttl the remaining
+// time-to-live; if no candidate wins its coin flip, fall back to the
+// greedy choice.
+//
+// In-range candidates have Δ = 0, hence p = 1: they are taken as soon
+// as the traversal reaches them. Early in a message's life (large ttl)
+// even distant candidates have high p, so the walk is exploratory;
+// as ttl runs down, p decays and the choice degenerates to greedy —
+// the annealing schedule the paper describes.
+func (r *Router) annealIndex(candidates []core.Neighbor, m AnycastMsg) int {
+	ttl := float64(m.TTL)
+	if ttl <= 0 {
+		ttl = 1
+	}
+	for i, nb := range candidates {
+		delta := m.Target.Distance(nb.Availability)
+		p := math.Exp(-delta / ttl)
+		if r.env.RandFloat() < p {
+			return i
+		}
+	}
+	return 0
+}
+
+// candidates returns the usable neighbors for forwarding, sorted by the
+// greedy metric (availability distance to the target, ties by ID). The
+// immediate sender is excluded when alternatives exist — a loop-avoidance
+// refinement; with only the sender available we still use it rather
+// than drop.
+func (r *Router) candidates(from ids.NodeID, flavor core.Flavor, target Target) []core.Neighbor {
+	all := r.mem.Neighbors(flavor)
+	out := make([]core.Neighbor, 0, len(all))
+	var sender *core.Neighbor
+	for i := range all {
+		if all[i].ID == from {
+			sender = &all[i]
+			continue
+		}
+		out = append(out, all[i])
+	}
+	if len(out) == 0 && sender != nil {
+		out = append(out, *sender)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := target.Distance(out[i].Availability), target.Distance(out[j].Availability)
+		if di != dj {
+			return di < dj
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// handleMulticast processes a dissemination-stage message.
+func (r *Router) handleMulticast(m MulticastMsg) {
+	r.disseminate(m)
+}
+
+// disseminate is the stage-two entry: record the local delivery once,
+// then flood or gossip onward if this node lies inside the target.
+func (r *Router) disseminate(m MulticastMsg) {
+	if r.seen[m.ID] {
+		return
+	}
+	if len(r.seen) >= maxSeen {
+		r.seen = make(map[MsgID]bool, 256)
+		r.gossipSent = make(map[MsgID]map[ids.NodeID]bool, 16)
+	}
+	r.seen[m.ID] = true
+
+	self := r.mem.SelfInfo()
+	inRange := m.Target.Contains(self.Availability)
+	r.col.multicastDelivered(m.ID, string(self.ID), r.env.Now(), inRange)
+	if !inRange {
+		// A node outside the target consumed spam; it does not forward.
+		return
+	}
+	switch m.Spec.Mode {
+	case Gossip:
+		r.gossipRounds(m, m.Spec.Rounds)
+	default: // Flood
+		for _, nb := range r.inRangeNeighbors(m) {
+			r.env.Send(nb.ID, m)
+		}
+	}
+}
+
+// gossipRounds runs one gossip round now and schedules the remainder.
+func (r *Router) gossipRounds(m MulticastMsg, remaining int) {
+	if remaining <= 0 {
+		return
+	}
+	if r.env.Online() {
+		sent := r.gossipSent[m.ID]
+		if sent == nil {
+			sent = make(map[ids.NodeID]bool, m.Spec.Fanout*m.Spec.Rounds)
+			r.gossipSent[m.ID] = sent
+		}
+		// Deterministic iteration through the in-range neighbor list,
+		// skipping peers already gossiped to (paper §3.2.II).
+		n := 0
+		for _, nb := range r.inRangeNeighbors(m) {
+			if n >= m.Spec.Fanout {
+				break
+			}
+			if sent[nb.ID] {
+				continue
+			}
+			sent[nb.ID] = true
+			r.env.Send(nb.ID, m)
+			n++
+		}
+	}
+	r.env.After(m.Spec.Period, func() { r.gossipRounds(m, remaining-1) })
+}
+
+// inRangeNeighbors returns this node's neighbors (dissemination flavor)
+// whose cached availability lies inside the multicast target, ordered
+// by the pair hash with this node. The order is deterministic per node
+// (the paper's "deterministic iteration through the list") but
+// uncorrelated across nodes — a globally shared order (say, sorted
+// identifiers) would starve the nodes that sort last, since every
+// gossiper would spend its fanout on the same prefix.
+func (r *Router) inRangeNeighbors(m MulticastMsg) []core.Neighbor {
+	all := r.mem.Neighbors(m.Spec.Flavor)
+	out := make([]core.Neighbor, 0, len(all))
+	for _, nb := range all {
+		if m.Target.Contains(nb.Availability) {
+			out = append(out, nb)
+		}
+	}
+	self := r.mem.Self()
+	sort.Slice(out, func(i, j int) bool {
+		return ids.PairHash(self, out[i].ID) < ids.PairHash(self, out[j].ID)
+	})
+	return out
+}

@@ -1,0 +1,79 @@
+// Package ops implements the four availability-based management
+// operations of the paper (§1, §3.2) on top of an AVMEM overlay:
+// threshold-anycast, range-anycast, threshold-multicast, and
+// range-multicast.
+//
+// Anycast forwarding supports the three policies of §3.2.I — greedy,
+// retried-greedy (with per-message retry budgets and next-hop
+// acknowledgments), and simulated annealing — and multicast supports
+// the two dissemination modes of §3.2.II — flooding and gossip. Every
+// algorithm comes in the three sliver flavors (HS-only, VS-only,
+// HS+VS), giving the paper's nine anycast and six multicast variants.
+package ops
+
+import (
+	"fmt"
+	"math"
+)
+
+// Target is an availability interval [Lo, Hi] an operation addresses.
+// Threshold operations use [b, 1]; range operations use [b, b+δ].
+type Target struct {
+	Lo float64
+	Hi float64
+}
+
+// Threshold builds the target of a threshold operation: all nodes with
+// availability > b, i.e. the interval (b, 1]. (We represent it as
+// [b, 1] with an open test at Lo.)
+func Threshold(b float64) (Target, error) {
+	if b < 0 || b >= 1 {
+		return Target{}, fmt.Errorf("ops: threshold must be in [0,1), got %v", b)
+	}
+	return Target{Lo: b, Hi: 1}, nil
+}
+
+// Range builds the target of a range operation: availability in
+// [lo, hi] ⊆ [0,1].
+func Range(lo, hi float64) (Target, error) {
+	if lo < 0 || hi > 1 || hi < lo {
+		return Target{}, fmt.Errorf("ops: invalid range [%v,%v]", lo, hi)
+	}
+	return Target{Lo: lo, Hi: hi}, nil
+}
+
+// Contains reports whether availability av lies in the target.
+func (t Target) Contains(av float64) bool { return av >= t.Lo && av <= t.Hi }
+
+// Distance returns how far av lies from the target in availability
+// space: 0 inside, otherwise the distance to the nearest edge. This is
+// both the greedy forwarding metric and the Δ of simulated annealing.
+func (t Target) Distance(av float64) float64 {
+	switch {
+	case av < t.Lo:
+		return t.Lo - av
+	case av > t.Hi:
+		return av - t.Hi
+	default:
+		return 0
+	}
+}
+
+// Width returns the availability width of the target.
+func (t Target) Width() float64 { return t.Hi - t.Lo }
+
+// String implements fmt.Stringer.
+func (t Target) String() string {
+	if t.Hi >= 1 && t.Lo > 0 {
+		return fmt.Sprintf("av>%.2f", t.Lo)
+	}
+	return fmt.Sprintf("[%.2f,%.2f]", t.Lo, t.Hi)
+}
+
+// Validate checks the interval is well formed.
+func (t Target) Validate() error {
+	if math.IsNaN(t.Lo) || math.IsNaN(t.Hi) || t.Lo < 0 || t.Hi > 1 || t.Hi < t.Lo {
+		return fmt.Errorf("ops: invalid target %+v", t)
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package shuffle
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"avmem/internal/ids"
+)
+
+// Request is the initiator half of one CYCLON exchange: the entries the
+// initiator offers (including a fresh self-entry).
+type Request struct {
+	Entries []Entry
+}
+
+// Reply is the responder half: the entries the responder offers back.
+type Reply struct {
+	Entries []Entry
+}
+
+// Agent is the live, message-based counterpart of Cyclon: one Agent
+// runs inside each node and performs the age-based shuffle over a real
+// transport. The owner wires it up by:
+//
+//   - calling Tick once per protocol period, sending the returned
+//     request to the returned peer;
+//   - feeding inbound requests to HandleRequest and sending the
+//     returned reply back to the requester;
+//   - feeding inbound replies to HandleReply.
+//
+// Agent is safe for concurrent use.
+type Agent struct {
+	self       ids.NodeID
+	shuffleLen int
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	entries []Entry
+	cap     int
+	// pending holds the entries sent in the last outstanding request,
+	// so HandleReply can merge with the same no-duplicates rules.
+	pending []Entry
+}
+
+// NewAgent creates a live shuffle agent for self.
+func NewAgent(self ids.NodeID, viewSize, shuffleLen int, seed int64) (*Agent, error) {
+	if self.IsNil() {
+		return nil, fmt.Errorf("shuffle: agent needs an identity")
+	}
+	if viewSize <= 0 {
+		return nil, fmt.Errorf("shuffle: viewSize must be positive, got %d", viewSize)
+	}
+	if shuffleLen <= 0 || shuffleLen > viewSize {
+		return nil, fmt.Errorf("shuffle: shuffleLen must be in [1,%d], got %d", viewSize, shuffleLen)
+	}
+	if seed == 0 {
+		seed = int64(ids.SelfHash(self) * (1 << 62))
+	}
+	return &Agent{
+		self:       self,
+		shuffleLen: shuffleLen,
+		rng:        rand.New(rand.NewSource(seed)),
+		entries:    make([]Entry, 0, viewSize),
+		cap:        viewSize,
+	}, nil
+}
+
+// Seed adds bootstrap peers to the view.
+func (a *Agent) Seed(peers []ids.NodeID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, p := range peers {
+		a.addLocked(Entry{ID: p})
+	}
+}
+
+// View returns the current coarse-view identifiers.
+func (a *Agent) View() []ids.NodeID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]ids.NodeID, len(a.entries))
+	for i, e := range a.entries {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Tick starts one shuffle round: it ages the view, picks the oldest
+// peer, and returns the request to send to it. ok is false when the
+// view is empty (nothing to shuffle with — re-Seed).
+func (a *Agent) Tick() (peer ids.NodeID, req Request, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.entries) == 0 {
+		return ids.Nil, Request{}, false
+	}
+	for i := range a.entries {
+		a.entries[i].Age++
+	}
+	oldest := oldestIndex(a.entries)
+	peer = a.entries[oldest].ID
+	// Remove the partner's entry; it is replaced by whatever comes back.
+	a.entries = append(a.entries[:oldest], a.entries[oldest+1:]...)
+
+	out := a.sampleLocked(a.shuffleLen - 1)
+	out = append(out, Entry{ID: a.self, Age: 0})
+	a.pending = out
+	return peer, Request{Entries: out}, true
+}
+
+// HandleRequest processes an inbound shuffle request and returns the
+// reply to send back.
+func (a *Agent) HandleRequest(from ids.NodeID, req Request) Reply {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := a.sampleLocked(a.shuffleLen)
+	a.mergeLocked(req.Entries)
+	return Reply{Entries: out}
+}
+
+// HandleReply folds a shuffle reply into the view.
+func (a *Agent) HandleReply(from ids.NodeID, reply Reply) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.mergeLocked(reply.Entries)
+	a.pending = nil
+}
+
+// sampleLocked picks up to n distinct random entries. Caller holds mu.
+func (a *Agent) sampleLocked(n int) []Entry {
+	if n <= 0 || len(a.entries) == 0 {
+		return nil
+	}
+	idx := a.rng.Perm(len(a.entries))
+	if n > len(idx) {
+		n = len(idx)
+	}
+	out := make([]Entry, 0, n)
+	for _, i := range idx[:n] {
+		out = append(out, a.entries[i])
+	}
+	return out
+}
+
+// mergeLocked folds received entries in, skipping self and duplicates,
+// evicting oldest entries under capacity pressure. Caller holds mu.
+func (a *Agent) mergeLocked(received []Entry) {
+	for _, e := range received {
+		a.addLocked(e)
+	}
+}
+
+func (a *Agent) addLocked(e Entry) {
+	if e.ID == a.self || e.ID.IsNil() {
+		return
+	}
+	for _, have := range a.entries {
+		if have.ID == e.ID {
+			return
+		}
+	}
+	if len(a.entries) < a.cap {
+		a.entries = append(a.entries, e)
+		return
+	}
+	oldest := oldestIndex(a.entries)
+	if a.entries[oldest].Age >= e.Age {
+		a.entries[oldest] = e
+	}
+}

@@ -1,0 +1,215 @@
+package shuffle
+
+import (
+	"sync"
+	"testing"
+
+	"avmem/internal/ids"
+)
+
+// agentNet runs a set of agents with synchronous message delivery —
+// the minimal harness for exercising the request/reply protocol.
+type agentNet struct {
+	agents map[ids.NodeID]*Agent
+}
+
+func newAgentNet(t *testing.T, n, viewSize int) (*agentNet, []ids.NodeID) {
+	t.Helper()
+	net := &agentNet{agents: make(map[ids.NodeID]*Agent, n)}
+	nodes := make([]ids.NodeID, n)
+	for i := range nodes {
+		nodes[i] = ids.Synthetic(i)
+	}
+	for i, id := range nodes {
+		a, err := NewAgent(id, viewSize, 3, int64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Ring bootstrap.
+		a.Seed([]ids.NodeID{nodes[(i+1)%n], nodes[(i+2)%n]})
+		net.agents[id] = a
+	}
+	return net, nodes
+}
+
+// tick runs one shuffle round for id, delivering request and reply
+// synchronously.
+func (n *agentNet) tick(id ids.NodeID) {
+	a := n.agents[id]
+	peer, req, ok := a.Tick()
+	if !ok {
+		return
+	}
+	b, exists := n.agents[peer]
+	if !exists {
+		return // peer gone; request lost
+	}
+	reply := b.HandleRequest(id, req)
+	a.HandleReply(peer, reply)
+}
+
+func TestNewAgentValidation(t *testing.T) {
+	if _, err := NewAgent(ids.Nil, 8, 3, 1); err == nil {
+		t.Error("want error for nil self")
+	}
+	if _, err := NewAgent("a", 0, 3, 1); err == nil {
+		t.Error("want error for zero view")
+	}
+	if _, err := NewAgent("a", 8, 0, 1); err == nil {
+		t.Error("want error for zero shuffle len")
+	}
+	if _, err := NewAgent("a", 8, 9, 1); err == nil {
+		t.Error("want error for shuffleLen > viewSize")
+	}
+	a, err := NewAgent("a", 8, 3, 0) // zero seed derives from identity
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == nil {
+		t.Fatal("nil agent")
+	}
+}
+
+func TestAgentSeedAndView(t *testing.T) {
+	a, err := NewAgent("self", 4, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Seed([]ids.NodeID{"p1", "p2", "self", "", "p1"})
+	v := a.View()
+	if len(v) != 2 {
+		t.Fatalf("view = %v, want [p1 p2]", v)
+	}
+	for _, id := range v {
+		if id == "self" || id.IsNil() {
+			t.Errorf("view contains %q", id)
+		}
+	}
+}
+
+func TestAgentViewBounded(t *testing.T) {
+	a, err := NewAgent("self", 3, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := make([]ids.NodeID, 10)
+	for i := range peers {
+		peers[i] = ids.Synthetic(i + 1)
+	}
+	a.Seed(peers)
+	if got := len(a.View()); got > 3 {
+		t.Errorf("view size %d exceeds bound 3", got)
+	}
+}
+
+func TestAgentTickEmptyView(t *testing.T) {
+	a, err := NewAgent("self", 4, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := a.Tick(); ok {
+		t.Error("Tick on empty view returned ok")
+	}
+}
+
+func TestAgentExchangeSpreadsEntries(t *testing.T) {
+	const n = 30
+	net, nodes := newAgentNet(t, n, 8)
+	for round := 0; round < 60; round++ {
+		for _, id := range nodes {
+			net.tick(id)
+		}
+	}
+	// Node 0 should have met far more peers than its 2 bootstrap seeds.
+	distinct := make(map[ids.NodeID]bool)
+	for round := 0; round < 30; round++ {
+		for _, id := range net.agents[nodes[0]].View() {
+			distinct[id] = true
+		}
+		for _, id := range nodes {
+			net.tick(id)
+		}
+	}
+	if len(distinct) < 10 {
+		t.Errorf("node 0 saw only %d distinct peers", len(distinct))
+	}
+	// Invariants: no self, no duplicates, bounded.
+	for _, id := range nodes {
+		v := net.agents[id].View()
+		if len(v) > 8 {
+			t.Fatalf("view overflow: %d", len(v))
+		}
+		seen := map[ids.NodeID]bool{}
+		for _, peer := range v {
+			if peer == id {
+				t.Fatalf("node %v has itself in view", id)
+			}
+			if seen[peer] {
+				t.Fatalf("duplicate %v in %v's view", peer, id)
+			}
+			seen[peer] = true
+		}
+	}
+}
+
+func TestAgentSelfEntryPropagates(t *testing.T) {
+	// After an exchange, the responder must know the initiator (the
+	// fresh self-entry is the mechanism that spreads knowledge of new
+	// nodes).
+	a, err := NewAgent("a", 8, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewAgent("b", 8, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Seed([]ids.NodeID{"b"})
+	peer, req, ok := a.Tick()
+	if !ok || peer != "b" {
+		t.Fatalf("Tick = (%v, %v)", peer, ok)
+	}
+	reply := b.HandleRequest("a", req)
+	a.HandleReply("b", reply)
+	found := false
+	for _, id := range b.View() {
+		if id == "a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("responder never learned the initiator")
+	}
+}
+
+func TestAgentConcurrentSafety(t *testing.T) {
+	a, err := NewAgent("self", 16, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := make([]ids.NodeID, 32)
+	for i := range peers {
+		peers[i] = ids.Synthetic(i + 1)
+	}
+	a.Seed(peers)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				switch g % 4 {
+				case 0:
+					a.Tick()
+				case 1:
+					a.HandleRequest("x", Request{Entries: []Entry{{ID: ids.Synthetic(i)}}})
+				case 2:
+					a.HandleReply("y", Reply{Entries: []Entry{{ID: ids.Synthetic(i + 500)}}})
+				default:
+					a.View()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,314 @@
+// Package shuffle implements the decentralized shuffling partial
+// membership service AVMEM consumes as a black box (paper §3.1): each
+// node maintains a small random "coarse view" of other nodes whose
+// contents are continuously shuffled, so that any long-lived node
+// eventually appears in any other node's view (expected discovery time
+// O(N/v) protocol periods for view size v).
+//
+// Two implementations are provided:
+//
+//   - Cyclon: the CYCLON-style age-based shuffle (Voulgaris et al.),
+//     the faithful protocol with bounded views and pairwise exchanges.
+//   - UniformSampler: an idealized service that returns a fresh uniform
+//     sample of online nodes on every query — an upper bound useful for
+//     tests and ablations.
+package shuffle
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"avmem/internal/ids"
+)
+
+// Service yields the current coarse view of a node. AVMEM's discovery
+// sub-protocol iterates these entries every protocol period.
+type Service interface {
+	// View returns the identifiers currently in x's coarse view. The
+	// returned slice is owned by the caller.
+	View(x ids.NodeID) []ids.NodeID
+}
+
+// Entry is one coarse-view slot: a peer and its CYCLON age.
+type Entry struct {
+	ID  ids.NodeID
+	Age int
+}
+
+// View is one node's bounded coarse view. The zero value is unusable;
+// create views through Cyclon.
+type view struct {
+	self    ids.NodeID
+	cap     int
+	entries []Entry
+}
+
+func (v *view) contains(id ids.NodeID) bool {
+	for _, e := range v.entries {
+		if e.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// add inserts id with age 0 if absent, evicting the oldest entry when
+// the view is full.
+func (v *view) add(id ids.NodeID) {
+	if id == v.self || id.IsNil() || v.contains(id) {
+		return
+	}
+	if len(v.entries) < v.cap {
+		v.entries = append(v.entries, Entry{ID: id})
+		return
+	}
+	v.entries[oldestIndex(v.entries)] = Entry{ID: id}
+}
+
+// oldestIndex returns the index of the entry with the greatest age.
+func oldestIndex(entries []Entry) int {
+	oldest := 0
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Age > entries[oldest].Age {
+			oldest = i
+		}
+	}
+	return oldest
+}
+
+// Cyclon runs the age-based shuffling protocol across a set of nodes.
+// It is driven explicitly: the simulation calls Tick(x) once per
+// protocol period per online node; the live runtime does the same from
+// its timer loop. Cyclon is not safe for concurrent use; wrap it if the
+// caller is concurrent.
+type Cyclon struct {
+	viewSize   int
+	shuffleLen int
+	rng        *rand.Rand
+	online     func(ids.NodeID) bool
+	views      map[ids.NodeID]*view
+}
+
+var _ Service = (*Cyclon)(nil)
+
+// NewCyclon creates the shuffling service. viewSize is the per-node
+// coarse view bound v (the paper derives v ≈ √N as the sweet spot);
+// shuffleLen is the number of entries exchanged per shuffle (must be
+// <= viewSize); online reports current liveness (nil means always
+// online); rng drives peer and subset selection.
+func NewCyclon(viewSize, shuffleLen int, online func(ids.NodeID) bool, rng *rand.Rand) (*Cyclon, error) {
+	if viewSize <= 0 {
+		return nil, fmt.Errorf("shuffle: viewSize must be positive, got %d", viewSize)
+	}
+	if shuffleLen <= 0 || shuffleLen > viewSize {
+		return nil, fmt.Errorf("shuffle: shuffleLen must be in [1,%d], got %d", viewSize, shuffleLen)
+	}
+	if online == nil {
+		online = func(ids.NodeID) bool { return true }
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("shuffle: rng must not be nil")
+	}
+	return &Cyclon{
+		viewSize:   viewSize,
+		shuffleLen: shuffleLen,
+		rng:        rng,
+		online:     online,
+		views:      make(map[ids.NodeID]*view, 2048),
+	}, nil
+}
+
+// Join registers x with an initial view drawn from seeds (typically a
+// handful of random online nodes, the bootstrap-server story). Calling
+// Join for an existing node re-seeds without clearing what remains.
+func (c *Cyclon) Join(x ids.NodeID, seeds []ids.NodeID) {
+	v := c.views[x]
+	if v == nil {
+		v = &view{self: x, cap: c.viewSize, entries: make([]Entry, 0, c.viewSize)}
+		c.views[x] = v
+	}
+	for _, s := range seeds {
+		v.add(s)
+	}
+}
+
+// Leave removes x entirely (a permanent departure; churned-offline nodes
+// should simply fail the online check instead).
+func (c *Cyclon) Leave(x ids.NodeID) { delete(c.views, x) }
+
+// View implements Service.
+func (c *Cyclon) View(x ids.NodeID) []ids.NodeID {
+	v := c.views[x]
+	if v == nil {
+		return nil
+	}
+	out := make([]ids.NodeID, len(v.entries))
+	for i, e := range v.entries {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// ViewSize returns the configured per-node view bound.
+func (c *Cyclon) ViewSize() int { return c.viewSize }
+
+// Tick performs one CYCLON shuffle initiated by x: ages x's entries,
+// picks the oldest *online* neighbor q, and exchanges up to shuffleLen
+// entries with it.
+//
+// Entries for currently-offline nodes are deliberately kept: the coarse
+// view is weakly consistent (paper §3.1 — it "may even contain stale
+// entries"), and AVMEM's discovery depends on that. In a churned system
+// most of the population is offline at any instant; if their entries
+// washed out, low-availability nodes would never be discovered as
+// neighbors. Stale entries are skipped as shuffle partners, age
+// normally, and get evicted by merge pressure from fresher entries.
+// Entries for permanently departed nodes (Leave) are discarded.
+func (c *Cyclon) Tick(x ids.NodeID) {
+	vx := c.views[x]
+	if vx == nil || !c.online(x) {
+		return
+	}
+	for i := range vx.entries {
+		vx.entries[i].Age++
+	}
+	// Partner = the oldest entry whose node is online and registered.
+	// Departed (unregistered) nodes are dropped as encountered.
+	for {
+		partner := -1
+		for i, e := range vx.entries {
+			if c.views[e.ID] == nil {
+				// Permanently gone: remove and rescan.
+				vx.entries = append(vx.entries[:i], vx.entries[i+1:]...)
+				partner = -2
+				break
+			}
+			if !c.online(e.ID) {
+				continue
+			}
+			if partner < 0 || e.Age > vx.entries[partner].Age {
+				partner = i
+			}
+		}
+		if partner == -2 {
+			continue // rescan after removal
+		}
+		if partner < 0 {
+			return // no online partner this round
+		}
+		c.exchange(vx, c.views[vx.entries[partner].ID], partner)
+		return
+	}
+}
+
+// exchange swaps subsets between initiator vx (whose oldest entry sits
+// at index qIdx and belongs to responder vq).
+func (c *Cyclon) exchange(vx, vq *view, qIdx int) {
+	// The initiator discards its entry for the responder and sends a
+	// fresh self-entry plus up to shuffleLen-1 random others.
+	vx.entries = append(vx.entries[:qIdx], vx.entries[qIdx+1:]...)
+	outX := c.sampleEntries(vx, c.shuffleLen-1)
+	outX = append(outX, Entry{ID: vx.self, Age: 0})
+
+	outQ := c.sampleEntries(vq, c.shuffleLen)
+
+	c.merge(vq, outX)
+	c.merge(vx, outQ)
+}
+
+// sampleEntries picks up to n distinct random entries from v.
+func (c *Cyclon) sampleEntries(v *view, n int) []Entry {
+	if n <= 0 || len(v.entries) == 0 {
+		return nil
+	}
+	idx := c.rng.Perm(len(v.entries))
+	if n > len(idx) {
+		n = len(idx)
+	}
+	out := make([]Entry, 0, n)
+	for _, i := range idx[:n] {
+		out = append(out, v.entries[i])
+	}
+	return out
+}
+
+// merge folds received entries into v, skipping self, duplicates, and
+// permanently departed nodes (without the last check, two nodes could
+// ping-pong a departed entry between their views forever), evicting the
+// oldest entries when over capacity.
+func (c *Cyclon) merge(v *view, received []Entry) {
+	for _, e := range received {
+		if e.ID == v.self || e.ID.IsNil() || v.contains(e.ID) || c.views[e.ID] == nil {
+			continue
+		}
+		if len(v.entries) < v.cap {
+			v.entries = append(v.entries, e)
+			continue
+		}
+		oldest := oldestIndex(v.entries)
+		if v.entries[oldest].Age >= e.Age {
+			v.entries[oldest] = e
+		}
+	}
+}
+
+// Nodes returns all registered node ids in deterministic order.
+func (c *Cyclon) Nodes() []ids.NodeID {
+	out := make([]ids.NodeID, 0, len(c.views))
+	for id := range c.views {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// UniformSampler is the idealized shuffling service: every View call
+// returns a fresh uniform sample (without replacement) of size up to
+// viewSize drawn from the currently online population. It models a
+// perfect shuffle and upper-bounds discovery speed.
+type UniformSampler struct {
+	viewSize int
+	rng      *rand.Rand
+	// Population enumerates candidate node ids; online filters them.
+	population func() []ids.NodeID
+	online     func(ids.NodeID) bool
+}
+
+var _ Service = (*UniformSampler)(nil)
+
+// NewUniformSampler constructs the idealized service. population must
+// not be nil; online nil means always online.
+func NewUniformSampler(viewSize int, population func() []ids.NodeID, online func(ids.NodeID) bool, rng *rand.Rand) (*UniformSampler, error) {
+	if viewSize <= 0 {
+		return nil, fmt.Errorf("shuffle: viewSize must be positive, got %d", viewSize)
+	}
+	if population == nil {
+		return nil, fmt.Errorf("shuffle: population must not be nil")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("shuffle: rng must not be nil")
+	}
+	if online == nil {
+		online = func(ids.NodeID) bool { return true }
+	}
+	return &UniformSampler{viewSize: viewSize, rng: rng, population: population, online: online}, nil
+}
+
+// View implements Service.
+func (u *UniformSampler) View(x ids.NodeID) []ids.NodeID {
+	all := u.population()
+	candidates := make([]ids.NodeID, 0, len(all))
+	for _, id := range all {
+		if id != x && u.online(id) {
+			candidates = append(candidates, id)
+		}
+	}
+	u.rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	if len(candidates) > u.viewSize {
+		candidates = candidates[:u.viewSize]
+	}
+	return candidates
+}

@@ -1,0 +1,348 @@
+package shuffle
+
+import (
+	"math/rand"
+	"testing"
+
+	"avmem/internal/ids"
+)
+
+func newCyclonForTest(t *testing.T, n, viewSize int) (*Cyclon, []ids.NodeID) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	c, err := NewCyclon(viewSize, 3, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]ids.NodeID, n)
+	for i := range nodes {
+		nodes[i] = ids.Synthetic(i)
+	}
+	// Bootstrap: each node seeds with a few ring neighbors — a weakly
+	// connected start the shuffle must randomize.
+	for i, id := range nodes {
+		seeds := []ids.NodeID{
+			nodes[(i+1)%n],
+			nodes[(i+2)%n],
+			nodes[(i+n-1)%n],
+		}
+		c.Join(id, seeds)
+	}
+	return c, nodes
+}
+
+func TestNewCyclonValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewCyclon(0, 1, nil, rng); err == nil {
+		t.Error("want error for zero view size")
+	}
+	if _, err := NewCyclon(8, 0, nil, rng); err == nil {
+		t.Error("want error for zero shuffle len")
+	}
+	if _, err := NewCyclon(8, 9, nil, rng); err == nil {
+		t.Error("want error for shuffleLen > viewSize")
+	}
+	if _, err := NewCyclon(8, 3, nil, nil); err == nil {
+		t.Error("want error for nil rng")
+	}
+}
+
+func TestJoinAndView(t *testing.T) {
+	c, nodes := newCyclonForTest(t, 10, 5)
+	v := c.View(nodes[0])
+	if len(v) != 3 {
+		t.Fatalf("initial view size = %d, want 3", len(v))
+	}
+	for _, id := range v {
+		if id == nodes[0] {
+			t.Error("view contains self")
+		}
+	}
+	if got := c.View("unknown"); got != nil {
+		t.Errorf("View(unknown) = %v, want nil", got)
+	}
+}
+
+func TestViewBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c, err := NewCyclon(4, 2, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ids.Synthetic(0)
+	seeds := make([]ids.NodeID, 20)
+	for i := range seeds {
+		seeds[i] = ids.Synthetic(i + 1)
+	}
+	c.Join(x, seeds)
+	if got := len(c.View(x)); got > 4 {
+		t.Errorf("view size = %d exceeds capacity 4", got)
+	}
+}
+
+func TestJoinIgnoresSelfAndNil(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c, err := NewCyclon(4, 2, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ids.Synthetic(0)
+	c.Join(x, []ids.NodeID{x, ids.Nil, ids.Synthetic(1)})
+	v := c.View(x)
+	if len(v) != 1 || v[0] != ids.Synthetic(1) {
+		t.Errorf("view = %v, want only synthetic 1", v)
+	}
+}
+
+func TestShuffleSpreadsEntries(t *testing.T) {
+	const n = 60
+	c, nodes := newCyclonForTest(t, n, 8)
+	// Run many shuffle rounds.
+	for round := 0; round < 80; round++ {
+		for _, id := range nodes {
+			c.Tick(id)
+		}
+	}
+	// Every node should still have a healthy view, and the union of
+	// distinct peers seen in node 0's view over additional rounds should
+	// far exceed the initial 3 ring neighbors — evidence of mixing.
+	distinct := make(map[ids.NodeID]bool)
+	for round := 0; round < 40; round++ {
+		for _, id := range c.View(nodes[0]) {
+			distinct[id] = true
+		}
+		for _, id := range nodes {
+			c.Tick(id)
+		}
+	}
+	if len(distinct) < 15 {
+		t.Errorf("node 0 saw only %d distinct peers; shuffle not mixing", len(distinct))
+	}
+	for _, id := range nodes {
+		if got := len(c.View(id)); got == 0 {
+			t.Errorf("node %v has empty view after shuffling", id)
+		}
+	}
+}
+
+func TestShuffleNoSelfNoDuplicates(t *testing.T) {
+	c, nodes := newCyclonForTest(t, 30, 6)
+	for round := 0; round < 60; round++ {
+		for _, id := range nodes {
+			c.Tick(id)
+		}
+		for _, id := range nodes {
+			seen := make(map[ids.NodeID]bool)
+			for _, peer := range c.View(id) {
+				if peer == id {
+					t.Fatalf("round %d: node %v has itself in view", round, id)
+				}
+				if seen[peer] {
+					t.Fatalf("round %d: node %v has duplicate %v", round, id, peer)
+				}
+				seen[peer] = true
+			}
+		}
+	}
+}
+
+func TestOfflineEntriesPersistButDoNotBlock(t *testing.T) {
+	// The coarse view is weakly consistent: entries for offline nodes
+	// are kept (they are what lets AVMEM discover low-availability
+	// neighbors) but must not stall shuffling among online nodes.
+	online := make(map[ids.NodeID]bool)
+	rng := rand.New(rand.NewSource(5))
+	c, err := NewCyclon(6, 3, func(id ids.NodeID) bool { return online[id] }, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]ids.NodeID, 12)
+	for i := range nodes {
+		nodes[i] = ids.Synthetic(i)
+		online[nodes[i]] = true
+	}
+	for i, id := range nodes {
+		c.Join(id, []ids.NodeID{nodes[(i+1)%12], nodes[(i+2)%12], nodes[(i+3)%12]})
+	}
+	for round := 0; round < 30; round++ {
+		for _, id := range nodes {
+			c.Tick(id)
+		}
+	}
+	// Take half the nodes offline. Shuffling among the online half must
+	// continue: their views keep evolving.
+	for i := 6; i < 12; i++ {
+		online[nodes[i]] = false
+	}
+	distinct := make(map[ids.NodeID]bool)
+	for round := 0; round < 60; round++ {
+		for _, id := range nodes[:6] {
+			c.Tick(id)
+		}
+		for _, peer := range c.View(nodes[0]) {
+			distinct[peer] = true
+		}
+	}
+	if len(distinct) < 4 {
+		t.Errorf("shuffling stalled: node 0 saw only %d distinct peers", len(distinct))
+	}
+	// Views must not be empty, and online nodes remain reachable.
+	for _, id := range nodes[:6] {
+		if len(c.View(id)) == 0 {
+			t.Errorf("node %v view emptied", id)
+		}
+	}
+}
+
+func TestDepartedNodesRemoved(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c, err := NewCyclon(6, 3, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, d := ids.Synthetic(0), ids.Synthetic(1), ids.Synthetic(2)
+	c.Join(a, []ids.NodeID{b, d})
+	c.Join(b, []ids.NodeID{a, d})
+	c.Join(d, []ids.NodeID{a, b})
+	c.Leave(d) // permanent departure
+	for round := 0; round < 10; round++ {
+		c.Tick(a)
+		c.Tick(b)
+	}
+	for _, id := range []ids.NodeID{a, b} {
+		for _, peer := range c.View(id) {
+			if peer == d {
+				t.Errorf("departed node %v still referenced by %v", d, id)
+			}
+		}
+	}
+}
+
+func TestOfflineNodeTickNoop(t *testing.T) {
+	online := map[ids.NodeID]bool{}
+	rng := rand.New(rand.NewSource(5))
+	c, err := NewCyclon(6, 3, func(id ids.NodeID) bool { return online[id] }, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := ids.Synthetic(0), ids.Synthetic(1)
+	online[x], online[y] = false, true
+	c.Join(x, []ids.NodeID{y})
+	before := c.View(x)
+	c.Tick(x) // x offline: no-op
+	after := c.View(x)
+	if len(before) != len(after) {
+		t.Errorf("offline tick changed view: %v -> %v", before, after)
+	}
+	c.Tick("ghost") // unregistered: no-op, no panic
+}
+
+func TestLeave(t *testing.T) {
+	c, nodes := newCyclonForTest(t, 5, 4)
+	c.Leave(nodes[0])
+	if got := c.View(nodes[0]); got != nil {
+		t.Errorf("view after leave = %v", got)
+	}
+	if got := len(c.Nodes()); got != 4 {
+		t.Errorf("Nodes len = %d, want 4", got)
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	c, _ := newCyclonForTest(t, 10, 4)
+	ns := c.Nodes()
+	for i := 1; i < len(ns); i++ {
+		if ns[i-1] >= ns[i] {
+			t.Fatalf("Nodes not sorted: %v", ns)
+		}
+	}
+}
+
+func TestEventualDiscovery(t *testing.T) {
+	// The black-box property AVMEM relies on: given enough rounds, node
+	// y appears in node x's view at least once.
+	const n = 40
+	c, nodes := newCyclonForTest(t, n, 6)
+	target := nodes[n-1]
+	seen := false
+	for round := 0; round < 400 && !seen; round++ {
+		for _, id := range nodes {
+			c.Tick(id)
+		}
+		for _, peer := range c.View(nodes[0]) {
+			if peer == target {
+				seen = true
+				break
+			}
+		}
+	}
+	if !seen {
+		t.Error("target never appeared in initiator's coarse view")
+	}
+}
+
+func TestUniformSampler(t *testing.T) {
+	nodes := make([]ids.NodeID, 50)
+	for i := range nodes {
+		nodes[i] = ids.Synthetic(i)
+	}
+	online := func(id ids.NodeID) bool { return id != nodes[1] }
+	rng := rand.New(rand.NewSource(9))
+	u, err := NewUniformSampler(10, func() []ids.NodeID { return nodes }, online, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := u.View(nodes[0])
+	if len(v) != 10 {
+		t.Fatalf("sample size = %d, want 10", len(v))
+	}
+	for _, id := range v {
+		if id == nodes[0] {
+			t.Error("sample contains querier")
+		}
+		if id == nodes[1] {
+			t.Error("sample contains offline node")
+		}
+	}
+	// Two samples should differ (fresh randomness).
+	v2 := u.View(nodes[0])
+	same := len(v) == len(v2)
+	if same {
+		for i := range v {
+			if v[i] != v2[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("two uniform samples identical; not reshuffling")
+	}
+}
+
+func TestUniformSamplerValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pop := func() []ids.NodeID { return nil }
+	if _, err := NewUniformSampler(0, pop, nil, rng); err == nil {
+		t.Error("want error for zero view size")
+	}
+	if _, err := NewUniformSampler(5, nil, nil, rng); err == nil {
+		t.Error("want error for nil population")
+	}
+	if _, err := NewUniformSampler(5, pop, nil, nil); err == nil {
+		t.Error("want error for nil rng")
+	}
+}
+
+func TestUniformSamplerSmallPopulation(t *testing.T) {
+	nodes := []ids.NodeID{ids.Synthetic(0), ids.Synthetic(1)}
+	rng := rand.New(rand.NewSource(2))
+	u, err := NewUniformSampler(10, func() []ids.NodeID { return nodes }, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := u.View(nodes[0])
+	if len(v) != 1 || v[0] != nodes[1] {
+		t.Errorf("sample = %v, want just the other node", v)
+	}
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"time"
+
+	"avmem/internal/ids"
+)
+
+// Handler consumes a message delivered to a node.
+type Handler func(from ids.NodeID, msg any)
+
+// OnlineFunc reports whether a node is currently online. The network
+// consults it at delivery time, so a node that goes offline while a
+// message is in flight misses the delivery — the same semantics a churn
+// trace imposes on a real system.
+type OnlineFunc func(id ids.NodeID) bool
+
+// NetworkStats counts network activity for overhead and spam metrics.
+type NetworkStats struct {
+	Sent      int // messages handed to the network
+	Delivered int // messages that reached an online handler
+	Dropped   int // messages lost to offline or unregistered targets
+}
+
+// Network is the simulated message fabric: unicast with per-hop latency,
+// delivery only to online nodes, and optional delivery acknowledgments
+// for failure detection (retried-greedy forwarding needs them).
+type Network struct {
+	world   *World
+	latency LatencyModel
+	online  OnlineFunc
+	// ackTimeout is how long a caller of SendCall waits before declaring
+	// the attempt failed when no ack arrives.
+	ackTimeout time.Duration
+	handlers   map[ids.NodeID]Handler
+	stats      NetworkStats
+}
+
+// NewNetwork creates a network on the world. latency defaults to the
+// paper's U[20,80] ms model; online defaults to "always online";
+// ackTimeout <= 0 defaults to 2× the worst-case paper latency (160 ms).
+func NewNetwork(w *World, latency LatencyModel, online OnlineFunc, ackTimeout time.Duration) *Network {
+	if latency == nil {
+		latency = PaperLatency()
+	}
+	if online == nil {
+		online = func(ids.NodeID) bool { return true }
+	}
+	if ackTimeout <= 0 {
+		ackTimeout = 160 * time.Millisecond
+	}
+	return &Network{
+		world:      w,
+		latency:    latency,
+		online:     online,
+		ackTimeout: ackTimeout,
+		handlers:   make(map[ids.NodeID]Handler, 1024),
+	}
+}
+
+// Register installs the message handler for a node. A nil handler
+// unregisters the node.
+func (n *Network) Register(id ids.NodeID, h Handler) {
+	if h == nil {
+		delete(n.handlers, id)
+		return
+	}
+	n.handlers[id] = h
+}
+
+// Stats returns a copy of the activity counters.
+func (n *Network) Stats() NetworkStats { return n.stats }
+
+// ResetStats zeroes the activity counters (used between experiment
+// phases so warmup traffic does not pollute measurements).
+func (n *Network) ResetStats() { n.stats = NetworkStats{} }
+
+// Online reports whether the network considers id online right now.
+func (n *Network) Online(id ids.NodeID) bool { return n.online(id) }
+
+// Send delivers msg to to after one sampled hop latency, if the target
+// is online and registered at delivery time. Offline targets silently
+// drop the message (counted in stats).
+func (n *Network) Send(from, to ids.NodeID, msg any) {
+	n.stats.Sent++
+	lat := n.latency.Sample(n.world.Rand())
+	n.world.After(lat, func() {
+		h, ok := n.handlers[to]
+		if !ok || !n.online(to) {
+			n.stats.Dropped++
+			return
+		}
+		n.stats.Delivered++
+		h(from, msg)
+	})
+}
+
+// SendCall delivers msg like Send but also reports the outcome to the
+// sender: onResult(true) fires when the target acknowledged (one
+// round-trip after sending), onResult(false) fires after ackTimeout when
+// the target was offline or unregistered. This models the paper's
+// "each next-hop node is required to acknowledge receipt" rule.
+func (n *Network) SendCall(from, to ids.NodeID, msg any, onResult func(ok bool)) {
+	n.stats.Sent++
+	out := n.latency.Sample(n.world.Rand())
+	back := n.latency.Sample(n.world.Rand())
+	n.world.After(out, func() {
+		h, ok := n.handlers[to]
+		if !ok || !n.online(to) {
+			n.stats.Dropped++
+			if onResult != nil {
+				// Failure is detected only after the ack timeout expires.
+				n.world.After(n.ackTimeout-out, func() { onResult(false) })
+			}
+			return
+		}
+		n.stats.Delivered++
+		h(from, msg)
+		if onResult != nil {
+			n.world.After(back, func() { onResult(true) })
+		}
+	})
+}

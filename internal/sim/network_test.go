@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"avmem/internal/ids"
+)
+
+func TestSendDelivers(t *testing.T) {
+	w := NewWorld(1)
+	n := NewNetwork(w, FixedLatency(50*time.Millisecond), nil, 0)
+	var got any
+	var gotFrom ids.NodeID
+	var at time.Duration
+	n.Register("b", func(from ids.NodeID, msg any) {
+		got, gotFrom, at = msg, from, w.Now()
+	})
+	n.Send("a", "b", "hello")
+	w.Run(time.Second)
+	if got != "hello" || gotFrom != "a" {
+		t.Errorf("delivery = (%v, %v)", got, gotFrom)
+	}
+	if at != 50*time.Millisecond {
+		t.Errorf("delivered at %v, want 50ms", at)
+	}
+	if s := n.Stats(); s.Sent != 1 || s.Delivered != 1 || s.Dropped != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestSendToOfflineDrops(t *testing.T) {
+	w := NewWorld(1)
+	online := map[ids.NodeID]bool{"a": true}
+	n := NewNetwork(w, FixedLatency(time.Millisecond), func(id ids.NodeID) bool { return online[id] }, 0)
+	delivered := false
+	n.Register("b", func(ids.NodeID, any) { delivered = true })
+	n.Send("a", "b", "x")
+	w.Run(time.Second)
+	if delivered {
+		t.Error("message delivered to offline node")
+	}
+	if s := n.Stats(); s.Dropped != 1 {
+		t.Errorf("stats = %+v, want 1 drop", s)
+	}
+}
+
+func TestSendToUnregisteredDrops(t *testing.T) {
+	w := NewWorld(1)
+	n := NewNetwork(w, FixedLatency(time.Millisecond), nil, 0)
+	n.Send("a", "ghost", "x")
+	w.Run(time.Second)
+	if s := n.Stats(); s.Dropped != 1 {
+		t.Errorf("stats = %+v, want 1 drop", s)
+	}
+}
+
+func TestOnlineAtDeliveryTimeMatters(t *testing.T) {
+	w := NewWorld(1)
+	up := true
+	n := NewNetwork(w, FixedLatency(100*time.Millisecond), func(ids.NodeID) bool { return up }, 0)
+	delivered := false
+	n.Register("b", func(ids.NodeID, any) { delivered = true })
+	n.Send("a", "b", "x") // in flight for 100ms
+	w.At(50*time.Millisecond, func() { up = false })
+	w.Run(time.Second)
+	if delivered {
+		t.Error("message delivered despite target going offline mid-flight")
+	}
+}
+
+func TestSendCallAck(t *testing.T) {
+	w := NewWorld(1)
+	n := NewNetwork(w, FixedLatency(30*time.Millisecond), nil, 0)
+	n.Register("b", func(ids.NodeID, any) {})
+	var result *bool
+	var at time.Duration
+	n.SendCall("a", "b", "x", func(ok bool) { result = &ok; at = w.Now() })
+	w.Run(time.Second)
+	if result == nil || !*result {
+		t.Fatal("want ack true")
+	}
+	if at != 60*time.Millisecond { // out + back
+		t.Errorf("ack at %v, want 60ms", at)
+	}
+}
+
+func TestSendCallFailureAfterTimeout(t *testing.T) {
+	w := NewWorld(1)
+	n := NewNetwork(w, FixedLatency(30*time.Millisecond), nil, 200*time.Millisecond)
+	// "b" never registered → offline.
+	var result *bool
+	var at time.Duration
+	n.SendCall("a", "b", "x", func(ok bool) { result = &ok; at = w.Now() })
+	w.Run(time.Second)
+	if result == nil || *result {
+		t.Fatal("want nack")
+	}
+	if at != 200*time.Millisecond {
+		t.Errorf("nack at %v, want ackTimeout 200ms", at)
+	}
+}
+
+func TestSendCallNilCallback(t *testing.T) {
+	w := NewWorld(1)
+	n := NewNetwork(w, FixedLatency(time.Millisecond), nil, 0)
+	n.Register("b", func(ids.NodeID, any) {})
+	n.SendCall("a", "b", "x", nil) // must not panic
+	n.SendCall("a", "ghost", "x", nil)
+	w.Run(time.Second)
+}
+
+func TestRegisterNilUnregisters(t *testing.T) {
+	w := NewWorld(1)
+	n := NewNetwork(w, FixedLatency(time.Millisecond), nil, 0)
+	delivered := 0
+	n.Register("b", func(ids.NodeID, any) { delivered++ })
+	n.Send("a", "b", "1")
+	w.Run(time.Second)
+	n.Register("b", nil)
+	n.Send("a", "b", "2")
+	w.Run(2 * time.Second)
+	if delivered != 1 {
+		t.Errorf("delivered = %d, want 1", delivered)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	w := NewWorld(1)
+	n := NewNetwork(w, FixedLatency(time.Millisecond), nil, 0)
+	n.Register("b", func(ids.NodeID, any) {})
+	n.Send("a", "b", "x")
+	w.Run(time.Second)
+	n.ResetStats()
+	if s := n.Stats(); s != (NetworkStats{}) {
+		t.Errorf("stats after reset = %+v", s)
+	}
+}
+
+func TestNetworkDefaults(t *testing.T) {
+	w := NewWorld(1)
+	n := NewNetwork(w, nil, nil, 0)
+	if !n.Online("anyone") {
+		t.Error("default online func should return true")
+	}
+	got := false
+	n.Register("b", func(ids.NodeID, any) { got = true })
+	n.Send("a", "b", "x")
+	w.Run(time.Second)
+	if !got {
+		t.Error("default latency model failed to deliver")
+	}
+}

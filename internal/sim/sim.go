@@ -1,0 +1,176 @@
+// Package sim is a deterministic discrete-event simulator: a virtual
+// clock, an event heap, seeded randomness, and a message-passing network
+// with a configurable per-hop latency model and online/offline delivery
+// semantics.
+//
+// All of the paper's experiments execute on this engine. Determinism is
+// a design goal (DESIGN.md §5): the world is single-threaded and events
+// with equal timestamps fire in scheduling order, so a (trace, seed)
+// pair regenerates every figure bit-identically.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// World is the simulation universe: clock, event queue, and RNG.
+// Create one with NewWorld; the zero value is not usable.
+type World struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+}
+
+// NewWorld creates a world at time zero with a deterministic RNG.
+func NewWorld(seed int64) *World {
+	return &World{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (w *World) Now() time.Duration { return w.now }
+
+// Rand returns the world's deterministic random source.
+func (w *World) Rand() *rand.Rand { return w.rng }
+
+// At schedules fn to run at virtual time at. Times in the past run at
+// the current instant (never before already-queued same-time events).
+func (w *World) At(at time.Duration, fn func()) {
+	if fn == nil {
+		return
+	}
+	if at < w.now {
+		at = w.now
+	}
+	w.seq++
+	heap.Push(&w.events, &event{at: at, seq: w.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (w *World) After(d time.Duration, fn func()) { w.At(w.now+d, fn) }
+
+// Every schedules fn to run now+offset, then every period thereafter,
+// until stop returns true (checked before each run). period must be
+// positive.
+func (w *World) Every(offset, period time.Duration, stop func() bool, fn func()) error {
+	if period <= 0 {
+		return fmt.Errorf("sim: period must be positive, got %v", period)
+	}
+	if fn == nil {
+		return fmt.Errorf("sim: nil periodic function")
+	}
+	var tick func()
+	tick = func() {
+		if stop != nil && stop() {
+			return
+		}
+		fn()
+		w.After(period, tick)
+	}
+	w.After(offset, tick)
+	return nil
+}
+
+// Run processes all events with timestamp <= until, advancing the clock
+// event by event, and leaves the clock at until. It returns the number
+// of events processed.
+func (w *World) Run(until time.Duration) int {
+	n := 0
+	for len(w.events) > 0 && w.events[0].at <= until {
+		ev := heap.Pop(&w.events).(*event)
+		w.now = ev.at
+		ev.fn()
+		n++
+	}
+	if until > w.now {
+		w.now = until
+	}
+	return n
+}
+
+// RunAll drains the event queue completely. Periodic schedules created
+// with Every never drain; use Run with a horizon for those. maxEvents
+// bounds runaway execution (<= 0 means no bound). It returns the number
+// of events processed.
+func (w *World) RunAll(maxEvents int) int {
+	n := 0
+	for len(w.events) > 0 {
+		if maxEvents > 0 && n >= maxEvents {
+			break
+		}
+		ev := heap.Pop(&w.events).(*event)
+		w.now = ev.at
+		ev.fn()
+		n++
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (w *World) Pending() int { return len(w.events) }
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// LatencyModel samples one-way message latencies.
+type LatencyModel interface {
+	// Sample draws one latency using the provided RNG.
+	Sample(rng *rand.Rand) time.Duration
+}
+
+// UniformLatency samples uniformly from [Min, Max], the paper's
+// per-virtual-hop model ("selected uniformly at random from the
+// interval [20ms, 80ms]").
+type UniformLatency struct {
+	Min time.Duration
+	Max time.Duration
+}
+
+var _ LatencyModel = UniformLatency{}
+
+// Sample implements LatencyModel.
+func (u UniformLatency) Sample(rng *rand.Rand) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min)+1))
+}
+
+// FixedLatency always returns the same latency; handy in tests.
+type FixedLatency time.Duration
+
+var _ LatencyModel = FixedLatency(0)
+
+// Sample implements LatencyModel.
+func (f FixedLatency) Sample(*rand.Rand) time.Duration { return time.Duration(f) }
+
+// PaperLatency is the paper's U[20ms, 80ms] virtual-hop model.
+func PaperLatency() LatencyModel {
+	return UniformLatency{Min: 20 * time.Millisecond, Max: 80 * time.Millisecond}
+}

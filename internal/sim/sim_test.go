@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	w := NewWorld(1)
+	var order []int
+	w.At(30*time.Millisecond, func() { order = append(order, 3) })
+	w.At(10*time.Millisecond, func() { order = append(order, 1) })
+	w.At(20*time.Millisecond, func() { order = append(order, 2) })
+	if n := w.Run(time.Second); n != 3 {
+		t.Fatalf("Run processed %d events, want 3", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	w := NewWorld(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		w.At(time.Millisecond, func() { order = append(order, i) })
+	}
+	w.Run(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of order: %v", order)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	w := NewWorld(1)
+	var seen time.Duration
+	w.At(42*time.Millisecond, func() { seen = w.Now() })
+	w.Run(100 * time.Millisecond)
+	if seen != 42*time.Millisecond {
+		t.Errorf("Now inside event = %v, want 42ms", seen)
+	}
+	if w.Now() != 100*time.Millisecond {
+		t.Errorf("Now after Run = %v, want 100ms", w.Now())
+	}
+}
+
+func TestRunStopsAtHorizon(t *testing.T) {
+	w := NewWorld(1)
+	fired := false
+	w.At(2*time.Second, func() { fired = true })
+	w.Run(time.Second)
+	if fired {
+		t.Error("event beyond horizon fired")
+	}
+	if w.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", w.Pending())
+	}
+	w.Run(3 * time.Second)
+	if !fired {
+		t.Error("event never fired")
+	}
+}
+
+func TestPastEventRunsNow(t *testing.T) {
+	w := NewWorld(1)
+	w.Run(time.Second)
+	fired := false
+	w.At(0, func() { fired = true })
+	w.Run(time.Second) // horizon equals now
+	if !fired {
+		t.Error("past-scheduled event did not run")
+	}
+	if w.Now() != time.Second {
+		t.Errorf("clock moved backwards: %v", w.Now())
+	}
+}
+
+func TestNilEventIgnored(t *testing.T) {
+	w := NewWorld(1)
+	w.At(time.Millisecond, nil)
+	if w.Pending() != 0 {
+		t.Error("nil event queued")
+	}
+}
+
+func TestAfter(t *testing.T) {
+	w := NewWorld(1)
+	var at time.Duration
+	w.At(time.Second, func() {
+		w.After(500*time.Millisecond, func() { at = w.Now() })
+	})
+	w.Run(10 * time.Second)
+	if at != 1500*time.Millisecond {
+		t.Errorf("After fired at %v, want 1.5s", at)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	w := NewWorld(1)
+	var ticks []time.Duration
+	stop := func() bool { return len(ticks) >= 3 }
+	if err := w.Every(100*time.Millisecond, time.Second, stop, func() {
+		ticks = append(ticks, w.Now())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.Run(time.Minute)
+	want := []time.Duration{100 * time.Millisecond, 1100 * time.Millisecond, 2100 * time.Millisecond}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Errorf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestEveryValidation(t *testing.T) {
+	w := NewWorld(1)
+	if err := w.Every(0, 0, nil, func() {}); err == nil {
+		t.Error("want error for zero period")
+	}
+	if err := w.Every(0, time.Second, nil, nil); err == nil {
+		t.Error("want error for nil fn")
+	}
+}
+
+func TestRunAllBound(t *testing.T) {
+	w := NewWorld(1)
+	// Self-perpetuating event chain.
+	var tick func()
+	n := 0
+	tick = func() { n++; w.After(time.Millisecond, tick) }
+	w.After(0, tick)
+	processed := w.RunAll(50)
+	if processed != 50 || n != 50 {
+		t.Errorf("RunAll processed %d (%d ticks), want 50", processed, n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		w := NewWorld(99)
+		lat := PaperLatency()
+		var out []time.Duration
+		for i := 0; i < 100; i++ {
+			out = append(out, lat.Sample(w.Rand()))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestUniformLatencyBounds(t *testing.T) {
+	w := NewWorld(5)
+	u := UniformLatency{Min: 20 * time.Millisecond, Max: 80 * time.Millisecond}
+	seenLow, seenHigh := false, false
+	for i := 0; i < 10000; i++ {
+		l := u.Sample(w.Rand())
+		if l < u.Min || l > u.Max {
+			t.Fatalf("latency %v out of [%v,%v]", l, u.Min, u.Max)
+		}
+		if l < 30*time.Millisecond {
+			seenLow = true
+		}
+		if l > 70*time.Millisecond {
+			seenHigh = true
+		}
+	}
+	if !seenLow || !seenHigh {
+		t.Error("uniform latency not spanning its range")
+	}
+}
+
+func TestUniformLatencyDegenerate(t *testing.T) {
+	w := NewWorld(1)
+	u := UniformLatency{Min: 50 * time.Millisecond, Max: 50 * time.Millisecond}
+	if got := u.Sample(w.Rand()); got != 50*time.Millisecond {
+		t.Errorf("degenerate uniform = %v", got)
+	}
+	inverted := UniformLatency{Min: 80 * time.Millisecond, Max: 20 * time.Millisecond}
+	if got := inverted.Sample(w.Rand()); got != 80*time.Millisecond {
+		t.Errorf("inverted uniform = %v, want Min", got)
+	}
+}
+
+func TestFixedLatency(t *testing.T) {
+	if got := FixedLatency(time.Second).Sample(nil); got != time.Second {
+		t.Errorf("FixedLatency = %v", got)
+	}
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	cfg := DefaultGenConfig(9)
+	cfg.Hosts = 40
+	cfg.Epochs = 120
+	orig, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hosts() != orig.Hosts() || got.Epochs() != orig.Epochs() {
+		t.Fatalf("dimensions changed: %dx%d -> %dx%d",
+			orig.Hosts(), orig.Epochs(), got.Hosts(), got.Epochs())
+	}
+	if got.EpochLength() != orig.EpochLength() {
+		t.Errorf("epoch length changed: %v -> %v", orig.EpochLength(), got.EpochLength())
+	}
+	for h := 0; h < orig.Hosts(); h++ {
+		if got.HostID(h) != orig.HostID(h) {
+			t.Fatalf("host %d id changed: %q -> %q", h, orig.HostID(h), got.HostID(h))
+		}
+		for e := 0; e < orig.Epochs(); e++ {
+			if got.Up(h, e) != orig.Up(h, e) {
+				t.Fatalf("bit changed at host %d epoch %d", h, e)
+			}
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	input := `# avmem-trace v1
+# a comment
+
+hosts 2 epochs 3 epoch_seconds 1200
+# another comment
+a:1 010
+b:2 111
+`
+	tr, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Hosts() != 2 || tr.Epochs() != 3 {
+		t.Fatalf("dimensions = %dx%d", tr.Hosts(), tr.Epochs())
+	}
+	if tr.Up(0, 0) || !tr.Up(0, 1) || tr.Up(0, 2) {
+		t.Error("host a bits wrong")
+	}
+	if !tr.Up(1, 0) || !tr.Up(1, 1) || !tr.Up(1, 2) {
+		t.Error("host b bits wrong")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"bad header", "not a trace\n"},
+		{"bad dims", "# avmem-trace v1\nhosts x epochs 3 epoch_seconds 1200\n"},
+		{"negative dims", "# avmem-trace v1\nhosts -1 epochs 3 epoch_seconds 1200\n"},
+		{"missing rows", "# avmem-trace v1\nhosts 2 epochs 3 epoch_seconds 1200\na:1 010\n"},
+		{"row wrong length", "# avmem-trace v1\nhosts 1 epochs 3 epoch_seconds 1200\na:1 01\n"},
+		{"bad bit", "# avmem-trace v1\nhosts 1 epochs 3 epoch_seconds 1200\na:1 01x\n"},
+		{"no space", "# avmem-trace v1\nhosts 1 epochs 3 epoch_seconds 1200\nnospacebits\n"},
+		{"dup host", "# avmem-trace v1\nhosts 2 epochs 1 epoch_seconds 1200\na:1 0\na:1 1\n"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tc.input)); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestWriteFormat(t *testing.T) {
+	tr := mustNew(t, 1, 3)
+	tr.SetUp(0, 1, true)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, codecHeader+"\n") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "hosts 1 epochs 3 epoch_seconds 1200") {
+		t.Errorf("missing dimension line:\n%s", out)
+	}
+	if !strings.Contains(out, " 010") {
+		t.Errorf("missing bit row:\n%s", out)
+	}
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"avmem/internal/avdist"
+	"avmem/internal/ids"
+)
+
+// GenConfig parameterizes the synthetic Overnet-like churn generator.
+// The zero value is not usable; start from DefaultGenConfig.
+type GenConfig struct {
+	// Hosts is the population size (fixed over the trace, as in the
+	// Overnet measurement).
+	Hosts int
+	// Epochs is the trace length in epochs.
+	Epochs int
+	// Epoch is the probing interval.
+	Epoch time.Duration
+	// Seed seeds the deterministic generator.
+	Seed int64
+	// PDF is the target long-term availability distribution hosts are
+	// drawn from. Nil selects avdist.Overnet.
+	PDF *avdist.PDF
+	// MeanSessionEpochs is the mean online-session length, in epochs,
+	// for a host with availability 0.5. Session lengths scale with
+	// availability. Must be >= 1.
+	MeanSessionEpochs float64
+	// DiurnalAmplitude modulates the per-epoch availability target with
+	// a daily sine wave of this amplitude (0 disables). The Overnet
+	// trace shows mild diurnal behaviour; 0.1 is a reasonable setting.
+	DiurnalAmplitude float64
+}
+
+// DefaultGenConfig returns the configuration matching the paper's trace:
+// 1442 hosts, 7 days at 20-minute epochs, Overnet-like availability
+// distribution, mild diurnal modulation.
+func DefaultGenConfig(seed int64) GenConfig {
+	return GenConfig{
+		Hosts:             OvernetHosts,
+		Epochs:            OvernetEpochs,
+		Epoch:             DefaultEpoch,
+		Seed:              seed,
+		PDF:               nil, // Overnet by default
+		MeanSessionEpochs: 9,   // 3 hours at 20-minute epochs
+		DiurnalAmplitude:  0.1,
+	}
+}
+
+// Generate synthesizes a churn trace whose per-host long-term
+// availabilities follow cfg.PDF and whose epoch-scale on/off dynamics
+// come from a per-host two-state Markov chain with geometric session and
+// absence lengths, optionally modulated by a diurnal wave.
+//
+// For a host with availability target a, the chain uses
+//
+//	P(up→down) = q = 1/meanUp,   P(down→up) = r = q·a/(1−a),
+//
+// whose stationary online fraction is exactly a. meanUp grows with a so
+// stable hosts have long sessions, matching the measured correlation
+// between availability and session length.
+func Generate(cfg GenConfig) (*Trace, error) {
+	if cfg.Hosts <= 0 {
+		return nil, fmt.Errorf("trace: Hosts must be positive, got %d", cfg.Hosts)
+	}
+	if cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("trace: Epochs must be positive, got %d", cfg.Epochs)
+	}
+	if cfg.MeanSessionEpochs < 1 {
+		return nil, fmt.Errorf("trace: MeanSessionEpochs must be >= 1, got %v", cfg.MeanSessionEpochs)
+	}
+	if cfg.DiurnalAmplitude < 0 || cfg.DiurnalAmplitude > 0.5 {
+		return nil, fmt.Errorf("trace: DiurnalAmplitude must be in [0,0.5], got %v", cfg.DiurnalAmplitude)
+	}
+	pdf := cfg.PDF
+	if pdf == nil {
+		pdf = avdist.Overnet(avdist.DefaultBuckets)
+	}
+	hosts := make([]ids.NodeID, cfg.Hosts)
+	for i := range hosts {
+		hosts[i] = ids.Synthetic(i)
+	}
+	tr, err := New(hosts, cfg.Epochs, cfg.Epoch)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	epochsPerDay := int(24 * time.Hour / tr.EpochLength())
+	if epochsPerDay < 1 {
+		epochsPerDay = 1
+	}
+	for h := 0; h < cfg.Hosts; h++ {
+		target := clampAvail(pdf.Sample(rng))
+		phase := rng.Float64() * 2 * math.Pi
+		up := rng.Float64() < target
+		for e := 0; e < cfg.Epochs; e++ {
+			a := target
+			if cfg.DiurnalAmplitude > 0 {
+				dayFrac := float64(e%epochsPerDay) / float64(epochsPerDay)
+				a = clampAvail(target + cfg.DiurnalAmplitude*math.Sin(2*math.Pi*dayFrac+phase))
+			}
+			// Session length scales like a/(1−a): a host at availability
+			// 0.5 averages MeanSessionEpochs per session, while a 0.99
+			// host stays up for days at a time (matching the measured
+			// correlation between availability and session length) and a
+			// 0.1 host cycles with short sessions and long gaps.
+			meanUp := cfg.MeanSessionEpochs * a / (1 - a)
+			if meanUp < 1 {
+				meanUp = 1
+			}
+			q := 1 / meanUp
+			r := q * a / (1 - a)
+			if r > 1 {
+				r = 1
+			}
+			if up {
+				tr.SetUp(h, e, true)
+				if rng.Float64() < q {
+					up = false
+				}
+			} else if rng.Float64() < r {
+				up = true
+			}
+		}
+	}
+	return tr, nil
+}
+
+// clampAvail keeps availability targets strictly inside (0,1) so the
+// Markov transition rates stay finite. The floor also mirrors reality:
+// a host that never appears in a trace would not be in the population.
+func clampAvail(a float64) float64 {
+	const lo, hi = 0.02, 0.995
+	if a < lo {
+		return lo
+	}
+	if a > hi {
+		return hi
+	}
+	return a
+}

@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"avmem/internal/avdist"
+	"avmem/internal/stats"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	base := DefaultGenConfig(1)
+	tests := []struct {
+		name   string
+		mutate func(*GenConfig)
+	}{
+		{"zero hosts", func(c *GenConfig) { c.Hosts = 0 }},
+		{"zero epochs", func(c *GenConfig) { c.Epochs = 0 }},
+		{"short sessions", func(c *GenConfig) { c.MeanSessionEpochs = 0.5 }},
+		{"negative diurnal", func(c *GenConfig) { c.DiurnalAmplitude = -0.1 }},
+		{"huge diurnal", func(c *GenConfig) { c.DiurnalAmplitude = 0.9 }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			if _, err := Generate(cfg); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultGenConfig(42)
+	cfg.Hosts = 50
+	cfg.Epochs = 100
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < cfg.Hosts; h++ {
+		for e := 0; e < cfg.Epochs; e++ {
+			if a.Up(h, e) != b.Up(h, e) {
+				t.Fatalf("traces differ at host %d epoch %d", h, e)
+			}
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 43
+	c, err := Generate(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for h := 0; h < cfg.Hosts && same; h++ {
+		for e := 0; e < cfg.Epochs; e++ {
+			if a.Up(h, e) != c.Up(h, e) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateDimensions(t *testing.T) {
+	cfg := DefaultGenConfig(7)
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Hosts() != OvernetHosts {
+		t.Errorf("Hosts = %d, want %d", tr.Hosts(), OvernetHosts)
+	}
+	if tr.Epochs() != OvernetEpochs {
+		t.Errorf("Epochs = %d, want %d", tr.Epochs(), OvernetEpochs)
+	}
+	if tr.Duration() != 7*24*time.Hour {
+		t.Errorf("Duration = %v, want 168h", tr.Duration())
+	}
+}
+
+// TestGenerateMatchesOvernetStatistics is the substitution check from
+// DESIGN.md §6: the synthetic trace must reproduce the published Overnet
+// availability statistics the experiments depend on.
+func TestGenerateMatchesOvernetStatistics(t *testing.T) {
+	tr, err := Generate(DefaultGenConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	av := tr.Availabilities(tr.Epochs() - 1)
+
+	// ~50% of hosts below 0.3 availability (paper: "50% of hosts have a
+	// 10-day availability lower than 30%").
+	below := stats.FractionBelow(av, 0.3)
+	if below < 0.38 || below > 0.62 {
+		t.Errorf("fraction below 0.3 = %v, want ≈0.5", below)
+	}
+
+	// Skew: far more hosts in the low band than the mid band.
+	var lo, mid, hi int
+	for _, a := range av {
+		switch {
+		case a < 1.0/3:
+			lo++
+		case a < 2.0/3:
+			mid++
+		default:
+			hi++
+		}
+	}
+	if lo <= mid {
+		t.Errorf("distribution not skewed low: lo=%d mid=%d hi=%d", lo, mid, hi)
+	}
+	if hi == 0 {
+		t.Error("no high-availability cohort")
+	}
+
+	// A meaningful fraction of the population is online at any time; the
+	// paper's 24h snapshot has 442/1442 ≈ 0.31 online.
+	frac := tr.MeanOnline() / float64(tr.Hosts())
+	if frac < 0.15 || frac > 0.55 {
+		t.Errorf("mean online fraction = %v, want ≈0.3", frac)
+	}
+}
+
+func TestGenerateTracksTargetPDF(t *testing.T) {
+	cfg := DefaultGenConfig(3)
+	cfg.Hosts = 600
+	cfg.Epochs = 504
+	cfg.DiurnalAmplitude = 0
+	cfg.PDF = avdist.Uniform(100)
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	av := tr.Availabilities(tr.Epochs() - 1)
+	// Mean of a uniform draw is 0.5; Markov noise over 504 epochs is small.
+	if m := stats.Mean(av); math.Abs(m-0.5) > 0.06 {
+		t.Errorf("mean availability = %v, want ≈0.5", m)
+	}
+}
+
+func TestGenerateChurnIsEpochScale(t *testing.T) {
+	// Hosts must actually churn: the number of distinct up/down
+	// transitions should be substantial, not a single session.
+	cfg := DefaultGenConfig(5)
+	cfg.Hosts = 100
+	cfg.Epochs = 504
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalTransitions := 0
+	for h := 0; h < tr.Hosts(); h++ {
+		for e := 1; e < tr.Epochs(); e++ {
+			if tr.Up(h, e) != tr.Up(h, e-1) {
+				totalTransitions++
+			}
+		}
+	}
+	perHost := float64(totalTransitions) / float64(tr.Hosts())
+	if perHost < 4 {
+		t.Errorf("mean transitions per host over 7 days = %v, want >= 4", perHost)
+	}
+}
+
+func TestGenerateSessionLengthGrowsWithAvailability(t *testing.T) {
+	cfg := DefaultGenConfig(11)
+	cfg.Hosts = 400
+	cfg.DiurnalAmplitude = 0
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loSessions, loUp, hiSessions, hiUp float64
+	for h := 0; h < tr.Hosts(); h++ {
+		a := tr.Availability(h, tr.Epochs()-1)
+		sessions, upEpochs := 0, 0
+		inSession := false
+		for e := 0; e < tr.Epochs(); e++ {
+			if tr.Up(h, e) {
+				upEpochs++
+				if !inSession {
+					sessions++
+					inSession = true
+				}
+			} else {
+				inSession = false
+			}
+		}
+		if sessions == 0 {
+			continue
+		}
+		if a < 0.3 {
+			loSessions += float64(sessions)
+			loUp += float64(upEpochs)
+		} else if a > 0.7 {
+			hiSessions += float64(sessions)
+			hiUp += float64(upEpochs)
+		}
+	}
+	if loSessions == 0 || hiSessions == 0 {
+		t.Skip("not enough hosts in either band")
+	}
+	loMean := loUp / loSessions
+	hiMean := hiUp / hiSessions
+	if hiMean <= loMean {
+		t.Errorf("high-availability sessions (%v epochs) not longer than low (%v)", hiMean, loMean)
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	cfg := DefaultGenConfig(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

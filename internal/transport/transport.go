@@ -1,0 +1,115 @@
+// Package transport carries AVMEM operation messages between live
+// nodes. Two implementations are provided: an in-process memory
+// transport for tests, examples, and single-process clusters, and a
+// TCP transport for real deployments.
+//
+// The simulation path (internal/sim) does not use this package; it has
+// its own virtual-time network. Both expose the same send semantics so
+// internal/ops runs unchanged on either.
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"avmem/internal/ids"
+	"avmem/internal/ops"
+	"avmem/internal/shuffle"
+)
+
+// Handler consumes a message delivered to a node.
+type Handler func(from ids.NodeID, msg any)
+
+// Transport moves operation messages between nodes.
+type Transport interface {
+	// Register binds self to the transport and installs its message
+	// handler. It must be called before Send.
+	Register(self ids.NodeID, h Handler) error
+	// Send delivers msg to the target, best effort.
+	Send(from, to ids.NodeID, msg any)
+	// SendCall delivers msg and reports the outcome: true once the
+	// target acknowledged, false when it was unreachable.
+	SendCall(from, to ids.NodeID, msg any, onResult func(ok bool))
+	// Unregister removes self from the transport.
+	Unregister(self ids.NodeID)
+	// Close releases transport resources.
+	Close() error
+}
+
+// Envelope is the wire representation of one message.
+type Envelope struct {
+	From ids.NodeID      `json:"from"`
+	Kind string          `json:"kind"`
+	Body json.RawMessage `json:"body"`
+}
+
+// Message kinds on the wire.
+const (
+	KindAnycast        = "anycast"
+	KindMulticast      = "multicast"
+	KindDelivered      = "delivered"
+	KindShuffleRequest = "shuffle-request"
+	KindShuffleReply   = "shuffle-reply"
+)
+
+// Encode wraps an operation message into an Envelope.
+func Encode(from ids.NodeID, msg any) (Envelope, error) {
+	var kind string
+	switch msg.(type) {
+	case ops.AnycastMsg:
+		kind = KindAnycast
+	case ops.MulticastMsg:
+		kind = KindMulticast
+	case ops.DeliveredMsg:
+		kind = KindDelivered
+	case shuffle.Request:
+		kind = KindShuffleRequest
+	case shuffle.Reply:
+		kind = KindShuffleReply
+	default:
+		return Envelope{}, fmt.Errorf("transport: unsupported message type %T", msg)
+	}
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return Envelope{}, fmt.Errorf("transport: encoding %s: %w", kind, err)
+	}
+	return Envelope{From: from, Kind: kind, Body: body}, nil
+}
+
+// Decode unwraps an Envelope back into an operation message.
+func Decode(env Envelope) (any, error) {
+	switch env.Kind {
+	case KindAnycast:
+		var m ops.AnycastMsg
+		if err := json.Unmarshal(env.Body, &m); err != nil {
+			return nil, fmt.Errorf("transport: decoding anycast: %w", err)
+		}
+		return m, nil
+	case KindMulticast:
+		var m ops.MulticastMsg
+		if err := json.Unmarshal(env.Body, &m); err != nil {
+			return nil, fmt.Errorf("transport: decoding multicast: %w", err)
+		}
+		return m, nil
+	case KindDelivered:
+		var m ops.DeliveredMsg
+		if err := json.Unmarshal(env.Body, &m); err != nil {
+			return nil, fmt.Errorf("transport: decoding delivered: %w", err)
+		}
+		return m, nil
+	case KindShuffleRequest:
+		var m shuffle.Request
+		if err := json.Unmarshal(env.Body, &m); err != nil {
+			return nil, fmt.Errorf("transport: decoding shuffle request: %w", err)
+		}
+		return m, nil
+	case KindShuffleReply:
+		var m shuffle.Reply
+		if err := json.Unmarshal(env.Body, &m); err != nil {
+			return nil, fmt.Errorf("transport: decoding shuffle reply: %w", err)
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown message kind %q", env.Kind)
+	}
+}

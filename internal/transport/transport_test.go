@@ -1,0 +1,248 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"avmem/internal/core"
+	"avmem/internal/ids"
+	"avmem/internal/ops"
+)
+
+func sampleAnycast() ops.AnycastMsg {
+	return ops.AnycastMsg{
+		ID:     ops.MsgID{Origin: "10.0.0.1:4000", Seq: 7},
+		Target: ops.Target{Lo: 0.85, Hi: 0.95},
+		Policy: ops.RetriedGreedy,
+		Flavor: core.HSVS,
+		TTL:    6,
+		Retry:  8,
+		Hops:   2,
+		SentAt: 1500 * time.Millisecond,
+	}
+}
+
+func sampleMulticast() ops.MulticastMsg {
+	return ops.MulticastMsg{
+		ID:     ops.MsgID{Origin: "10.0.0.2:4000", Seq: 3},
+		Target: ops.Target{Lo: 0.2, Hi: 1},
+		Spec: ops.MulticastSpec{
+			Mode: ops.Gossip, Flavor: core.HSVS,
+			Fanout: 5, Rounds: 2, Period: time.Second,
+		},
+		SentAt: time.Second,
+	}
+}
+
+func TestCodecRoundTripAnycast(t *testing.T) {
+	in := sampleAnycast()
+	env, err := Encode("sender", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Kind != KindAnycast || env.From != "sender" {
+		t.Fatalf("envelope = %+v", env)
+	}
+	out, err := Decode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := out.(ops.AnycastMsg)
+	if !ok {
+		t.Fatalf("decoded type %T", out)
+	}
+	if got != in {
+		t.Errorf("round trip changed message:\n in %+v\nout %+v", in, got)
+	}
+}
+
+func TestCodecRoundTripAnycastWithMulticastSpec(t *testing.T) {
+	in := sampleAnycast()
+	spec := ops.MulticastSpec{Mode: ops.Flood, Flavor: core.VSOnly}
+	in.Multicast = &spec
+	env, err := Encode("sender", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(ops.AnycastMsg)
+	if got.Multicast == nil || *got.Multicast != spec {
+		t.Errorf("multicast spec lost: %+v", got.Multicast)
+	}
+}
+
+func TestCodecRoundTripMulticast(t *testing.T) {
+	in := sampleMulticast()
+	env, err := Encode("sender", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Kind != KindMulticast {
+		t.Fatalf("kind = %q", env.Kind)
+	}
+	out, err := Decode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.(ops.MulticastMsg); got != in {
+		t.Errorf("round trip changed message:\n in %+v\nout %+v", in, got)
+	}
+}
+
+func TestCodecRejectsUnknown(t *testing.T) {
+	if _, err := Encode("s", 42); err == nil {
+		t.Error("want error for unsupported type")
+	}
+	if _, err := Decode(Envelope{Kind: "bogus"}); err == nil {
+		t.Error("want error for unknown kind")
+	}
+	if _, err := Decode(Envelope{Kind: KindAnycast, Body: []byte("{bad")}); err == nil {
+		t.Error("want error for bad body")
+	}
+}
+
+func TestMemoryDelivery(t *testing.T) {
+	m := NewMemory(0, 0)
+	defer m.Close()
+	var mu sync.Mutex
+	var got []any
+	if err := m.Register("b", func(from ids.NodeID, msg any) {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, msg)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m.Send("a", "b", sampleAnycast())
+	deadline := time.After(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("message never delivered")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestMemorySendCall(t *testing.T) {
+	m := NewMemory(0, 0)
+	defer m.Close()
+	if err := m.Register("b", func(ids.NodeID, any) {}); err != nil {
+		t.Fatal(err)
+	}
+	result := make(chan bool, 2)
+	m.SendCall("a", "b", sampleAnycast(), func(ok bool) { result <- ok })
+	if ok := <-result; !ok {
+		t.Error("want ack for registered target")
+	}
+	m.SendCall("a", "ghost", sampleAnycast(), func(ok bool) { result <- ok })
+	if ok := <-result; ok {
+		t.Error("want nack for unregistered target")
+	}
+}
+
+func TestMemoryUnregister(t *testing.T) {
+	m := NewMemory(0, 0)
+	defer m.Close()
+	if err := m.Register("b", func(ids.NodeID, any) {}); err != nil {
+		t.Fatal(err)
+	}
+	m.Unregister("b")
+	result := make(chan bool, 1)
+	m.SendCall("a", "b", sampleAnycast(), func(ok bool) { result <- ok })
+	if ok := <-result; ok {
+		t.Error("want nack after unregister")
+	}
+}
+
+func TestMemoryLatency(t *testing.T) {
+	m := NewMemory(20*time.Millisecond, 30*time.Millisecond)
+	defer m.Close()
+	if err := m.Register("b", func(ids.NodeID, any) {}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	result := make(chan bool, 1)
+	m.SendCall("a", "b", sampleAnycast(), func(ok bool) { result <- ok })
+	<-result
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("delivery took %v, want >= 20ms latency", elapsed)
+	}
+}
+
+func TestTCPDelivery(t *testing.T) {
+	tr := NewTCP(time.Second, 2*time.Second)
+	defer tr.Close()
+	self := ids.NodeID("127.0.0.1:39401")
+	received := make(chan any, 1)
+	if err := tr.Register(self, func(from ids.NodeID, msg any) {
+		received <- msg
+	}); err != nil {
+		t.Fatal(err)
+	}
+	result := make(chan bool, 1)
+	tr.SendCall("127.0.0.1:39402", self, sampleAnycast(), func(ok bool) { result <- ok })
+	if ok := <-result; !ok {
+		t.Fatal("want ack over TCP")
+	}
+	select {
+	case msg := <-received:
+		if got := msg.(ops.AnycastMsg); got.ID.Seq != 7 {
+			t.Errorf("message corrupted: %+v", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("message never dispatched")
+	}
+}
+
+func TestTCPUnreachable(t *testing.T) {
+	tr := NewTCP(200*time.Millisecond, time.Second)
+	defer tr.Close()
+	result := make(chan bool, 1)
+	// Nothing listens on this port.
+	tr.SendCall("127.0.0.1:39403", "127.0.0.1:39404", sampleAnycast(), func(ok bool) { result <- ok })
+	select {
+	case ok := <-result:
+		if ok {
+			t.Error("want nack for unreachable target")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("failure never reported")
+	}
+}
+
+func TestTCPRegisterValidation(t *testing.T) {
+	tr := NewTCP(0, 0)
+	defer tr.Close()
+	if err := tr.Register("127.0.0.1:39405", nil); err == nil {
+		t.Error("want error for nil handler")
+	}
+	if err := tr.Register("not-an-address", func(ids.NodeID, any) {}); err == nil {
+		t.Error("want error for bad address")
+	}
+}
+
+func TestTCPUnregisterStopsListener(t *testing.T) {
+	tr := NewTCP(200*time.Millisecond, time.Second)
+	defer tr.Close()
+	self := ids.NodeID("127.0.0.1:39406")
+	if err := tr.Register(self, func(ids.NodeID, any) {}); err != nil {
+		t.Fatal(err)
+	}
+	tr.Unregister(self)
+	result := make(chan bool, 1)
+	tr.SendCall("127.0.0.1:39407", self, sampleAnycast(), func(ok bool) { result <- ok })
+	if ok := <-result; ok {
+		t.Error("want nack after unregister")
+	}
+}
