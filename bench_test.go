@@ -16,9 +16,12 @@ import (
 	"testing"
 	"time"
 
+	"avmem/internal/avmon"
 	"avmem/internal/core"
 	"avmem/internal/exp"
+	"avmem/internal/ids"
 	"avmem/internal/ops"
+	"avmem/internal/scenario"
 	"avmem/internal/trace"
 )
 
@@ -279,6 +282,126 @@ func BenchmarkFig13MulticastReliability(b *testing.B) {
 	}
 	b.ReportMetric(flood.MeanReliability(), "flood-reliability")
 	b.ReportMetric(gossip.MeanReliability(), "gossip-reliability")
+}
+
+// --- Hot-path micro-benchmarks -------------------------------------------
+
+// benchMembership builds a membership with roughly n neighbors from a
+// permissive predicate over synthetic hosts.
+func benchMembership(b *testing.B, n int) *core.Membership {
+	b.Helper()
+	monitor := avmon.Static{}
+	self := ids.Synthetic(0)
+	monitor[self] = 0.5
+	candidates := make([]ids.NodeID, n)
+	for i := range candidates {
+		candidates[i] = ids.Synthetic(i + 1)
+		monitor[candidates[i]] = float64(i%100) / 100
+	}
+	pred, err := core.NewPredicate(0.1, core.ConstantHorizontal{Fraction: 1}, core.UniformRandom{P: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.NewMembership(self, core.Config{
+		Predicate: pred,
+		Monitor:   monitor,
+		Clock:     func() time.Duration { return 0 },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Discover(candidates)
+	if m.Size() == 0 {
+		b.Fatal("benchmark membership is empty")
+	}
+	return m
+}
+
+// BenchmarkNeighborsView measures the membership fast path the router
+// hits on every forwarded hop. With the incrementally-maintained
+// per-sliver indexes this is a cached-view return: zero allocations,
+// no sorting.
+func BenchmarkNeighborsView(b *testing.B) {
+	m := benchMembership(b, 500)
+	flavors := []core.Flavor{core.HSOnly, core.VSOnly, core.HSVS}
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total += len(m.Neighbors(flavors[i%len(flavors)]))
+	}
+	if total == 0 {
+		b.Fatal("views were empty")
+	}
+}
+
+// BenchmarkDiscoverRound measures one full discovery round — predicate
+// evaluation plus incremental insertion into the sorted indexes — over
+// a 500-candidate coarse view.
+func BenchmarkDiscoverRound(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		monitor := avmon.Static{}
+		self := ids.Synthetic(0)
+		monitor[self] = 0.5
+		candidates := make([]ids.NodeID, 500)
+		for j := range candidates {
+			candidates[j] = ids.Synthetic(j + 1)
+			monitor[candidates[j]] = float64(j%100) / 100
+		}
+		pred, err := core.NewPredicate(0.1, core.ConstantHorizontal{Fraction: 1}, core.UniformRandom{P: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := core.NewMembership(self, core.Config{
+			Predicate: pred,
+			Monitor:   monitor,
+			Clock:     func() time.Duration { return 0 },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if added := m.Discover(candidates); added == 0 {
+			b.Fatal("discovery admitted nothing")
+		}
+	}
+}
+
+// BenchmarkScenario2000Hosts runs a complete declarative scenario —
+// 2000 hosts, a churn burst, and a mixed anycast/multicast workload —
+// end to end, the scale the allocation-lean core is built for.
+func BenchmarkScenario2000Hosts(b *testing.B) {
+	spec := &scenario.Spec{
+		Name: "bench-2000",
+		Seed: 1,
+		Fleet: scenario.Fleet{
+			Hosts:          2000,
+			Days:           1,
+			ProtocolPeriod: scenario.Duration(2 * time.Minute),
+		},
+		Warmup: scenario.Duration(3 * time.Hour),
+		Events: []scenario.Event{
+			{At: 0, ChurnBurst: &scenario.ChurnBurst{
+				Fraction: 0.25, Duration: scenario.Duration(30 * time.Minute)}},
+			{At: scenario.Duration(2 * time.Minute), AnycastBatch: &scenario.AnycastBatch{
+				Count: 30, BandLo: 0, BandHi: 1.01, TargetLo: 0.85, TargetHi: 0.95}},
+			{At: scenario.Duration(5 * time.Minute), MulticastBatch: &scenario.MulticastBatch{
+				Count: 10, BandLo: 0.66, BandHi: 1.01, TargetLo: 0.7, TargetHi: 1}},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var delivered float64
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.Run(spec, scenario.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		delivered = res.Metrics["anycast_delivery_rate"]
+	}
+	b.ReportMetric(delivered, "delivered")
 }
 
 // --- Ablations -----------------------------------------------------------

@@ -1,5 +1,7 @@
-// Command avmemsim regenerates the figures of the AVMEM paper's
-// evaluation (Middleware 2007, §4) from trace-driven simulation.
+// Command avmemsim drives trace-driven AVMEM simulations: it
+// regenerates the figures of the paper's evaluation (Middleware 2007,
+// §4) and executes declarative scenario files (churn bursts, attack
+// probes, monitor degradation, workload batches, assertions).
 //
 // Usage:
 //
@@ -7,9 +9,13 @@
 //	avmemsim -fig 9 -seed 7                # one figure
 //	avmemsim -fig 2,5,11 -quick            # scaled-down quick pass
 //	avmemsim -trace overnet.trace -fig 2   # use an archived trace
+//	avmemsim run scenarios/churn-storm.json       # execute a scenario
+//	avmemsim validate scenarios/churn-storm.json  # check a scenario file
 //
 // Full scale means the paper's setting: a 1442-host, 7-day Overnet-like
 // churn trace, 24-hour warmup, 5 runs × 50 messages per point.
+// `avmemsim run` exits non-zero when a scenario assertion fails; see
+// internal/scenario for the spec format and scenarios/ for examples.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"time"
 
 	"avmem/internal/exp"
+	"avmem/internal/scenario"
 	"avmem/internal/stats"
 	"avmem/internal/trace"
 )
@@ -33,6 +40,50 @@ func main() {
 	}
 }
 
+// runScenario executes a scenario file and renders its report. A failed
+// assertion surfaces as an error so the process exits non-zero.
+func runScenario(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("avmemsim run", flag.ContinueOnError)
+	quiet := fs.Bool("q", false, "suppress per-event progress lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: avmemsim run [-q] <scenario.json>")
+	}
+	spec, err := scenario.LoadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var log io.Writer = out
+	if *quiet {
+		log = nil
+	}
+	res, err := scenario.Run(spec, scenario.Options{Log: log})
+	if err != nil {
+		return err
+	}
+	res.WriteReport(out)
+	if !res.Passed() {
+		return fmt.Errorf("scenario %q: %d assertion(s) failed", res.Name, len(res.Failures))
+	}
+	return nil
+}
+
+// validateScenario checks a scenario file without building the world.
+func validateScenario(args []string, out io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: avmemsim validate <scenario.json>")
+	}
+	spec, err := scenario.LoadFile(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "scenario %q valid: %d event(s), %d assertion(s)\n",
+		spec.Name, len(spec.Events), len(spec.Assertions))
+	return nil
+}
+
 type config struct {
 	figs      map[string]bool
 	seed      int64
@@ -42,6 +93,14 @@ type config struct {
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "run":
+			return runScenario(args[1:], out)
+		case "validate":
+			return validateScenario(args[1:], out)
+		}
+	}
 	fs := flag.NewFlagSet("avmemsim", flag.ContinueOnError)
 	figFlag := fs.String("fig", "all", "comma-separated figure list (2..13) or 'all'")
 	seed := fs.Int64("seed", 1, "simulation seed")

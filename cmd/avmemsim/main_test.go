@@ -97,3 +97,117 @@ func TestFracHelper(t *testing.T) {
 		t.Error("frac helper wrong")
 	}
 }
+
+// writeScenario drops a scenario file into a temp dir.
+func writeScenario(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const tinyScenario = `{
+  "name": "cli-tiny",
+  "seed": 1,
+  "fleet": {"hosts": 120, "days": 1, "protocol_period": "2m"},
+  "warmup": "2h",
+  "events": [
+    {"at": "0s", "churn_burst": {"fraction": 0.3, "duration": "20m"}},
+    {"at": "2m", "anycast_batch": {"count": 8, "band_lo": 0, "band_hi": 1.01, "target_lo": 0.5, "target_hi": 1}}
+  ],
+  "assertions": [{"metric": "anycast_delivery_rate", "min": 0.5}]
+}`
+
+func TestRunScenarioEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a full world")
+	}
+	path := writeScenario(t, tinyScenario)
+	var out strings.Builder
+	if err := run([]string{"run", path}, &out); err != nil {
+		t.Fatalf("scenario run failed: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"churn burst", "anycast batch", "PASS"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunScenarioAssertionFailureIsError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a full world")
+	}
+	body := strings.Replace(tinyScenario, `"min": 0.5`, `"min": 1.5`, 1)
+	path := writeScenario(t, body)
+	var out strings.Builder
+	err := run([]string{"run", "-q", path}, &out)
+	if err == nil {
+		t.Fatalf("failed assertion did not error:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("report missing FAIL line:\n%s", out.String())
+	}
+}
+
+func TestValidateScenario(t *testing.T) {
+	path := writeScenario(t, tinyScenario)
+	var out strings.Builder
+	if err := run([]string{"validate", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cli-tiny") {
+		t.Errorf("validate output missing name:\n%s", out.String())
+	}
+}
+
+func TestValidateRejectsMalformedScenario(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":  `{"name": "x", "bogus": true, "events": [{"at": "0s", "attack": {"cushion": 0}}]}`,
+		"no events":      `{"name": "x"}`,
+		"unknown metric": `{"name": "x", "events": [{"at": "0s", "attack": {"cushion": 0}}], "assertions": [{"metric": "vibes", "min": 1}]}`,
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			path := writeScenario(t, body)
+			var out strings.Builder
+			if err := run([]string{"validate", path}, &out); err == nil {
+				t.Error("malformed scenario validated")
+			}
+		})
+	}
+	var out strings.Builder
+	if err := run([]string{"validate", "/does/not/exist.json"}, &out); err == nil {
+		t.Error("missing scenario file validated")
+	}
+}
+
+// TestCheckedInScenariosValidate guards the example scenario files
+// against spec drift.
+func TestCheckedInScenariosValidate(t *testing.T) {
+	dir := filepath.Join("..", "..", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		found++
+		path := filepath.Join(dir, e.Name())
+		t.Run(e.Name(), func(t *testing.T) {
+			var out strings.Builder
+			if err := run([]string{"validate", path}, &out); err != nil {
+				t.Errorf("checked-in scenario invalid: %v", err)
+			}
+		})
+	}
+	if found < 3 {
+		t.Errorf("expected at least 3 checked-in scenarios, found %d", found)
+	}
+}

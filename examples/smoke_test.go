@@ -1,0 +1,41 @@
+// Package examples_test guards the example programs against API drift:
+// each example is a standalone main package with no test files, so
+// nothing else fails when the public avmem surface moves under them.
+// This smoke test compiles every example with the local toolchain.
+package examples_test
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+)
+
+func TestExamplesBuild(t *testing.T) {
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		built++
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command(goTool, "build", "-o", os.DevNull, "./"+name)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Errorf("example %s does not build: %v\n%s", name, err, out)
+			}
+		})
+	}
+	if built < 6 {
+		t.Errorf("expected at least 6 example programs, found %d", built)
+	}
+}

@@ -1,0 +1,3 @@
+module avmem
+
+go 1.24

@@ -87,7 +87,9 @@ func TestRefreshIdempotent(t *testing.T) {
 	if m.Size() == 0 {
 		t.Fatal("nothing discovered")
 	}
-	before := m.Neighbors(HSVS)
+	// Snapshot, not the live view: Refresh rebuilds the cached slices in
+	// place, so comparing the view against itself would prove nothing.
+	before := m.CopyNeighbors(HSVS)
 	if evicted := m.Refresh(); evicted != 0 {
 		t.Errorf("first refresh evicted %d in an unchanged world", evicted)
 	}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"avmem/internal/avmon"
@@ -85,12 +84,25 @@ func (c Config) validate() error {
 // externally: the owner calls Discover once per protocol period with
 // the current coarse view, and Refresh once per refresh period.
 // Membership is not safe for concurrent use.
+//
+// Storage is three incrementally-maintained slices sorted by node ID —
+// the full list plus one per sliver — so Neighbors can hand out a
+// cached read-only view without allocating or sorting per call, and
+// SliverSize is O(1). The map mirrors membership for O(1) duplicate
+// checks during discovery.
 type Membership struct {
 	cfg       Config
 	self      ids.NodeID
 	selfAvail float64
 	selfKnown bool
-	neighbors map[ids.NodeID]*Neighbor
+	// sliver records each neighbor's current classification.
+	sliver map[ids.NodeID]Sliver
+	// all, hs, vs are the cached views, each sorted by ID. Entries are
+	// duplicated between all and their sliver list; Refresh keeps the
+	// copies coherent.
+	all []Neighbor
+	hs  []Neighbor
+	vs  []Neighbor
 }
 
 // NewMembership creates the membership state for node self.
@@ -102,12 +114,44 @@ func NewMembership(self ids.NodeID, cfg Config) (*Membership, error) {
 		return nil, err
 	}
 	m := &Membership{
-		cfg:       cfg,
-		self:      self,
-		neighbors: make(map[ids.NodeID]*Neighbor, 64),
+		cfg:    cfg,
+		self:   self,
+		sliver: make(map[ids.NodeID]Sliver, 64),
 	}
 	m.RefreshSelf()
 	return m, nil
+}
+
+// searchNeighbors returns the position of id in the ID-sorted list, or
+// the insertion point keeping the list sorted.
+func searchNeighbors(list []Neighbor, id ids.NodeID) int {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if list[mid].ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// insertNeighbor splices nb into the ID-sorted list.
+func insertNeighbor(list []Neighbor, nb Neighbor) []Neighbor {
+	i := searchNeighbors(list, nb.ID)
+	list = append(list, Neighbor{})
+	copy(list[i+1:], list[i:])
+	list[i] = nb
+	return list
+}
+
+// sliverView returns the sliver list nb belongs to.
+func (m *Membership) sliverView(s Sliver) *[]Neighbor {
+	if s == SliverHorizontal {
+		return &m.hs
+	}
+	return &m.vs
 }
 
 // Self returns this node's identifier.
@@ -146,7 +190,7 @@ func (m *Membership) Discover(candidates []ids.NodeID) int {
 		if y == m.self || y.IsNil() {
 			continue
 		}
-		if _, exists := m.neighbors[y]; exists {
+		if _, exists := m.sliver[y]; exists {
 			continue
 		}
 		avY, ok := m.cfg.Monitor.Availability(y)
@@ -160,7 +204,11 @@ func (m *Membership) Discover(candidates []ids.NodeID) int {
 		if !match {
 			continue
 		}
-		m.neighbors[y] = &Neighbor{ID: y, Availability: avY, Sliver: kind, FetchedAt: now}
+		nb := Neighbor{ID: y, Availability: avY, Sliver: kind, FetchedAt: now}
+		m.sliver[y] = kind
+		m.all = insertNeighbor(m.all, nb)
+		view := m.sliverView(kind)
+		*view = insertNeighbor(*view, nb)
 		added++
 	}
 	return added
@@ -175,80 +223,97 @@ func (m *Membership) Refresh() int {
 	m.RefreshSelf()
 	now := m.cfg.Clock()
 	evicted := 0
-	for id, nb := range m.neighbors {
-		avY, ok := m.cfg.Monitor.Availability(id)
+	// Compact the full list in place (the write index never passes the
+	// read index), then rebuild the sliver views from it — still sorted,
+	// since the full list is. Buffer capacity is reused across rounds.
+	keep := m.all[:0]
+	for i := range m.all {
+		nb := m.all[i]
+		avY, ok := m.cfg.Monitor.Availability(nb.ID)
 		if !ok {
-			delete(m.neighbors, id)
+			delete(m.sliver, nb.ID)
 			evicted++
 			continue
 		}
 		match, kind := m.cfg.Predicate.EvalNodes(
 			NodeInfo{ID: m.self, Availability: m.selfAvail},
-			NodeInfo{ID: id, Availability: avY},
+			NodeInfo{ID: nb.ID, Availability: avY},
 			0, m.cfg.Hashes)
 		if !match {
-			delete(m.neighbors, id)
+			delete(m.sliver, nb.ID)
 			evicted++
 			continue
 		}
 		nb.Availability = avY
 		nb.Sliver = kind
 		nb.FetchedAt = now
+		m.sliver[nb.ID] = kind
+		keep = append(keep, nb)
+	}
+	for i := len(keep); i < len(m.all); i++ {
+		m.all[i] = Neighbor{}
+	}
+	m.all = keep
+	m.hs = m.hs[:0]
+	m.vs = m.vs[:0]
+	for i := range m.all {
+		view := m.sliverView(m.all[i].Sliver)
+		*view = append(*view, m.all[i])
 	}
 	return evicted
 }
 
 // Contains reports whether id is currently a neighbor (either sliver).
 func (m *Membership) Contains(id ids.NodeID) bool {
-	_, ok := m.neighbors[id]
+	_, ok := m.sliver[id]
 	return ok
 }
 
 // Lookup returns the neighbor entry for id, if present.
 func (m *Membership) Lookup(id ids.NodeID) (Neighbor, bool) {
-	nb, ok := m.neighbors[id]
-	if !ok {
-		return Neighbor{}, false
+	i := searchNeighbors(m.all, id)
+	if i < len(m.all) && m.all[i].ID == id {
+		return m.all[i], true
 	}
-	return *nb, true
+	return Neighbor{}, false
 }
 
 // Size returns the total number of neighbors (both slivers).
-func (m *Membership) Size() int { return len(m.neighbors) }
+func (m *Membership) Size() int { return len(m.all) }
 
 // SliverSize returns the number of neighbors in one sliver.
 func (m *Membership) SliverSize(s Sliver) int {
-	n := 0
-	for _, nb := range m.neighbors {
-		if nb.Sliver == s {
-			n++
-		}
-	}
-	return n
+	return len(*m.sliverView(s))
 }
 
 // Neighbors returns the neighbor entries selected by flavor, sorted by
-// identifier for determinism. The slice is freshly allocated.
+// identifier for determinism. The returned slice is a cached view —
+// it is valid until the next Discover or Refresh and must not be
+// modified. It is rebuilt incrementally, so calling Neighbors performs
+// no allocation and no sorting; callers needing a stable snapshot use
+// CopyNeighbors.
 func (m *Membership) Neighbors(f Flavor) []Neighbor {
-	out := make([]Neighbor, 0, len(m.neighbors))
-	for _, nb := range m.neighbors {
-		switch f {
-		case HSOnly:
-			if nb.Sliver != SliverHorizontal {
-				continue
-			}
-		case VSOnly:
-			if nb.Sliver != SliverVertical {
-				continue
-			}
-		case HSVS:
-			// keep all
-		default:
-			continue
-		}
-		out = append(out, *nb)
+	switch f {
+	case HSOnly:
+		return m.hs
+	case VSOnly:
+		return m.vs
+	case HSVS:
+		return m.all
+	default:
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+}
+
+// CopyNeighbors returns a freshly allocated snapshot of Neighbors(f)
+// that survives later Discover/Refresh rounds.
+func (m *Membership) CopyNeighbors(f Flavor) []Neighbor {
+	view := m.Neighbors(f)
+	if len(view) == 0 {
+		return nil
+	}
+	out := make([]Neighbor, len(view))
+	copy(out, view)
 	return out
 }
 

@@ -1,0 +1,253 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"avmem/internal/avdist"
+	"avmem/internal/avmon"
+	"avmem/internal/core"
+	"avmem/internal/ids"
+	"avmem/internal/ops"
+	"avmem/internal/trace"
+)
+
+// This file is the deployment wiring: offline system statistics,
+// predicate and monitor assembly, per-node installation, and the
+// periodic protocol drivers. The scenario layer perturbs a running
+// deployment through ForceOffline and SetMonitorNoise.
+
+// estimatePDF computes the offline system statistics. The predicate PDF
+// is the availability distribution of the *online* population — what a
+// crawler sampling live nodes measures, and what Theorem 1's proof
+// assumes (E[online nodes in da] = N*·p(a)·da). A host with
+// availability a is online a fraction a of the time, so it contributes
+// weight a to its availability bucket.
+//
+// Discretization is deliberately coarse (the paper: "a discretized PDF
+// distribution created from a small sample set"): a fine-grained
+// empirical PDF over ~10³ hosts has holes in its thin tails, and a hole
+// means near-zero density, which blows the I.B threshold up to 1 for
+// any node whose running availability estimate sweeps through it.
+// Coarse buckets plus mild Laplace smoothing keep every density honest.
+func estimatePDF(tr *trace.Trace) (*avdist.PDF, error) {
+	avail := tr.SmoothedAvailabilities(tr.Epochs() - 1)
+	buckets := tr.Hosts() / 25
+	if buckets < 10 {
+		buckets = 10
+	}
+	if buckets > 50 {
+		buckets = 50
+	}
+	weights := make([]float64, buckets)
+	var total float64
+	for _, a := range avail {
+		b := int(a * float64(len(weights)))
+		if b >= len(weights) {
+			b = len(weights) - 1
+		}
+		weights[b] += a
+		total += a
+	}
+	const smooth = 0.05
+	for b := range weights {
+		weights[b] += smooth * total / float64(len(weights))
+	}
+	pdf, err := avdist.FromWeights(weights)
+	if err != nil {
+		return nil, fmt.Errorf("exp: estimating PDF: %w", err)
+	}
+	return pdf, nil
+}
+
+// buildPredicate assembles the paper's default predicate (I.B + II.B
+// with a memoized horizontal threshold) unless the config overrides it.
+func buildPredicate(cfg WorldConfig, pdf *avdist.PDF, nStar float64) (*core.Predicate, error) {
+	if cfg.Predicate != nil {
+		return cfg.Predicate, nil
+	}
+	hs, err := core.NewCachedByX(core.LogConstantHorizontal{
+		C2: cfg.C2, NStar: nStar, Epsilon: cfg.Epsilon, PDF: pdf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return core.NewPredicate(cfg.Epsilon, hs,
+		core.LogVertical{C1: cfg.C1, NStar: nStar, PDF: pdf})
+}
+
+// switchMonitor is the monitoring service every node actually holds: a
+// stable indirection whose inner service the scenario layer can swap at
+// run time (monitor-degradation ramps) without rewiring memberships.
+type switchMonitor struct{ inner avmon.Service }
+
+var _ avmon.Service = (*switchMonitor)(nil)
+
+// Availability implements avmon.Service.
+func (s *switchMonitor) Availability(id ids.NodeID) (float64, bool) {
+	return s.inner.Availability(id)
+}
+
+// buildMonitor wires the monitoring service: oracle by default,
+// optionally noisy/stale, or the full AVMON-style distributed
+// estimator — always behind the switchMonitor indirection.
+func (w *World) buildMonitor() error {
+	cfg := w.Cfg
+	var base avmon.Service
+	if cfg.DistributedMonitor {
+		expected := cfg.ExpectedMonitors
+		if expected == 0 {
+			expected = 8
+		}
+		dist, err := avmon.NewDistributed(w.hosts, expected, w.nodeOnline, 0)
+		if err != nil {
+			return err
+		}
+		if err := w.Sim.Every(0, cfg.ProtocolPeriod, nil, dist.TickAll); err != nil {
+			return err
+		}
+		base = dist
+	} else {
+		oracle, err := avmon.NewOracle(w.Trace, w.Sim.Now)
+		if err != nil {
+			return err
+		}
+		base = oracle
+	}
+	w.baseMonitor = base
+	w.monitor = &switchMonitor{inner: base}
+	w.Monitor = w.monitor
+	if cfg.MonitorErr > 0 || cfg.MonitorStaleness > 0 {
+		if err := w.SetMonitorNoise(cfg.MonitorErr, cfg.MonitorStaleness); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetMonitorNoise rewraps the base monitoring service with a fresh
+// noise layer of the given error half-width and staleness, effective
+// for every subsequent query in the deployment. Zero for both restores
+// the noiseless base service. Scenario monitor-degradation ramps call
+// this mid-run.
+func (w *World) SetMonitorNoise(maxErr float64, staleness time.Duration) error {
+	if maxErr == 0 && staleness == 0 {
+		w.monitor.inner = w.baseMonitor
+		return nil
+	}
+	noisy, err := avmon.NewNoisy(w.baseMonitor, maxErr, staleness, w.Sim.Now, w.Sim.Rand())
+	if err != nil {
+		return err
+	}
+	w.monitor.inner = noisy
+	return nil
+}
+
+// ForceOffline injects an outage: id is treated as offline by the
+// network, the shuffling service, the monitor overlay, and the protocol
+// drivers until the given virtual time, regardless of its churn trace.
+// Scenario churn bursts call this; the trace resumes control when the
+// outage lifts.
+func (w *World) ForceOffline(id ids.NodeID, until time.Duration) {
+	if until <= w.Sim.Now() {
+		return
+	}
+	w.forcedDown[id] = until
+}
+
+// nodeOnline is the deployment-wide liveness check: the churn trace
+// overlaid with scenario-forced outages.
+func (w *World) nodeOnline(id ids.NodeID) bool {
+	if until, ok := w.forcedDown[id]; ok {
+		if w.Sim.Now() < until {
+			return false
+		}
+		delete(w.forcedDown, id)
+	}
+	h := w.Trace.HostIndex(id)
+	return h >= 0 && w.Trace.UpAt(h, w.Sim.Now())
+}
+
+// installNodes creates per-node state: membership, router, network
+// handler, and the bootstrap join.
+func (w *World) installNodes(pred *core.Predicate) error {
+	for _, id := range w.hosts {
+		m, err := core.NewMembership(id, core.Config{
+			Predicate:     pred,
+			Monitor:       w.Monitor,
+			Hashes:        w.Hashes,
+			Clock:         w.Sim.Now,
+			VerifyCushion: w.Cfg.Cushion,
+		})
+		if err != nil {
+			return err
+		}
+		w.members[id] = m
+
+		self := id
+		env, err := ops.NewSimEnv(w.Sim, w.Net, id, func() bool { return w.nodeOnline(self) })
+		if err != nil {
+			return err
+		}
+		r, err := ops.NewRouter(ops.RouterConfig{
+			Membership:    m,
+			Env:           env,
+			Collector:     w.Col,
+			VerifyInbound: w.Cfg.VerifyInbound,
+		})
+		if err != nil {
+			return err
+		}
+		w.routers[id] = r
+		w.Net.Register(id, r.HandleMessage)
+
+		w.Shuffle.Join(id, w.randomSeeds(id, 4))
+	}
+	return nil
+}
+
+// startDrivers schedules the periodic protocol work, staggered per node
+// so the system does not tick in lockstep.
+func (w *World) startDrivers() error {
+	cfg := w.Cfg
+	for _, id := range w.hosts {
+		self := id
+		discOffset := time.Duration(w.Sim.Rand().Int63n(int64(cfg.ProtocolPeriod)))
+		if err := w.Sim.Every(discOffset, cfg.ProtocolPeriod, nil, func() {
+			if !w.nodeOnline(self) {
+				return
+			}
+			if len(w.Shuffle.View(self)) == 0 {
+				// Rejoin after an outage emptied the view: bootstrap anew.
+				w.Shuffle.Join(self, w.randomSeeds(self, 4))
+			}
+			w.Shuffle.Tick(self)
+			w.members[self].Discover(w.Shuffle.View(self))
+		}); err != nil {
+			return err
+		}
+		refOffset := time.Duration(w.Sim.Rand().Int63n(int64(cfg.RefreshPeriod)))
+		if err := w.Sim.Every(refOffset, cfg.RefreshPeriod, nil, func() {
+			if !w.nodeOnline(self) {
+				return
+			}
+			w.members[self].Refresh()
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// randomSeeds picks up to n random hosts other than self — the
+// bootstrap-server story for (re)joining nodes.
+func (w *World) randomSeeds(self ids.NodeID, n int) []ids.NodeID {
+	seeds := make([]ids.NodeID, 0, n)
+	for len(seeds) < n && len(w.hosts) > 1 {
+		cand := w.hosts[w.Sim.Rand().Intn(len(w.hosts))]
+		if cand != self {
+			seeds = append(seeds, cand)
+		}
+	}
+	return seeds
+}

@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"avmem/internal/core"
+	"avmem/internal/ids"
+	"avmem/internal/ops"
+)
+
+// This file is the ground-truth query surface of a deployment: figure
+// runners and the scenario engine read the world through it instead of
+// reaching into the wiring.
+
+// Hosts returns all host identifiers.
+func (w *World) Hosts() []ids.NodeID { return w.hosts }
+
+// Membership returns the membership state of a node.
+func (w *World) Membership(id ids.NodeID) *core.Membership { return w.members[id] }
+
+// Router returns the router of a node.
+func (w *World) Router(id ids.NodeID) *ops.Router { return w.routers[id] }
+
+// Online reports whether a node is online at the current virtual time
+// (churn trace overlaid with scenario-forced outages).
+func (w *World) Online(id ids.NodeID) bool { return w.nodeOnline(id) }
+
+// OnlineHosts returns all currently online host identifiers.
+func (w *World) OnlineHosts() []ids.NodeID {
+	out := make([]ids.NodeID, 0, len(w.hosts)/2)
+	for _, id := range w.hosts {
+		if w.Online(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// TrueAvailability returns the noiseless long-term availability of a
+// node at the current virtual time (the smoothed estimator an ideal
+// monitor reports, regardless of configured monitor noise). Experiments
+// use it as ground truth for bands, targets, and eligibility.
+func (w *World) TrueAvailability(id ids.NodeID) float64 {
+	h := w.Trace.HostIndex(id)
+	if h < 0 {
+		return 0
+	}
+	return w.Trace.SmoothedAvailability(h, w.Trace.EpochAt(w.Sim.Now()))
+}
+
+// OnlineInBand returns online nodes whose true availability lies in
+// [lo, hi).
+func (w *World) OnlineInBand(lo, hi float64) []ids.NodeID {
+	out := make([]ids.NodeID, 0, 64)
+	for _, id := range w.OnlineHosts() {
+		av := w.TrueAvailability(id)
+		if av >= lo && av < hi {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// EligibleFor counts online nodes whose true availability lies inside
+// the operation target — the reliability/spam denominator.
+func (w *World) EligibleFor(t ops.Target) int {
+	n := 0
+	for _, id := range w.OnlineHosts() {
+		if t.Contains(w.TrueAvailability(id)) {
+			n++
+		}
+	}
+	return n
+}
+
+// PickInitiator selects a random online node from the availability band
+// [lo, hi); ok is false when the band is empty.
+func (w *World) PickInitiator(lo, hi float64) (ids.NodeID, bool) {
+	band := w.OnlineInBand(lo, hi)
+	if len(band) == 0 {
+		return ids.Nil, false
+	}
+	return band[w.Sim.Rand().Intn(len(band))], true
+}
+
+// MeanDegree returns the mean AVMEM neighbor count across online nodes
+// (used to match the random-overlay baseline's degree in Figure 10).
+func (w *World) MeanDegree() float64 {
+	online := w.OnlineHosts()
+	if len(online) == 0 {
+		return 0
+	}
+	total := 0
+	for _, id := range online {
+		total += w.members[id].Size()
+	}
+	return float64(total) / float64(len(online))
+}

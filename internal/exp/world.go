@@ -1,12 +1,15 @@
-// Package exp is the experiment harness: it assembles complete AVMEM
-// deployments inside the discrete-event simulator and regenerates every
-// figure of the paper's evaluation (§4). One runner exists per figure;
-// cmd/avmemsim exposes them on the command line and bench_test.go wraps
-// them in testing.B benchmarks.
+// Package exp is the deployment engine and experiment harness: it
+// assembles complete AVMEM deployments inside the discrete-event
+// simulator (wiring, clocks, protocol drivers — deploy.go), answers
+// ground-truth queries about a running deployment (query.go), and
+// regenerates every figure of the paper's evaluation (§4) via one
+// runner per figure. cmd/avmemsim exposes the figure runners on the
+// command line, internal/scenario drives arbitrary declarative
+// scenarios on top of the same engine, and bench_test.go wraps both in
+// testing.B benchmarks.
 package exp
 
 import (
-	"fmt"
 	"math"
 	"time"
 
@@ -116,7 +119,8 @@ func (c *WorldConfig) applyDefaults() error {
 
 // World is a fully wired simulated AVMEM deployment: churn trace,
 // monitoring and shuffling services, per-node membership and routers,
-// and a shared collector.
+// and a shared collector. Deployment wiring lives in deploy.go, the
+// ground-truth query surface in query.go.
 type World struct {
 	Cfg     WorldConfig
 	Trace   *trace.Trace
@@ -132,6 +136,14 @@ type World struct {
 	hosts   []ids.NodeID
 	members map[ids.NodeID]*core.Membership
 	routers map[ids.NodeID]*ops.Router
+
+	// monitor is the stable indirection the whole deployment queries;
+	// baseMonitor is the pre-noise service SetMonitorNoise rewraps.
+	monitor     *switchMonitor
+	baseMonitor avmon.Service
+	// forcedDown holds scenario-injected outages: node → virtual time
+	// the outage lifts. Consulted by nodeOnline on every liveness check.
+	forcedDown map[ids.NodeID]time.Duration
 }
 
 // NewWorld assembles a deployment. The availability PDF handed to the
@@ -144,196 +156,43 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	}
 	tr := cfg.Trace
 	w := &World{
-		Cfg:     cfg,
-		Trace:   tr,
-		Sim:     sim.NewWorld(cfg.Seed),
-		Hashes:  ids.NewHashCache(0),
-		Col:     ops.NewCollector(),
-		hosts:   tr.HostIDs(),
-		members: make(map[ids.NodeID]*core.Membership, tr.Hosts()),
-		routers: make(map[ids.NodeID]*ops.Router, tr.Hosts()),
+		Cfg:        cfg,
+		Trace:      tr,
+		Sim:        sim.NewWorld(cfg.Seed),
+		Hashes:     ids.NewHashCache(0),
+		Col:        ops.NewCollector(),
+		hosts:      tr.HostIDs(),
+		members:    make(map[ids.NodeID]*core.Membership, tr.Hosts()),
+		routers:    make(map[ids.NodeID]*ops.Router, tr.Hosts()),
+		forcedDown: make(map[ids.NodeID]time.Duration),
 	}
-
-	// Offline-computed system statistics. The predicate PDF is the
-	// availability distribution of the *online* population — what a
-	// crawler sampling live nodes measures, and what Theorem 1's proof
-	// assumes (E[online nodes in da] = N*·p(a)·da). A host with
-	// availability a is online a fraction a of the time, so it
-	// contributes weight a to its availability bucket.
-	//
-	// Discretization is deliberately coarse (the paper: "a discretized
-	// PDF distribution created from a small sample set"): a fine-grained
-	// empirical PDF over ~10³ hosts has holes in its thin tails, and a
-	// hole means near-zero density, which blows the I.B threshold up to
-	// 1 for any node whose running availability estimate sweeps through
-	// it. Coarse buckets plus mild Laplace smoothing keep every density
-	// honest.
-	avail := tr.SmoothedAvailabilities(tr.Epochs() - 1)
-	buckets := tr.Hosts() / 25
-	if buckets < 10 {
-		buckets = 10
-	}
-	if buckets > 50 {
-		buckets = 50
-	}
-	weights := make([]float64, buckets)
-	var total float64
-	for _, a := range avail {
-		b := int(a * float64(len(weights)))
-		if b >= len(weights) {
-			b = len(weights) - 1
-		}
-		weights[b] += a
-		total += a
-	}
-	const smooth = 0.05
-	for b := range weights {
-		weights[b] += smooth * total / float64(len(weights))
-	}
-	pdf, err := avdist.FromWeights(weights)
+	pdf, err := estimatePDF(tr)
 	if err != nil {
-		return nil, fmt.Errorf("exp: estimating PDF: %w", err)
+		return nil, err
 	}
 	w.PDF = pdf
 	w.NStar = tr.MeanOnline()
 
-	// Predicate: paper default (I.B + II.B) with a memoized horizontal
-	// threshold, unless overridden.
-	pred := cfg.Predicate
-	if pred == nil {
-		hs, err := core.NewCachedByX(core.LogConstantHorizontal{
-			C2: cfg.C2, NStar: w.NStar, Epsilon: cfg.Epsilon, PDF: pdf,
-		})
-		if err != nil {
-			return nil, err
-		}
-		pred, err = core.NewPredicate(cfg.Epsilon, hs,
-			core.LogVertical{C1: cfg.C1, NStar: w.NStar, PDF: pdf})
-		if err != nil {
-			return nil, err
-		}
+	pred, err := buildPredicate(cfg, w.PDF, w.NStar)
+	if err != nil {
+		return nil, err
 	}
-
-	// Network with churn-driven delivery.
-	online := func(id ids.NodeID) bool {
-		h := tr.HostIndex(id)
-		return h >= 0 && tr.UpAt(h, w.Sim.Now())
+	w.Net = sim.NewNetwork(w.Sim, cfg.Latency, w.nodeOnline, 0)
+	if err := w.buildMonitor(); err != nil {
+		return nil, err
 	}
-	w.Net = sim.NewNetwork(w.Sim, cfg.Latency, online, 0)
-
-	// Monitoring service: oracle by default, optionally noisy/stale, or
-	// the full AVMON-style distributed estimator.
-	if cfg.DistributedMonitor {
-		expected := cfg.ExpectedMonitors
-		if expected == 0 {
-			expected = 8
-		}
-		dist, err := avmon.NewDistributed(w.hosts, expected, online, 0)
-		if err != nil {
-			return nil, err
-		}
-		if err := w.Sim.Every(0, cfg.ProtocolPeriod, nil, dist.TickAll); err != nil {
-			return nil, err
-		}
-		w.Monitor = dist
-	} else {
-		oracle, err := avmon.NewOracle(tr, w.Sim.Now)
-		if err != nil {
-			return nil, err
-		}
-		w.Monitor = oracle
-	}
-	if cfg.MonitorErr > 0 || cfg.MonitorStaleness > 0 {
-		noisy, err := avmon.NewNoisy(w.Monitor, cfg.MonitorErr, cfg.MonitorStaleness, w.Sim.Now, w.Sim.Rand())
-		if err != nil {
-			return nil, err
-		}
-		w.Monitor = noisy
-	}
-
-	// Shuffling membership service.
-	cyc, err := shuffle.NewCyclon(cfg.ViewSize, cfg.ShuffleLen, online, w.Sim.Rand())
+	cyc, err := shuffle.NewCyclon(cfg.ViewSize, cfg.ShuffleLen, w.nodeOnline, w.Sim.Rand())
 	if err != nil {
 		return nil, err
 	}
 	w.Shuffle = cyc
-
-	// Per-node state: membership, router, network handler, bootstrap.
-	for _, id := range w.hosts {
-		m, err := core.NewMembership(id, core.Config{
-			Predicate:     pred,
-			Monitor:       w.Monitor,
-			Hashes:        w.Hashes,
-			Clock:         w.Sim.Now,
-			VerifyCushion: cfg.Cushion,
-		})
-		if err != nil {
-			return nil, err
-		}
-		w.members[id] = m
-
-		self := id
-		env, err := ops.NewSimEnv(w.Sim, w.Net, id, func() bool { return online(self) })
-		if err != nil {
-			return nil, err
-		}
-		r, err := ops.NewRouter(ops.RouterConfig{
-			Membership:    m,
-			Env:           env,
-			Collector:     w.Col,
-			VerifyInbound: cfg.VerifyInbound,
-		})
-		if err != nil {
-			return nil, err
-		}
-		w.routers[id] = r
-		w.Net.Register(id, r.HandleMessage)
-
-		cyc.Join(id, w.randomSeeds(id, 4))
+	if err := w.installNodes(pred); err != nil {
+		return nil, err
 	}
-
-	// Periodic protocol drivers, staggered per node so the system does
-	// not tick in lockstep.
-	for _, id := range w.hosts {
-		self := id
-		discOffset := time.Duration(w.Sim.Rand().Int63n(int64(cfg.ProtocolPeriod)))
-		if err := w.Sim.Every(discOffset, cfg.ProtocolPeriod, nil, func() {
-			if !online(self) {
-				return
-			}
-			if len(cyc.View(self)) == 0 {
-				// Rejoin after an outage emptied the view: bootstrap anew.
-				cyc.Join(self, w.randomSeeds(self, 4))
-			}
-			cyc.Tick(self)
-			w.members[self].Discover(cyc.View(self))
-		}); err != nil {
-			return nil, err
-		}
-		refOffset := time.Duration(w.Sim.Rand().Int63n(int64(cfg.RefreshPeriod)))
-		if err := w.Sim.Every(refOffset, cfg.RefreshPeriod, nil, func() {
-			if !online(self) {
-				return
-			}
-			w.members[self].Refresh()
-		}); err != nil {
-			return nil, err
-		}
+	if err := w.startDrivers(); err != nil {
+		return nil, err
 	}
 	return w, nil
-}
-
-// randomSeeds picks up to n random hosts other than self — the
-// bootstrap-server story for (re)joining nodes.
-func (w *World) randomSeeds(self ids.NodeID, n int) []ids.NodeID {
-	seeds := make([]ids.NodeID, 0, n)
-	for len(seeds) < n && len(w.hosts) > 1 {
-		cand := w.hosts[w.Sim.Rand().Intn(len(w.hosts))]
-		if cand != self {
-			seeds = append(seeds, cand)
-		}
-	}
-	return seeds
 }
 
 // Warmup advances the simulation by d (the paper warms up for 24 hours
@@ -342,93 +201,6 @@ func (w *World) Warmup(d time.Duration) { w.Sim.Run(w.Sim.Now() + d) }
 
 // RunFor advances the simulation by d.
 func (w *World) RunFor(d time.Duration) { w.Sim.Run(w.Sim.Now() + d) }
-
-// Hosts returns all host identifiers.
-func (w *World) Hosts() []ids.NodeID { return w.hosts }
-
-// Membership returns the membership state of a node.
-func (w *World) Membership(id ids.NodeID) *core.Membership { return w.members[id] }
-
-// Router returns the router of a node.
-func (w *World) Router(id ids.NodeID) *ops.Router { return w.routers[id] }
-
-// Online reports whether a node is online at the current virtual time.
-func (w *World) Online(id ids.NodeID) bool {
-	h := w.Trace.HostIndex(id)
-	return h >= 0 && w.Trace.UpAt(h, w.Sim.Now())
-}
-
-// OnlineHosts returns all currently online host identifiers.
-func (w *World) OnlineHosts() []ids.NodeID {
-	out := make([]ids.NodeID, 0, len(w.hosts)/2)
-	for _, id := range w.hosts {
-		if w.Online(id) {
-			out = append(out, id)
-		}
-	}
-	return out
-}
-
-// TrueAvailability returns the noiseless long-term availability of a
-// node at the current virtual time (the smoothed estimator an ideal
-// monitor reports, regardless of configured monitor noise). Experiments
-// use it as ground truth for bands, targets, and eligibility.
-func (w *World) TrueAvailability(id ids.NodeID) float64 {
-	h := w.Trace.HostIndex(id)
-	if h < 0 {
-		return 0
-	}
-	return w.Trace.SmoothedAvailability(h, w.Trace.EpochAt(w.Sim.Now()))
-}
-
-// OnlineInBand returns online nodes whose true availability lies in
-// [lo, hi).
-func (w *World) OnlineInBand(lo, hi float64) []ids.NodeID {
-	out := make([]ids.NodeID, 0, 64)
-	for _, id := range w.OnlineHosts() {
-		av := w.TrueAvailability(id)
-		if av >= lo && av < hi {
-			out = append(out, id)
-		}
-	}
-	return out
-}
-
-// EligibleFor counts online nodes whose true availability lies inside
-// the operation target — the reliability/spam denominator.
-func (w *World) EligibleFor(t ops.Target) int {
-	n := 0
-	for _, id := range w.OnlineHosts() {
-		if t.Contains(w.TrueAvailability(id)) {
-			n++
-		}
-	}
-	return n
-}
-
-// PickInitiator selects a random online node from the availability band
-// [lo, hi); ok is false when the band is empty.
-func (w *World) PickInitiator(lo, hi float64) (ids.NodeID, bool) {
-	band := w.OnlineInBand(lo, hi)
-	if len(band) == 0 {
-		return ids.Nil, false
-	}
-	return band[w.Sim.Rand().Intn(len(band))], true
-}
-
-// MeanDegree returns the mean AVMEM neighbor count across online nodes
-// (used to match the random-overlay baseline's degree in Figure 10).
-func (w *World) MeanDegree() float64 {
-	online := w.OnlineHosts()
-	if len(online) == 0 {
-		return 0
-	}
-	total := 0
-	for _, id := range online {
-		total += w.members[id].Size()
-	}
-	return float64(total) / float64(len(online))
-}
 
 // NewRandomWorld builds the Figure-10 baseline: the same deployment but
 // over a consistent random overlay (SCAMP/CYCLON-like) whose expected

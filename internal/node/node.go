@@ -347,7 +347,7 @@ func (n *Node) MulticastResult(id ops.MsgID) (ops.MulticastRecord, bool) {
 func (n *Node) Neighbors(f core.Flavor) []core.Neighbor {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.mem.Neighbors(f)
+	return n.mem.CopyNeighbors(f)
 }
 
 // SliverSizes returns the current horizontal and vertical sliver sizes.

@@ -48,6 +48,74 @@ type Router struct {
 	seq           uint64
 	seen          map[MsgID]bool
 	gossipSent    map[MsgID]map[ids.NodeID]bool
+	// free recycles candidate buffers across anycast forwards. A buffer
+	// is owned by one in-flight attempt chain until the operation hits a
+	// terminal state or its SendCall acknowledges — the failure callback
+	// fires asynchronously and re-reads the list, so the buffer cannot
+	// be shared with concurrent forwards.
+	free [][]core.Neighbor
+	// byDist is kept on the Router so sort.Sort receives an existing
+	// pointer and candidate ordering allocates nothing.
+	byDist distanceSorter
+	// rangeKeys/rangeNbs are the dissemination scratch: in-range
+	// filtering and hash-ordering happen synchronously, so one buffer
+	// pair per router suffices.
+	rangeKeys []float64
+	rangeNbs  []core.Neighbor
+	byHash    hashSorter
+}
+
+// distanceSorter orders candidates by availability distance to the
+// target, ties broken by ID (the greedy metric).
+type distanceSorter struct {
+	target Target
+	nbs    []core.Neighbor
+}
+
+func (s *distanceSorter) Len() int      { return len(s.nbs) }
+func (s *distanceSorter) Swap(i, j int) { s.nbs[i], s.nbs[j] = s.nbs[j], s.nbs[i] }
+func (s *distanceSorter) Less(i, j int) bool {
+	di := s.target.Distance(s.nbs[i].Availability)
+	dj := s.target.Distance(s.nbs[j].Availability)
+	if di != dj {
+		return di < dj
+	}
+	return s.nbs[i].ID < s.nbs[j].ID
+}
+
+// hashSorter orders neighbors by a precomputed pair-hash key, keeping
+// the parallel key slice in step.
+type hashSorter struct {
+	keys []float64
+	nbs  []core.Neighbor
+}
+
+func (s *hashSorter) Len() int           { return len(s.nbs) }
+func (s *hashSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *hashSorter) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.nbs[i], s.nbs[j] = s.nbs[j], s.nbs[i]
+}
+
+// acquireCandidates pops a recycled candidate buffer, or allocates one
+// sized for the current neighbor list.
+func (r *Router) acquireCandidates(capHint int) []core.Neighbor {
+	if n := len(r.free); n > 0 {
+		buf := r.free[n-1]
+		r.free[n-1] = nil
+		r.free = r.free[:n-1]
+		return buf[:0]
+	}
+	return make([]core.Neighbor, 0, capHint)
+}
+
+// releaseCandidates returns a buffer to the pool once no in-flight
+// callback can read it anymore.
+func (r *Router) releaseCandidates(buf []core.Neighbor) {
+	if cap(buf) == 0 {
+		return
+	}
+	r.free = append(r.free, buf[:0])
 }
 
 // RouterConfig assembles a Router.
@@ -315,6 +383,7 @@ func (r *Router) forwardAnycast(from ids.NodeID, m AnycastMsg) {
 func (r *Router) attempt(candidates []core.Neighbor, m AnycastMsg, budget int) {
 	if len(candidates) == 0 || budget == 0 {
 		r.col.anycastFailed(m.ID, OutcomeRetryExpired)
+		r.releaseCandidates(candidates)
 		return
 	}
 	idx := 0
@@ -327,10 +396,12 @@ func (r *Router) attempt(candidates []core.Neighbor, m AnycastMsg, budget int) {
 	}
 	r.env.SendCall(choice.ID, m, func(ok bool) {
 		if ok {
+			r.releaseCandidates(candidates)
 			return
 		}
-		rest := append(append(make([]core.Neighbor, 0, len(candidates)-1),
-			candidates[:idx]...), candidates[idx+1:]...)
+		// Failed attempts remove the pick in place — the chain owns the
+		// buffer, so compaction preserves greedy order without copying.
+		rest := append(candidates[:idx], candidates[idx+1:]...)
 		nextBudget := budget
 		if budget > 0 {
 			nextBudget = budget - 1
@@ -370,28 +441,28 @@ func (r *Router) annealIndex(candidates []core.Neighbor, m AnycastMsg) int {
 // greedy metric (availability distance to the target, ties by ID). The
 // immediate sender is excluded when alternatives exist — a loop-avoidance
 // refinement; with only the sender available we still use it rather
-// than drop.
+// than drop. The result is a pooled buffer filled from the membership's
+// cached view; the caller (the attempt chain) owns it until release.
 func (r *Router) candidates(from ids.NodeID, flavor core.Flavor, target Target) []core.Neighbor {
 	all := r.mem.Neighbors(flavor)
-	out := make([]core.Neighbor, 0, len(all))
-	var sender *core.Neighbor
+	out := r.acquireCandidates(len(all))
+	var sender core.Neighbor
+	hasSender := false
 	for i := range all {
 		if all[i].ID == from {
-			sender = &all[i]
+			sender = all[i]
+			hasSender = true
 			continue
 		}
 		out = append(out, all[i])
 	}
-	if len(out) == 0 && sender != nil {
-		out = append(out, *sender)
+	if len(out) == 0 && hasSender {
+		out = append(out, sender)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		di, dj := target.Distance(out[i].Availability), target.Distance(out[j].Availability)
-		if di != dj {
-			return di < dj
-		}
-		return out[i].ID < out[j].ID
-	})
+	r.byDist.target = target
+	r.byDist.nbs = out
+	sort.Sort(&r.byDist)
+	r.byDist.nbs = nil
 	return out
 }
 
@@ -465,17 +536,24 @@ func (r *Router) gossipRounds(m MulticastMsg, remaining int) {
 // uncorrelated across nodes — a globally shared order (say, sorted
 // identifiers) would starve the nodes that sort last, since every
 // gossiper would spend its fanout on the same prefix.
+// The result lives in the router's dissemination scratch: it is only
+// valid until the next inRangeNeighbors call, which is fine because
+// flooding and gossip consume it synchronously.
 func (r *Router) inRangeNeighbors(m MulticastMsg) []core.Neighbor {
 	all := r.mem.Neighbors(m.Spec.Flavor)
-	out := make([]core.Neighbor, 0, len(all))
+	r.rangeNbs = r.rangeNbs[:0]
+	r.rangeKeys = r.rangeKeys[:0]
+	self := r.mem.Self()
 	for _, nb := range all {
 		if m.Target.Contains(nb.Availability) {
-			out = append(out, nb)
+			r.rangeNbs = append(r.rangeNbs, nb)
+			r.rangeKeys = append(r.rangeKeys, ids.PairHash(self, nb.ID))
 		}
 	}
-	self := r.mem.Self()
-	sort.Slice(out, func(i, j int) bool {
-		return ids.PairHash(self, out[i].ID) < ids.PairHash(self, out[j].ID)
-	})
-	return out
+	r.byHash.keys = r.rangeKeys
+	r.byHash.nbs = r.rangeNbs
+	sort.Sort(&r.byHash)
+	r.byHash.keys = nil
+	r.byHash.nbs = nil
+	return r.rangeNbs
 }

@@ -1,0 +1,334 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"avmem/internal/exp"
+	"avmem/internal/ops"
+	"avmem/internal/trace"
+)
+
+// Options tunes a scenario run.
+type Options struct {
+	// Log receives progress lines as events fire (nil discards).
+	Log io.Writer
+}
+
+// Result is the outcome of one scenario run.
+type Result struct {
+	Name string
+	// Metrics holds every metric the run produced (see Metrics for the
+	// full name space; workload metrics exist only if the corresponding
+	// event kind ran).
+	Metrics map[string]float64
+	// EventLog records one line per fired event.
+	EventLog []string
+	// Failures lists violated assertions; empty means the run passed.
+	Failures []string
+}
+
+// Passed reports whether every assertion held.
+func (r *Result) Passed() bool { return len(r.Failures) == 0 }
+
+// WriteReport renders the metrics and assertion verdicts to w.
+func (r *Result) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "== scenario %q ==\n", r.Name)
+	names := make([]string, 0, len(r.Metrics))
+	for name := range r.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%-24s %.4f\n", name, r.Metrics[name])
+	}
+	if r.Passed() {
+		fmt.Fprintf(w, "PASS: all assertions held\n")
+		return
+	}
+	for _, f := range r.Failures {
+		fmt.Fprintf(w, "FAIL: %s\n", f)
+	}
+}
+
+// Run builds the fleet, warms it up, fires the event sequence in order
+// on the virtual clock, computes the final metrics, and evaluates the
+// assertions. A violated assertion is reported in Result.Failures, not
+// as an error; err is reserved for a scenario that cannot execute.
+func Run(spec *Spec, opts Options) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	logw := opts.Log
+	if logw == nil {
+		logw = io.Discard
+	}
+
+	w, err := buildWorld(spec)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(logw, "fleet ready: %d hosts, N*=%.0f; warming up %v\n",
+		len(w.Hosts()), w.NStar, spec.Warmup.D())
+	w.Warmup(spec.Warmup.D())
+
+	run := &runState{w: w, spec: spec, log: logw, base: w.Sim.Now()}
+	for i := range spec.Events {
+		if err := run.fire(i, &spec.Events[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Name: spec.Name, Metrics: run.metrics(), EventLog: run.events}
+	res.Failures = evaluate(spec.Assertions, res.Metrics)
+	return res, nil
+}
+
+func buildWorld(spec *Spec) (*exp.World, error) {
+	var tr *trace.Trace
+	if spec.Fleet.Trace != "" {
+		f, err := os.Open(spec.Fleet.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: fleet trace: %w", err)
+		}
+		defer f.Close()
+		tr, err = trace.Read(f)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: fleet trace: %w", err)
+		}
+	} else {
+		gen := trace.DefaultGenConfig(spec.Seed)
+		if spec.Fleet.Hosts > 0 {
+			gen.Hosts = spec.Fleet.Hosts
+		}
+		if spec.Fleet.Days > 0 {
+			gen.Epochs = int(spec.Fleet.Days * 24 * 3)
+		}
+		var err error
+		tr, err = trace.Generate(gen)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: generating churn trace: %w", err)
+		}
+	}
+	return exp.NewWorld(exp.WorldConfig{
+		Seed:               spec.Seed,
+		Trace:              tr,
+		Epsilon:            spec.Fleet.Epsilon,
+		C1:                 spec.Fleet.C1,
+		C2:                 spec.Fleet.C2,
+		ViewSize:           spec.Fleet.ViewSize,
+		ProtocolPeriod:     spec.Fleet.ProtocolPeriod.D(),
+		RefreshPeriod:      spec.Fleet.RefreshPeriod.D(),
+		VerifyInbound:      spec.Fleet.VerifyInbound,
+		Cushion:            spec.Fleet.Cushion,
+		MonitorErr:         spec.Fleet.MonitorError,
+		MonitorStaleness:   spec.Fleet.MonitorStaleness.D(),
+		DistributedMonitor: spec.Fleet.DistributedMonitor,
+	})
+}
+
+// runState accumulates workload outcomes across the event sequence.
+type runState struct {
+	w    *exp.World
+	spec *Spec
+	log  io.Writer
+	// base is the virtual time at warmup end; event At times are
+	// relative to it.
+	base   time.Duration
+	events []string
+
+	anySent, anyDelivered, anyDropped int
+	anyHops                           int
+	anyBatches                        int
+
+	mcCount       int
+	mcReliability float64
+	mcSpam        float64
+
+	attackProbes int
+	attackAccept float64
+	legitReject  float64
+}
+
+func (r *runState) logf(format string, args ...any) {
+	line := fmt.Sprintf(format, args...)
+	r.events = append(r.events, line)
+	fmt.Fprintf(r.log, "[%8v] %s\n", r.w.Sim.Now()-r.base, line)
+}
+
+// fire advances virtual time to the event's At (when it is still in the
+// future) and applies the action.
+func (r *runState) fire(i int, e *Event) error {
+	due := r.base + e.At.D()
+	if now := r.w.Sim.Now(); due > now {
+		r.w.RunFor(due - now)
+	}
+	switch {
+	case e.ChurnBurst != nil:
+		return r.churnBurst(e.ChurnBurst)
+	case e.Attack != nil:
+		return r.attack(e.Attack)
+	case e.MonitorNoise != nil:
+		return r.monitorNoise(e.MonitorNoise)
+	case e.AnycastBatch != nil:
+		return r.anycastBatch(e.AnycastBatch)
+	case e.MulticastBatch != nil:
+		return r.multicastBatch(e.MulticastBatch)
+	}
+	return fmt.Errorf("scenario: event %d has no action", i)
+}
+
+func (r *runState) churnBurst(b *ChurnBurst) error {
+	online := r.w.OnlineInBand(b.BandLo, bandHi(b.BandHi))
+	k := int(float64(len(online))*b.Fraction + 0.5)
+	if k > len(online) {
+		k = len(online)
+	}
+	until := r.w.Sim.Now() + b.Duration.D()
+	perm := r.w.Sim.Rand().Perm(len(online))
+	for _, idx := range perm[:k] {
+		r.w.ForceOffline(online[idx], until)
+	}
+	r.logf("churn burst: forced %d/%d online nodes offline for %v", k, len(online), b.Duration.D())
+	return nil
+}
+
+func (r *runState) attack(a *Attack) error {
+	flood := exp.FloodingAttack(r.w, a.Cushion)
+	reject := exp.LegitimateRejection(r.w, a.Cushion)
+	r.attackProbes++
+	if flood.Overall > r.attackAccept {
+		r.attackAccept = flood.Overall
+	}
+	if reject.Overall > r.legitReject {
+		r.legitReject = reject.Overall
+	}
+	r.logf("attack probe (cushion %.2f): accept %.3f, legit-reject %.3f",
+		a.Cushion, flood.Overall, reject.Overall)
+	return nil
+}
+
+func (r *runState) monitorNoise(n *MonitorNoise) error {
+	if err := r.w.SetMonitorNoise(n.Error, n.Staleness.D()); err != nil {
+		return fmt.Errorf("scenario: monitor_noise: %w", err)
+	}
+	r.logf("monitor noise set: error ±%.2f, staleness %v", n.Error, n.Staleness.D())
+	return nil
+}
+
+func (r *runState) anycastBatch(b *AnycastBatch) error {
+	policy, _ := parsePolicy(b.Policy)
+	flavor, _ := parseFlavor(b.Flavor)
+	ttl := b.TTL
+	if ttl == 0 {
+		ttl = 6
+	}
+	spec := exp.AnycastSpec{
+		Name:   "scenario",
+		BandLo: b.BandLo, BandHi: bandHi(b.BandHi),
+		Target: b.target(),
+		Opts:   ops.AnycastOptions{Policy: policy, Flavor: flavor, TTL: ttl, Retry: b.Retry},
+		Runs:   1, PerRun: b.Count,
+		Gap: b.Gap.D(), Settle: b.Settle.D(),
+	}
+	res, err := exp.RunAnycasts(r.w, spec)
+	if err != nil {
+		return fmt.Errorf("scenario: anycast_batch: %w", err)
+	}
+	r.anyBatches++
+	r.anySent += res.Sent
+	r.anyDelivered += res.Delivered
+	r.anyDropped += res.RetryExpired + res.Pending
+	for h, n := range res.HopsHist {
+		r.anyHops += h * n
+	}
+	r.logf("anycast batch: %d sent to %v, %.2f delivered (%d ttl-expired, %d dropped)",
+		res.Sent, spec.Target, res.FractionDelivered(), res.TTLExpired, res.RetryExpired+res.Pending)
+	return nil
+}
+
+func (r *runState) multicastBatch(b *MulticastBatch) error {
+	mode, _ := parseMode(b.Mode)
+	flavor, _ := parseFlavor(b.Flavor)
+	spec := exp.MulticastSpec{
+		Name:   "scenario",
+		BandLo: b.BandLo, BandHi: bandHi(b.BandHi),
+		Target: b.target(),
+		Mode:   mode, Flavor: flavor,
+		Fanout: b.Fanout, Rounds: b.Rounds, Period: b.Period.D(),
+		Runs: 1, PerRun: b.Count,
+		Gap: b.Gap.D(), Settle: b.Settle.D(),
+	}
+	res, err := exp.RunMulticasts(r.w, spec)
+	if err != nil {
+		return fmt.Errorf("scenario: multicast_batch: %w", err)
+	}
+	r.mcCount += res.Sent
+	r.mcReliability += res.MeanReliability() * float64(res.Sent)
+	r.mcSpam += res.MeanSpamRatio() * float64(res.Sent)
+	r.logf("multicast batch: %d sent to %v (%s), reliability %.2f, spam %.2f",
+		res.Sent, spec.Target, mode, res.MeanReliability(), res.MeanSpamRatio())
+	return nil
+}
+
+// metrics computes the final metric map: workload aggregates plus an
+// end-of-run overlay snapshot.
+func (r *runState) metrics() map[string]float64 {
+	m := make(map[string]float64, len(Metrics))
+	if r.anySent > 0 {
+		m["anycast_delivery_rate"] = float64(r.anyDelivered) / float64(r.anySent)
+		m["anycast_drop_rate"] = float64(r.anyDropped) / float64(r.anySent)
+	}
+	if r.anyDelivered > 0 {
+		m["anycast_mean_hops"] = float64(r.anyHops) / float64(r.anyDelivered)
+	}
+	if r.mcCount > 0 {
+		m["multicast_reliability"] = r.mcReliability / float64(r.mcCount)
+		m["multicast_spam_ratio"] = r.mcSpam / float64(r.mcCount)
+	}
+	if r.attackProbes > 0 {
+		m["attack_accept_rate"] = r.attackAccept
+		m["legit_reject_rate"] = r.legitReject
+	}
+	online := r.w.OnlineHosts()
+	var total, max int
+	for _, id := range online {
+		size := r.w.Membership(id).Size()
+		total += size
+		if size > max {
+			max = size
+		}
+	}
+	if len(online) > 0 {
+		m["mean_sliver_size"] = float64(total) / float64(len(online))
+		m["mean_degree"] = m["mean_sliver_size"]
+	}
+	m["max_sliver_size"] = float64(max)
+	if hosts := len(r.w.Hosts()); hosts > 0 {
+		m["online_fraction"] = float64(len(online)) / float64(hosts)
+	}
+	return m
+}
+
+// evaluate checks every assertion against the produced metrics.
+func evaluate(assertions []Assertion, metrics map[string]float64) []string {
+	var failures []string
+	for _, a := range assertions {
+		v, ok := metrics[a.Metric]
+		if !ok {
+			failures = append(failures,
+				fmt.Sprintf("%s: no event produced this metric (add the matching workload/probe event)", a.Metric))
+			continue
+		}
+		if a.Min != nil && v < *a.Min {
+			failures = append(failures, fmt.Sprintf("%s = %.4f, want >= %v", a.Metric, v, *a.Min))
+		}
+		if a.Max != nil && v > *a.Max {
+			failures = append(failures, fmt.Sprintf("%s = %.4f, want <= %v", a.Metric, v, *a.Max))
+		}
+	}
+	return failures
+}

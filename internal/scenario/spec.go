@@ -1,0 +1,448 @@
+// Package scenario is the declarative scenario engine: a JSON scenario
+// spec describes a fleet (hosts, churn trace, predicate parameters), a
+// timed event sequence (churn bursts, selfish-node attack probes,
+// monitor-noise ramps, anycast/multicast workload batches), and a set
+// of assertions over the metrics the run produces (delivery rate,
+// multicast reliability, spam, sliver-size bounds). The engine builds a
+// deployment with the internal/exp engine, fires the events in order on
+// the virtual clock, and evaluates the assertions — turning the fixed
+// figure-regeneration harness into "any scenario you can describe".
+//
+// cmd/avmemsim exposes it as `avmemsim run <scenario.json>` and
+// `avmemsim validate <scenario.json>`; checked-in examples live under
+// scenarios/.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"avmem/internal/core"
+	"avmem/internal/ops"
+)
+
+// Duration is a time.Duration that (un)marshals as a Go duration string
+// ("90s", "20m", "8h") so scenario files stay readable.
+type Duration time.Duration
+
+// D returns the wrapped time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf(`durations are strings like "20m": %w`, err)
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return err
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// Spec is one complete declarative scenario.
+type Spec struct {
+	// Name identifies the scenario in reports.
+	Name string `json:"name"`
+	// Description is free-form documentation.
+	Description string `json:"description,omitempty"`
+	// Seed drives all randomness (trace, latencies, initiator picks).
+	Seed int64 `json:"seed"`
+	// Fleet describes the deployment under test.
+	Fleet Fleet `json:"fleet"`
+	// Warmup runs before the first event (the paper warms up 24h).
+	Warmup Duration `json:"warmup"`
+	// Events fire in order at virtual times relative to warmup end.
+	Events []Event `json:"events"`
+	// Assertions are evaluated after the last event.
+	Assertions []Assertion `json:"assertions"`
+}
+
+// Fleet describes the deployment: population, churn, predicate, and
+// defense parameters. Zero values take the engine defaults.
+type Fleet struct {
+	// Hosts is the population size (default 1442, the Overnet trace).
+	Hosts int `json:"hosts"`
+	// Days is the churn-trace length (default 7).
+	Days float64 `json:"days,omitempty"`
+	// Trace optionally loads an archived avmem-trace file instead of
+	// synthesizing one (Hosts/Days are then ignored).
+	Trace string `json:"trace,omitempty"`
+	// Epsilon, C1, C2 are the predicate parameters (defaults 0.1, 3, 3).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	C1      float64 `json:"c1,omitempty"`
+	C2      float64 `json:"c2,omitempty"`
+	// ViewSize is the coarse-view bound v (default √N).
+	ViewSize int `json:"view_size,omitempty"`
+	// ProtocolPeriod is the discovery/shuffle period (default 1m).
+	ProtocolPeriod Duration `json:"protocol_period,omitempty"`
+	// RefreshPeriod is the refresh sub-protocol period (default 20m).
+	RefreshPeriod Duration `json:"refresh_period,omitempty"`
+	// VerifyInbound makes every node verify message senders (§4.1).
+	VerifyInbound bool `json:"verify_inbound,omitempty"`
+	// Cushion is the verification cushion (paper: 0 or 0.1).
+	Cushion float64 `json:"cushion,omitempty"`
+	// MonitorError/MonitorStaleness start the run with a degraded
+	// monitor (monitor_noise events can change it later).
+	MonitorError     float64  `json:"monitor_error,omitempty"`
+	MonitorStaleness Duration `json:"monitor_staleness,omitempty"`
+	// DistributedMonitor swaps the oracle for the AVMON-style overlay.
+	DistributedMonitor bool `json:"distributed_monitor,omitempty"`
+}
+
+// Event is one timed action. Exactly one of the action fields is set.
+type Event struct {
+	// At is the earliest firing time, relative to warmup end. Events
+	// fire in list order; an event whose At has already passed (because
+	// an earlier batch consumed virtual time) fires immediately.
+	At             Duration        `json:"at"`
+	ChurnBurst     *ChurnBurst     `json:"churn_burst,omitempty"`
+	Attack         *Attack         `json:"attack,omitempty"`
+	MonitorNoise   *MonitorNoise   `json:"monitor_noise,omitempty"`
+	AnycastBatch   *AnycastBatch   `json:"anycast_batch,omitempty"`
+	MulticastBatch *MulticastBatch `json:"multicast_batch,omitempty"`
+}
+
+// ChurnBurst forces a fraction of the online population offline for a
+// fixed duration — a correlated failure (power event, partition) on top
+// of the trace's organic churn.
+type ChurnBurst struct {
+	// Fraction of the (band-filtered) online nodes to take down, (0,1].
+	Fraction float64 `json:"fraction"`
+	// Duration of the outage.
+	Duration Duration `json:"duration"`
+	// BandLo/BandHi optionally restrict the burst to nodes in an
+	// availability band (both zero means everyone).
+	BandLo float64 `json:"band_lo,omitempty"`
+	BandHi float64 `json:"band_hi,omitempty"`
+}
+
+// Attack probes the §4.1 defense at the current instant: every online
+// node plays the selfish flooder against non-neighbors, and every
+// legitimate neighbor pair is re-verified, yielding the
+// attack_accept_rate and legit_reject_rate metrics.
+type Attack struct {
+	// Cushion is the verification cushion used by the probe.
+	Cushion float64 `json:"cushion"`
+}
+
+// MonitorNoise rewraps the monitoring service with a new error
+// half-width and staleness from this point on (zero both restores the
+// clean service) — a monitor-degradation ramp when used in stages.
+type MonitorNoise struct {
+	Error     float64  `json:"error"`
+	Staleness Duration `json:"staleness"`
+}
+
+// AnycastBatch initiates Count anycasts from initiators in an
+// availability band toward a target interval.
+type AnycastBatch struct {
+	Count int `json:"count"`
+	// BandLo/BandHi bound the initiator's true availability.
+	BandLo float64 `json:"band_lo"`
+	BandHi float64 `json:"band_hi"`
+	// TargetLo/TargetHi is the addressed availability interval.
+	TargetLo float64 `json:"target_lo"`
+	TargetHi float64 `json:"target_hi"`
+	// Policy is greedy (default), retried-greedy, or annealing.
+	Policy string `json:"policy,omitempty"`
+	// Flavor is hsvs (default), hs, or vs.
+	Flavor string `json:"flavor,omitempty"`
+	// TTL defaults to the paper's 6.
+	TTL int `json:"ttl,omitempty"`
+	// Retry is the retried-greedy budget (required for that policy).
+	Retry int `json:"retry,omitempty"`
+	// Gap spaces initiations (default 2s); Settle drains in-flight
+	// messages after the batch (default 30s).
+	Gap    Duration `json:"gap,omitempty"`
+	Settle Duration `json:"settle,omitempty"`
+}
+
+// MulticastBatch initiates Count multicasts from initiators in an
+// availability band toward a target interval.
+type MulticastBatch struct {
+	Count    int     `json:"count"`
+	BandLo   float64 `json:"band_lo"`
+	BandHi   float64 `json:"band_hi"`
+	TargetLo float64 `json:"target_lo"`
+	TargetHi float64 `json:"target_hi"`
+	// Mode is flood (default) or gossip.
+	Mode string `json:"mode,omitempty"`
+	// Flavor is hsvs (default), hs, or vs.
+	Flavor string `json:"flavor,omitempty"`
+	// Fanout/Rounds/Period parameterize gossip (defaults 5/2/1s).
+	Fanout int      `json:"fanout,omitempty"`
+	Rounds int      `json:"rounds,omitempty"`
+	Period Duration `json:"period,omitempty"`
+	Gap    Duration `json:"gap,omitempty"`
+	Settle Duration `json:"settle,omitempty"`
+}
+
+// Assertion bounds one metric of the finished run. At least one of
+// Min/Max is set.
+type Assertion struct {
+	// Metric names one of the Metrics the engine produces.
+	Metric string   `json:"metric"`
+	Min    *float64 `json:"min,omitempty"`
+	Max    *float64 `json:"max,omitempty"`
+}
+
+// Metrics enumerates every metric name an assertion may reference,
+// with a short description of how it is computed.
+var Metrics = map[string]string{
+	"anycast_delivery_rate": "delivered fraction across all anycast batches",
+	"anycast_drop_rate":     "fraction of anycasts lost inside the overlay (retry exhaustion or silent drop)",
+	"anycast_mean_hops":     "mean hop count of delivered anycasts",
+	"multicast_reliability": "mean delivered/eligible across all multicasts",
+	"multicast_spam_ratio":  "mean out-of-range receptions per eligible node",
+	"attack_accept_rate":    "worst per-probe fraction of non-neighbors accepting a selfish flood",
+	"legit_reject_rate":     "worst per-probe fraction of legitimate neighbor messages rejected",
+	"mean_sliver_size":      "mean total membership-list size across online nodes at run end",
+	"max_sliver_size":       "largest total membership-list size across online nodes at run end",
+	"mean_degree":           "alias of mean_sliver_size (kept for symmetry with the figure harness)",
+	"online_fraction":       "fraction of the population online at run end",
+}
+
+// Load parses and validates a scenario spec from r. Unknown fields are
+// rejected so typos fail loudly instead of silently doing nothing.
+func Load(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: parsing spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadFile parses and validates the scenario spec at path.
+func LoadFile(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Validate checks the spec is well formed and every referenced enum,
+// target, and metric exists. It does not build the world.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: name is required")
+	}
+	if s.Fleet.Hosts < 0 || (s.Fleet.Trace == "" && s.Fleet.Hosts > 0 && s.Fleet.Hosts < 10) {
+		return fmt.Errorf("scenario: fleet.hosts must be 0 (default) or >= 10, got %d", s.Fleet.Hosts)
+	}
+	if s.Fleet.Days < 0 {
+		return fmt.Errorf("scenario: fleet.days must be non-negative, got %v", s.Fleet.Days)
+	}
+	if s.Warmup < 0 {
+		return fmt.Errorf("scenario: warmup must be non-negative, got %v", s.Warmup.D())
+	}
+	if len(s.Events) == 0 {
+		return fmt.Errorf("scenario: at least one event is required")
+	}
+	prev := Duration(0)
+	for i := range s.Events {
+		if err := s.Events[i].validate(); err != nil {
+			return fmt.Errorf("scenario: event %d: %w", i, err)
+		}
+		if s.Events[i].At < prev {
+			return fmt.Errorf("scenario: event %d: at %v is before event %d's %v (events must be time-ordered)",
+				i, s.Events[i].At.D(), i-1, prev.D())
+		}
+		prev = s.Events[i].At
+	}
+	for i, a := range s.Assertions {
+		if _, ok := Metrics[a.Metric]; !ok {
+			return fmt.Errorf("scenario: assertion %d: unknown metric %q", i, a.Metric)
+		}
+		if a.Min == nil && a.Max == nil {
+			return fmt.Errorf("scenario: assertion %d (%s): needs min and/or max", i, a.Metric)
+		}
+		if a.Min != nil && a.Max != nil && *a.Min > *a.Max {
+			return fmt.Errorf("scenario: assertion %d (%s): min %v > max %v", i, a.Metric, *a.Min, *a.Max)
+		}
+	}
+	return nil
+}
+
+func (e *Event) validate() error {
+	if e.At < 0 {
+		return fmt.Errorf("at must be non-negative, got %v", e.At.D())
+	}
+	n := 0
+	if e.ChurnBurst != nil {
+		n++
+		if e.ChurnBurst.Fraction <= 0 || e.ChurnBurst.Fraction > 1 {
+			return fmt.Errorf("churn_burst.fraction must be in (0,1], got %v", e.ChurnBurst.Fraction)
+		}
+		if e.ChurnBurst.Duration <= 0 {
+			return fmt.Errorf("churn_burst.duration must be positive, got %v", e.ChurnBurst.Duration.D())
+		}
+	}
+	if e.Attack != nil {
+		n++
+		if e.Attack.Cushion < 0 || e.Attack.Cushion > 1 {
+			return fmt.Errorf("attack.cushion must be in [0,1], got %v", e.Attack.Cushion)
+		}
+	}
+	if e.MonitorNoise != nil {
+		n++
+		if e.MonitorNoise.Error < 0 || e.MonitorNoise.Error > 1 {
+			return fmt.Errorf("monitor_noise.error must be in [0,1], got %v", e.MonitorNoise.Error)
+		}
+		if e.MonitorNoise.Staleness < 0 {
+			return fmt.Errorf("monitor_noise.staleness must be non-negative")
+		}
+	}
+	if e.AnycastBatch != nil {
+		n++
+		if err := e.AnycastBatch.validate(); err != nil {
+			return fmt.Errorf("anycast_batch: %w", err)
+		}
+	}
+	if e.MulticastBatch != nil {
+		n++
+		if err := e.MulticastBatch.validate(); err != nil {
+			return fmt.Errorf("multicast_batch: %w", err)
+		}
+	}
+	if n != 1 {
+		return fmt.Errorf("exactly one action per event (churn_burst, attack, monitor_noise, anycast_batch, multicast_batch), got %d", n)
+	}
+	return nil
+}
+
+func (b *AnycastBatch) validate() error {
+	if b.Count <= 0 {
+		return fmt.Errorf("count must be positive, got %d", b.Count)
+	}
+	if err := validateBand(b.BandLo, b.BandHi); err != nil {
+		return err
+	}
+	if err := b.target().Validate(); err != nil {
+		return err
+	}
+	if _, err := parsePolicy(b.Policy); err != nil {
+		return err
+	}
+	if _, err := parseFlavor(b.Flavor); err != nil {
+		return err
+	}
+	if p, _ := parsePolicy(b.Policy); p == ops.RetriedGreedy && b.Retry <= 0 {
+		return fmt.Errorf("retried-greedy needs a positive retry budget")
+	}
+	return nil
+}
+
+func (b *AnycastBatch) target() ops.Target {
+	return ops.Target{Lo: b.TargetLo, Hi: b.TargetHi}
+}
+
+func (b *MulticastBatch) validate() error {
+	if b.Count <= 0 {
+		return fmt.Errorf("count must be positive, got %d", b.Count)
+	}
+	if err := validateBand(b.BandLo, b.BandHi); err != nil {
+		return err
+	}
+	if err := b.target().Validate(); err != nil {
+		return err
+	}
+	if _, err := parseMode(b.Mode); err != nil {
+		return err
+	}
+	if _, err := parseFlavor(b.Flavor); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (b *MulticastBatch) target() ops.Target {
+	return ops.Target{Lo: b.TargetLo, Hi: b.TargetHi}
+}
+
+// validateBand checks an initiator availability band. A zero hi means
+// "everyone at or above lo" (resolved to an inclusive upper bound at
+// run time), mirroring churn_burst's band semantics; otherwise the band
+// must be a non-empty sub-interval of [0, 1.01].
+func validateBand(lo, hi float64) error {
+	if lo < 0 || lo > 1 {
+		return fmt.Errorf("band_lo must be in [0,1], got %v", lo)
+	}
+	if hi == 0 {
+		return nil
+	}
+	if hi <= lo {
+		return fmt.Errorf("band_hi %v must exceed band_lo %v (or be omitted for no upper bound)", hi, lo)
+	}
+	if hi > 1.01 {
+		return fmt.Errorf("band_hi must be at most 1.01, got %v", hi)
+	}
+	return nil
+}
+
+// bandHi resolves a zero upper bound to 1.01, which includes every
+// availability estimate (estimates are capped at 1).
+func bandHi(hi float64) float64 {
+	if hi == 0 {
+		return 1.01
+	}
+	return hi
+}
+
+func parsePolicy(s string) (ops.Policy, error) {
+	switch s {
+	case "", "greedy":
+		return ops.Greedy, nil
+	case "retried-greedy":
+		return ops.RetriedGreedy, nil
+	case "annealing":
+		return ops.Annealing, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (greedy, retried-greedy, annealing)", s)
+	}
+}
+
+func parseFlavor(s string) (core.Flavor, error) {
+	switch s {
+	case "", "hsvs":
+		return core.HSVS, nil
+	case "hs":
+		return core.HSOnly, nil
+	case "vs":
+		return core.VSOnly, nil
+	default:
+		return 0, fmt.Errorf("unknown flavor %q (hs, vs, hsvs)", s)
+	}
+}
+
+func parseMode(s string) (ops.Mode, error) {
+	switch s {
+	case "", "flood":
+		return ops.Flood, nil
+	case "gossip":
+		return ops.Gossip, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (flood, gossip)", s)
+	}
+}

@@ -126,13 +126,14 @@ func (s *Sim) SliverSizes(id NodeID) (hs, vs int) {
 	return m.SliverSize(core.SliverHorizontal), m.SliverSize(core.SliverVertical)
 }
 
-// Neighbors returns a node's current AVMEM neighbors under a flavor.
+// Neighbors returns a snapshot of a node's current AVMEM neighbors
+// under a flavor.
 func (s *Sim) Neighbors(id NodeID, f Flavor) []Neighbor {
 	m := s.w.Membership(id)
 	if m == nil {
 		return nil
 	}
-	return m.Neighbors(f)
+	return m.CopyNeighbors(f)
 }
 
 // MeanDegree returns the mean neighbor count across online nodes.
