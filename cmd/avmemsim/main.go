@@ -10,6 +10,8 @@
 //	avmemsim -fig 2,5,11 -quick            # scaled-down quick pass
 //	avmemsim -trace overnet.trace -fig 2   # use an archived trace
 //	avmemsim run scenarios/churn-storm.json       # execute a scenario
+//	avmemsim run -seeds 8 -parallel 4 scenarios/churn-storm.json
+//	                                              # multi-seed sweep, 4 worlds at once
 //	avmemsim validate scenarios/churn-storm.json  # check a scenario file
 //
 // Full scale means the paper's setting: a 1442-host, 7-day Overnet-like
@@ -42,14 +44,24 @@ func main() {
 
 // runScenario executes a scenario file and renders its report. A failed
 // assertion surfaces as an error so the process exits non-zero.
+// With -seeds N > 1 the scenario is swept over N consecutive seeds
+// (spec.Seed, spec.Seed+1, …) with up to -parallel worlds in flight and
+// a mean/min/max aggregate report; the aggregate is identical for every
+// -parallel value, including 1 (determinism per world, parallelism
+// across worlds).
 func runScenario(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("avmemsim run", flag.ContinueOnError)
-	quiet := fs.Bool("q", false, "suppress per-event progress lines")
+	quiet := fs.Bool("q", false, "suppress progress lines")
+	seeds := fs.Int("seeds", 1, "number of consecutive seeds to sweep, starting at the spec's seed")
+	parallel := fs.Int("parallel", 0, "worlds in flight at once for a multi-seed sweep (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: avmemsim run [-q] <scenario.json>")
+		return fmt.Errorf("usage: avmemsim run [-q] [-seeds N] [-parallel P] <scenario.json>")
+	}
+	if *seeds < 1 {
+		return fmt.Errorf("avmemsim run: -seeds must be >= 1, got %d", *seeds)
 	}
 	spec, err := scenario.LoadFile(fs.Arg(0))
 	if err != nil {
@@ -58,6 +70,18 @@ func runScenario(args []string, out io.Writer) error {
 	var log io.Writer = out
 	if *quiet {
 		log = nil
+	}
+	if *seeds > 1 {
+		multi, err := scenario.RunMany(spec, scenario.SeedRange(spec.Seed, *seeds), *parallel, scenario.Options{Log: log})
+		if err != nil {
+			return err
+		}
+		multi.WriteReport(out)
+		if !multi.Passed() {
+			return fmt.Errorf("scenario %q: %d assertion failure(s) across %d seeds",
+				multi.Name, len(multi.Failures), *seeds)
+		}
+		return nil
 	}
 	res, err := scenario.Run(spec, scenario.Options{Log: log})
 	if err != nil {

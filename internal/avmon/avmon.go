@@ -166,19 +166,24 @@ func (n *Noisy) Availability(target ids.NodeID) (float64, bool) {
 // predicate itself. Online monitors ping their targets every ping
 // period; a target's availability estimate is the fraction of pings it
 // answered, and queries return the median estimate across its monitors.
+//
+// State is index-based: the monitor relation and every (monitor, target)
+// ping counter live in flat slices keyed by host index, so a ping round
+// is a deterministic sweep of array reads — no map traffic, no
+// per-edge allocation — and liveness can be probed through an
+// index-based fast path (UseIndexedLiveness).
 type Distributed struct {
-	hosts      []ids.NodeID
-	online     func(ids.NodeID) bool
-	monitorsOf map[ids.NodeID][]ids.NodeID // target -> monitors
-	estimates  map[pair]*pingStats
+	hosts    []ids.NodeID
+	idx      map[ids.NodeID]int32
+	online   func(ids.NodeID) bool
+	onlineAt func(i int) bool // nil → fall back to online(hosts[i])
+	// monitorsOf[t] lists the monitor indexes of target t; the ping
+	// counters of target t's k-th monitor live at edgeOff[t]+k.
+	monitorsOf [][]int32
+	edgeOff    []int
+	sent, acks []int32
 	minPings   int
-}
-
-type pair struct{ monitor, target ids.NodeID }
-
-type pingStats struct {
-	sent int
-	ok   int
+	scratch    []float64 // estimate buffer reused across queries
 }
 
 var _ Service = (*Distributed)(nil)
@@ -207,51 +212,86 @@ func NewDistributed(hosts []ids.NodeID, expectedMonitors float64, online func(id
 	}
 	d := &Distributed{
 		hosts:      append([]ids.NodeID(nil), hosts...),
+		idx:        make(map[ids.NodeID]int32, len(hosts)),
 		online:     online,
-		monitorsOf: make(map[ids.NodeID][]ids.NodeID, len(hosts)),
-		estimates:  make(map[pair]*pingStats, int(float64(len(hosts))*expectedMonitors)),
+		monitorsOf: make([][]int32, len(hosts)),
+		edgeOff:    make([]int, len(hosts)+1),
 		minPings:   minPings,
+	}
+	for i, h := range d.hosts {
+		d.idx[h] = int32(i)
 	}
 	// The monitor relation is consistent: it depends only on identifier
 	// hashes, so any third party could verify who monitors whom.
-	for _, target := range hosts {
-		for _, monitor := range hosts {
-			if monitor == target {
+	edges := 0
+	for t, target := range d.hosts {
+		d.edgeOff[t] = edges
+		for m, monitor := range d.hosts {
+			if m == t {
 				continue
 			}
 			if ids.PairHash(monitor, target) <= frac {
-				d.monitorsOf[target] = append(d.monitorsOf[target], monitor)
+				d.monitorsOf[t] = append(d.monitorsOf[t], int32(m))
+				edges++
 			}
 		}
 	}
+	d.edgeOff[len(d.hosts)] = edges
+	d.sent = make([]int32, edges)
+	d.acks = make([]int32, edges)
 	return d, nil
 }
 
-// Monitors returns the consistent monitor set of target (shared slice;
-// callers must not mutate).
+// UseIndexedLiveness switches liveness probes to host indexes: host i
+// (in the order of the hosts slice given to NewDistributed) is online
+// iff onlineAt(i). Ping rounds then run entirely on array reads.
+func (d *Distributed) UseIndexedLiveness(onlineAt func(i int) bool) {
+	d.onlineAt = onlineAt
+}
+
+// up reports liveness of host index i through the fast path when bound.
+func (d *Distributed) up(i int32) bool {
+	if d.onlineAt != nil {
+		return d.onlineAt(int(i))
+	}
+	return d.online(d.hosts[i])
+}
+
+// Monitors returns the consistent monitor set of target in deterministic
+// (host-index) order; nil for an unknown target.
 func (d *Distributed) Monitors(target ids.NodeID) []ids.NodeID {
-	return d.monitorsOf[target]
+	t, ok := d.idx[target]
+	if !ok {
+		return nil
+	}
+	ms := d.monitorsOf[t]
+	out := make([]ids.NodeID, len(ms))
+	for i, m := range ms {
+		out[i] = d.hosts[m]
+	}
+	return out
 }
 
 // TickAll performs one ping round: every online monitor pings each of
 // its targets and records whether the target answered. Call this once
-// per ping period from the simulation or runtime driver.
+// per ping period from the simulation or runtime driver; one call
+// covers the whole population (the monitoring overlay's cohort tick).
 func (d *Distributed) TickAll() {
-	for target, monitors := range d.monitorsOf {
-		up := d.online(target)
-		for _, m := range monitors {
-			if !d.online(m) {
+	for t := range d.hosts {
+		monitors := d.monitorsOf[t]
+		if len(monitors) == 0 {
+			continue
+		}
+		targetUp := d.up(int32(t))
+		off := d.edgeOff[t]
+		for k, m := range monitors {
+			if !d.up(m) {
 				continue
 			}
-			key := pair{monitor: m, target: target}
-			st := d.estimates[key]
-			if st == nil {
-				st = &pingStats{}
-				d.estimates[key] = st
-			}
-			st.sent++
-			if up {
-				st.ok++
+			e := off + k
+			d.sent[e]++
+			if targetUp {
+				d.acks[e]++
 			}
 		}
 	}
@@ -260,18 +300,20 @@ func (d *Distributed) TickAll() {
 // Availability implements Service: the median of the per-monitor
 // empirical estimates with at least minPings observations.
 func (d *Distributed) Availability(target ids.NodeID) (float64, bool) {
-	monitors, ok := d.monitorsOf[target]
+	t, ok := d.idx[target]
 	if !ok {
 		return 0, false
 	}
-	ests := make([]float64, 0, len(monitors))
-	for _, m := range monitors {
-		st := d.estimates[pair{monitor: m, target: target}]
-		if st == nil || st.sent < d.minPings {
+	ests := d.scratch[:0]
+	off := d.edgeOff[t]
+	for k := range d.monitorsOf[t] {
+		e := off + k
+		if int(d.sent[e]) < d.minPings {
 			continue
 		}
-		ests = append(ests, float64(st.ok)/float64(st.sent))
+		ests = append(ests, float64(d.acks[e])/float64(d.sent[e]))
 	}
+	d.scratch = ests[:0]
 	if len(ests) == 0 {
 		return 0, false
 	}

@@ -103,6 +103,30 @@ type Membership struct {
 	all []Neighbor
 	hs  []Neighbor
 	vs  []Neighbor
+	// pairMemo memoizes H(self, y) per candidate. The hash depends only
+	// on the two identifiers, and discovery re-tests the same candidates
+	// every protocol period, so a single-id-keyed memo beats both
+	// recomputing SHA-256 and the shared two-id-keyed cache on this
+	// path. Bounded by pairMemoMax with full reset (the SHA recompute
+	// after a reset is cheap and allocation-free).
+	pairMemo map[ids.NodeID]float64
+}
+
+// pairMemoMax bounds the per-membership hash memo; enough for every
+// peer of a multi-thousand-host deployment to stay memoized for good.
+const pairMemoMax = 1 << 13
+
+// pairHash returns the memoized consistent hash H(self, y).
+func (m *Membership) pairHash(y ids.NodeID) float64 {
+	if h, ok := m.pairMemo[y]; ok {
+		return h
+	}
+	h := ids.PairHash(m.self, y)
+	if len(m.pairMemo) >= pairMemoMax {
+		m.pairMemo = make(map[ids.NodeID]float64, 64)
+	}
+	m.pairMemo[y] = h
+	return h
 }
 
 // NewMembership creates the membership state for node self.
@@ -114,9 +138,10 @@ func NewMembership(self ids.NodeID, cfg Config) (*Membership, error) {
 		return nil, err
 	}
 	m := &Membership{
-		cfg:    cfg,
-		self:   self,
-		sliver: make(map[ids.NodeID]Sliver, 64),
+		cfg:      cfg,
+		self:     self,
+		sliver:   make(map[ids.NodeID]Sliver, 64),
+		pairMemo: make(map[ids.NodeID]float64, 64),
 	}
 	m.RefreshSelf()
 	return m, nil
@@ -197,10 +222,7 @@ func (m *Membership) Discover(candidates []ids.NodeID) int {
 		if !ok {
 			continue
 		}
-		match, kind := m.cfg.Predicate.EvalNodes(
-			NodeInfo{ID: m.self, Availability: m.selfAvail},
-			NodeInfo{ID: y, Availability: avY},
-			0, m.cfg.Hashes)
+		match, kind := m.cfg.Predicate.Eval(m.pairHash(y), m.selfAvail, avY, 0)
 		if !match {
 			continue
 		}
@@ -235,10 +257,7 @@ func (m *Membership) Refresh() int {
 			evicted++
 			continue
 		}
-		match, kind := m.cfg.Predicate.EvalNodes(
-			NodeInfo{ID: m.self, Availability: m.selfAvail},
-			NodeInfo{ID: nb.ID, Availability: avY},
-			0, m.cfg.Hashes)
+		match, kind := m.cfg.Predicate.Eval(m.pairHash(nb.ID), m.selfAvail, avY, 0)
 		if !match {
 			delete(m.sliver, nb.ID)
 			evicted++

@@ -103,6 +103,11 @@ func (w *World) buildMonitor() error {
 		if err != nil {
 			return err
 		}
+		// w.hosts is in trace-index order, so the monitor's host indexes
+		// coincide with the deployment's liveness indexes.
+		dist.UseIndexedLiveness(w.onlineAt)
+		// One event per ping period covers the whole population — the
+		// monitoring overlay's cohort tick.
 		if err := w.Sim.Every(0, cfg.ProtocolPeriod, nil, dist.TickAll); err != nil {
 			return err
 		}
@@ -147,31 +152,50 @@ func (w *World) SetMonitorNoise(maxErr float64, staleness time.Duration) error {
 // network, the shuffling service, the monitor overlay, and the protocol
 // drivers until the given virtual time, regardless of its churn trace.
 // Scenario churn bursts call this; the trace resumes control when the
-// outage lifts.
+// outage lifts. A sweep event scheduled at the lift time clears the
+// slot, so liveness reads never mutate state (they must be reentrant:
+// the parallel scenario runner executes many worlds concurrently and a
+// single world queries liveness from deep inside delivery callbacks).
 func (w *World) ForceOffline(id ids.NodeID, until time.Duration) {
 	if until <= w.Sim.Now() {
 		return
 	}
-	w.forcedDown[id] = until
+	h := w.Trace.HostIndex(id)
+	if h < 0 {
+		return
+	}
+	w.forcedDownUntil[h] = until
+	w.Sim.At(until, func() {
+		// Clear only if no later ForceOffline superseded this outage.
+		if w.forcedDownUntil[h] == until {
+			w.forcedDownUntil[h] = 0
+		}
+	})
 }
 
-// nodeOnline is the deployment-wide liveness check: the churn trace
-// overlaid with scenario-forced outages.
-func (w *World) nodeOnline(id ids.NodeID) bool {
-	if until, ok := w.forcedDown[id]; ok {
-		if w.Sim.Now() < until {
-			return false
-		}
-		delete(w.forcedDown, id)
+// onlineAt is the hot-path liveness check, by trace host index: the
+// churn trace overlaid with scenario-forced outages. Pure read — two
+// array probes — and therefore reentrant.
+func (w *World) onlineAt(h int) bool {
+	now := w.Sim.Now()
+	if w.forcedDownUntil[h] > now {
+		return false
 	}
+	return w.Trace.UpAtIndex(h, now)
+}
+
+// nodeOnline is the id-keyed liveness check for API-boundary callers;
+// hot paths resolve the host index once and use onlineAt.
+func (w *World) nodeOnline(id ids.NodeID) bool {
 	h := w.Trace.HostIndex(id)
-	return h >= 0 && w.Trace.UpAt(h, w.Sim.Now())
+	return h >= 0 && w.onlineAt(h)
 }
 
 // installNodes creates per-node state: membership, router, network
-// handler, and the bootstrap join.
+// handler, and the bootstrap join. Each node's trace row index is
+// resolved here, once, and captured by its liveness closure.
 func (w *World) installNodes(pred *core.Predicate) error {
-	for _, id := range w.hosts {
+	for h, id := range w.hosts {
 		m, err := core.NewMembership(id, core.Config{
 			Predicate:     pred,
 			Monitor:       w.Monitor,
@@ -182,10 +206,10 @@ func (w *World) installNodes(pred *core.Predicate) error {
 		if err != nil {
 			return err
 		}
-		w.members[id] = m
+		w.members[h] = m
 
-		self := id
-		env, err := ops.NewSimEnv(w.Sim, w.Net, id, func() bool { return w.nodeOnline(self) })
+		h := h
+		env, err := ops.NewSimEnv(w.Sim, w.Net, id, func() bool { return w.onlineAt(h) })
 		if err != nil {
 			return err
 		}
@@ -194,11 +218,12 @@ func (w *World) installNodes(pred *core.Predicate) error {
 			Env:           env,
 			Collector:     w.Col,
 			VerifyInbound: w.Cfg.VerifyInbound,
+			Hashes:        w.Hashes,
 		})
 		if err != nil {
 			return err
 		}
-		w.routers[id] = r
+		w.routers[h] = r
 		w.Net.Register(id, r.HandleMessage)
 
 		w.Shuffle.Join(id, w.randomSeeds(id, 4))
@@ -206,32 +231,55 @@ func (w *World) installNodes(pred *core.Predicate) error {
 	return nil
 }
 
-// startDrivers schedules the periodic protocol work, staggered per node
-// so the system does not tick in lockstep.
+// driverBuckets is the cohort count per protocol period: per-node
+// stagger offsets are bucketed to period/driverBuckets granularity, so
+// one recurring event drives a whole cohort instead of one event (and
+// one closure chain) per node. 64 buckets keep the offered load spread
+// to ≤ 1.6% of the period per tick.
+const driverBuckets = 64
+
+// startDrivers schedules the periodic protocol work as cohort ticks:
+// every node draws a stagger offset exactly as before, but nodes whose
+// offsets land in the same bucket share one recurring event that sweeps
+// their host indexes. The system still does not tick in lockstep — the
+// stagger survives at bucket granularity — while the scheduler carries
+// 2×driverBuckets periodic events instead of 2×N.
 func (w *World) startDrivers() error {
 	cfg := w.Cfg
-	for _, id := range w.hosts {
-		self := id
-		discOffset := time.Duration(w.Sim.Rand().Int63n(int64(cfg.ProtocolPeriod)))
-		if err := w.Sim.Every(discOffset, cfg.ProtocolPeriod, nil, func() {
-			if !w.nodeOnline(self) {
-				return
-			}
-			if len(w.Shuffle.View(self)) == 0 {
-				// Rejoin after an outage emptied the view: bootstrap anew.
-				w.Shuffle.Join(self, w.randomSeeds(self, 4))
-			}
-			w.Shuffle.Tick(self)
-			w.members[self].Discover(w.Shuffle.View(self))
+	disc := make([][]int32, driverBuckets)
+	refresh := make([][]int32, driverBuckets)
+	for h := range w.hosts {
+		d := w.Sim.Rand().Int63n(int64(cfg.ProtocolPeriod))
+		b := int(d * driverBuckets / int64(cfg.ProtocolPeriod))
+		disc[b] = append(disc[b], int32(h))
+		r := w.Sim.Rand().Int63n(int64(cfg.RefreshPeriod))
+		rb := int(r * driverBuckets / int64(cfg.RefreshPeriod))
+		refresh[rb] = append(refresh[rb], int32(h))
+	}
+	for b, cohort := range disc {
+		if len(cohort) == 0 {
+			continue
+		}
+		cohort := cohort
+		offset := time.Duration(int64(b) * int64(cfg.ProtocolPeriod) / driverBuckets)
+		if err := w.Sim.Every(offset, cfg.ProtocolPeriod, nil, func() {
+			w.discoverCohort(cohort)
 		}); err != nil {
 			return err
 		}
-		refOffset := time.Duration(w.Sim.Rand().Int63n(int64(cfg.RefreshPeriod)))
-		if err := w.Sim.Every(refOffset, cfg.RefreshPeriod, nil, func() {
-			if !w.nodeOnline(self) {
-				return
+	}
+	for b, cohort := range refresh {
+		if len(cohort) == 0 {
+			continue
+		}
+		cohort := cohort
+		offset := time.Duration(int64(b) * int64(cfg.RefreshPeriod) / driverBuckets)
+		if err := w.Sim.Every(offset, cfg.RefreshPeriod, nil, func() {
+			for _, h := range cohort {
+				if w.onlineAt(int(h)) {
+					w.members[h].Refresh()
+				}
 			}
-			w.members[self].Refresh()
 		}); err != nil {
 			return err
 		}
@@ -239,13 +287,57 @@ func (w *World) startDrivers() error {
 	return nil
 }
 
-// randomSeeds picks up to n random hosts other than self — the
-// bootstrap-server story for (re)joining nodes.
+// discoverCohort runs one discovery/shuffle round for every online node
+// of a cohort, reusing the world's view scratch buffer across nodes.
+func (w *World) discoverCohort(cohort []int32) {
+	for _, h := range cohort {
+		if !w.onlineAt(int(h)) {
+			continue
+		}
+		if w.Shuffle.ViewLenIdx(int(h)) == 0 {
+			// Rejoin after an outage emptied the view: bootstrap anew.
+			id := w.hosts[h]
+			w.Shuffle.Join(id, w.randomSeeds(id, 4))
+		}
+		w.Shuffle.TickIdx(int(h))
+		w.viewScratch = w.Shuffle.AppendViewIdx(w.viewScratch[:0], int(h))
+		w.members[h].Discover(w.viewScratch)
+	}
+}
+
+// randomSeeds picks up to n distinct random hosts other than self — the
+// bootstrap-server story for (re)joining nodes. Draws are rejection-
+// sampled with a bounded attempt budget (duplicates and self are
+// rejected); if the budget runs dry — tiny populations — the remainder
+// is filled by a deterministic scan, so the call can neither return the
+// same host twice nor spin.
 func (w *World) randomSeeds(self ids.NodeID, n int) []ids.NodeID {
+	if max := len(w.hosts) - 1; n > max {
+		n = max
+	}
+	if n <= 0 {
+		return nil
+	}
 	seeds := make([]ids.NodeID, 0, n)
-	for len(seeds) < n && len(w.hosts) > 1 {
+	contains := func(id ids.NodeID) bool {
+		for _, s := range seeds {
+			if s == id {
+				return true
+			}
+		}
+		return false
+	}
+	for attempts := 8 * n; len(seeds) < n && attempts > 0; attempts-- {
 		cand := w.hosts[w.Sim.Rand().Intn(len(w.hosts))]
-		if cand != self {
+		if cand != self && !contains(cand) {
+			seeds = append(seeds, cand)
+		}
+	}
+	for _, cand := range w.hosts {
+		if len(seeds) >= n {
+			break
+		}
+		if cand != self && !contains(cand) {
 			seeds = append(seeds, cand)
 		}
 	}

@@ -52,6 +52,62 @@ func TestForceOfflineExpiredIsNoop(t *testing.T) {
 	}
 }
 
+// TestForceOfflineSweepClearsSlot: the outage slot is cleared by the
+// scheduled sweep (not by liveness reads — they must stay pure), and a
+// superseding longer outage is not clobbered by the earlier sweep.
+func TestForceOfflineSweepClearsSlot(t *testing.T) {
+	w := smallWorld(t, 5)
+	online := w.OnlineHosts()
+	if len(online) == 0 {
+		t.Fatal("no online hosts after warmup")
+	}
+	id := online[0]
+	h := w.Trace.HostIndex(id)
+	w.ForceOffline(id, w.Sim.Now()+10*time.Minute)
+	w.ForceOffline(id, w.Sim.Now()+40*time.Minute)
+	w.RunFor(11 * time.Minute)
+	// The first outage's sweep fired; the longer outage must survive it.
+	if w.forcedDownUntil[h] == 0 {
+		t.Fatal("superseding outage cleared by the earlier sweep")
+	}
+	if w.Online(id) {
+		t.Fatal("node online inside the superseding outage")
+	}
+	w.RunFor(30 * time.Minute)
+	if w.forcedDownUntil[h] != 0 {
+		t.Errorf("outage slot not swept after lift: %v", w.forcedDownUntil[h])
+	}
+}
+
+// TestRandomSeedsDistinctAndBounded: bootstrap seeds never repeat a
+// host, never include self, and tiny populations terminate (the seed
+// bug: sampling with replacement could return the same host twice and
+// spin when n exceeded the distinct-host count).
+func TestRandomSeedsDistinctAndBounded(t *testing.T) {
+	w := smallWorld(t, 6)
+	self := w.Hosts()[0]
+	for trial := 0; trial < 50; trial++ {
+		seeds := w.randomSeeds(self, 4)
+		if len(seeds) != 4 {
+			t.Fatalf("got %d seeds, want 4", len(seeds))
+		}
+		seen := map[string]bool{}
+		for _, s := range seeds {
+			if s == self {
+				t.Fatal("self returned as a bootstrap seed")
+			}
+			if seen[string(s)] {
+				t.Fatalf("duplicate seed %v in %v", s, seeds)
+			}
+			seen[string(s)] = true
+		}
+	}
+	// n greater than the distinct-host count must cap, not spin.
+	if got := w.randomSeeds(self, len(w.Hosts())+10); len(got) != len(w.Hosts())-1 {
+		t.Errorf("oversized request returned %d seeds, want %d", len(got), len(w.Hosts())-1)
+	}
+}
+
 // TestSetMonitorNoisePerturbsAndRestores: injected noise changes what
 // the deployment-wide monitor reports, and resetting to zero restores
 // the base service exactly.

@@ -13,11 +13,23 @@ import (
 // Hosts returns all host identifiers.
 func (w *World) Hosts() []ids.NodeID { return w.hosts }
 
-// Membership returns the membership state of a node.
-func (w *World) Membership(id ids.NodeID) *core.Membership { return w.members[id] }
+// Membership returns the membership state of a node (nil if unknown).
+func (w *World) Membership(id ids.NodeID) *core.Membership {
+	h := w.Trace.HostIndex(id)
+	if h < 0 {
+		return nil
+	}
+	return w.members[h]
+}
 
-// Router returns the router of a node.
-func (w *World) Router(id ids.NodeID) *ops.Router { return w.routers[id] }
+// Router returns the router of a node (nil if unknown).
+func (w *World) Router(id ids.NodeID) *ops.Router {
+	h := w.Trace.HostIndex(id)
+	if h < 0 {
+		return nil
+	}
+	return w.routers[h]
+}
 
 // Online reports whether a node is online at the current virtual time
 // (churn trace overlaid with scenario-forced outages).
@@ -26,8 +38,8 @@ func (w *World) Online(id ids.NodeID) bool { return w.nodeOnline(id) }
 // OnlineHosts returns all currently online host identifiers.
 func (w *World) OnlineHosts() []ids.NodeID {
 	out := make([]ids.NodeID, 0, len(w.hosts)/2)
-	for _, id := range w.hosts {
-		if w.Online(id) {
+	for h, id := range w.hosts {
+		if w.onlineAt(h) {
 			out = append(out, id)
 		}
 	}
@@ -90,7 +102,7 @@ func (w *World) MeanDegree() float64 {
 	}
 	total := 0
 	for _, id := range online {
-		total += w.members[id].Size()
+		total += w.Membership(id).Size()
 	}
 	return float64(total) / float64(len(online))
 }

@@ -133,17 +133,25 @@ type World struct {
 	Hashes  *ids.HashCache
 	Col     *ops.Collector
 
+	// hosts, members, routers, and forcedDownUntil are parallel slices
+	// keyed by trace host index: liveness, drivers, and deliveries run on
+	// array probes, with a single id→index map (the trace's) at the API
+	// boundary.
 	hosts   []ids.NodeID
-	members map[ids.NodeID]*core.Membership
-	routers map[ids.NodeID]*ops.Router
+	members []*core.Membership
+	routers []*ops.Router
 
 	// monitor is the stable indirection the whole deployment queries;
 	// baseMonitor is the pre-noise service SetMonitorNoise rewraps.
 	monitor     *switchMonitor
 	baseMonitor avmon.Service
-	// forcedDown holds scenario-injected outages: node → virtual time
-	// the outage lifts. Consulted by nodeOnline on every liveness check.
-	forcedDown map[ids.NodeID]time.Duration
+	// forcedDownUntil[h] holds a scenario-injected outage: the virtual
+	// time host h's outage lifts (zero = none). Reads are pure — expired
+	// entries are swept by an event ForceOffline schedules, never by the
+	// liveness check itself, so onlineAt is reentrant.
+	forcedDownUntil []time.Duration
+	// viewScratch is reused across cohort-tick discovery calls.
+	viewScratch []ids.NodeID
 }
 
 // NewWorld assembles a deployment. The availability PDF handed to the
@@ -156,15 +164,15 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	}
 	tr := cfg.Trace
 	w := &World{
-		Cfg:        cfg,
-		Trace:      tr,
-		Sim:        sim.NewWorld(cfg.Seed),
-		Hashes:     ids.NewHashCache(0),
-		Col:        ops.NewCollector(),
-		hosts:      tr.HostIDs(),
-		members:    make(map[ids.NodeID]*core.Membership, tr.Hosts()),
-		routers:    make(map[ids.NodeID]*ops.Router, tr.Hosts()),
-		forcedDown: make(map[ids.NodeID]time.Duration),
+		Cfg:             cfg,
+		Trace:           tr,
+		Sim:             sim.NewWorld(cfg.Seed),
+		Hashes:          ids.NewHashCache(0),
+		Col:             ops.NewCollector(),
+		hosts:           tr.HostIDs(),
+		members:         make([]*core.Membership, tr.Hosts()),
+		routers:         make([]*ops.Router, tr.Hosts()),
+		forcedDownUntil: make([]time.Duration, tr.Hosts()),
 	}
 	pdf, err := estimatePDF(tr)
 	if err != nil {
@@ -178,6 +186,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		return nil, err
 	}
 	w.Net = sim.NewNetwork(w.Sim, cfg.Latency, w.nodeOnline, 0)
+	w.Net.Bind(w.hosts, w.onlineAt)
 	if err := w.buildMonitor(); err != nil {
 		return nil, err
 	}
@@ -185,6 +194,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
+	cyc.UseIndex(tr.HostIndex, w.onlineAt)
 	w.Shuffle = cyc
 	if err := w.installNodes(pred); err != nil {
 		return nil, err

@@ -59,15 +59,22 @@ const two63 = float64(1 << 63)
 // boundary ambiguity. The function is pure: it depends only on the two
 // identifiers.
 func PairHash(x, y NodeID) float64 {
-	h := sha256.New()
-	var lenBuf [4]byte
-	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(x)))
-	h.Write(lenBuf[:])
-	h.Write([]byte(x))
-	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(y)))
-	h.Write(lenBuf[:])
-	h.Write([]byte(y))
-	sum := h.Sum(nil)
+	// One-shot digest over a stack buffer: identical byte stream (and
+	// therefore identical hash values) to the streaming construction,
+	// without the per-call digest and sum allocations. Simulated and
+	// host:port identifiers fit the array; oversized ones fall back.
+	var arr [128]byte
+	var buf []byte
+	if n := 8 + len(x) + len(y); n <= len(arr) {
+		buf = arr[:0]
+	} else {
+		buf = make([]byte, 0, n)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(x)))
+	buf = append(buf, x...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(y)))
+	buf = append(buf, y...)
+	sum := sha256.Sum256(buf)
 	// Keep 63 bits: guarantees a value strictly below 1.0 after division.
 	v := binary.BigEndian.Uint64(sum[:8]) >> 1
 	return float64(v) / two63

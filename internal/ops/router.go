@@ -44,10 +44,12 @@ type Router struct {
 	// verifyInbound enables the §4.1 in-neighbor check on every
 	// received operation message.
 	verifyInbound bool
-	rejected      int
-	seq           uint64
-	seen          map[MsgID]bool
-	gossipSent    map[MsgID]map[ids.NodeID]bool
+	// hashes memoizes dissemination-order pair hashes when non-nil.
+	hashes     *ids.HashCache
+	rejected   int
+	seq        uint64
+	seen       map[MsgID]bool
+	gossipSent map[MsgID]map[ids.NodeID]bool
 	// free recycles candidate buffers across anycast forwards. A buffer
 	// is owned by one in-flight attempt chain until the operation hits a
 	// terminal state or its SendCall acknowledges — the failure callback
@@ -126,6 +128,9 @@ type RouterConfig struct {
 	// VerifyInbound drops operation messages whose sender fails the
 	// consistent in-neighbor predicate check.
 	VerifyInbound bool
+	// Hashes optionally memoizes the pair hashes dissemination ordering
+	// uses; deployments share one cache across all routers.
+	Hashes *ids.HashCache
 }
 
 // NewRouter validates and builds a Router.
@@ -144,6 +149,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		env:           cfg.Env,
 		col:           cfg.Collector,
 		verifyInbound: cfg.VerifyInbound,
+		hashes:        cfg.Hashes,
 		seen:          make(map[MsgID]bool, 256),
 		gossipSent:    make(map[MsgID]map[ids.NodeID]bool, 16),
 	}, nil
@@ -494,8 +500,11 @@ func (r *Router) disseminate(m MulticastMsg) {
 	case Gossip:
 		r.gossipRounds(m, m.Spec.Rounds)
 	default: // Flood
+		// Box the message once: every recipient shares one read-only
+		// interface value instead of re-boxing the struct per send.
+		var boxed any = m
 		for _, nb := range r.inRangeNeighbors(m) {
-			r.env.Send(nb.ID, m)
+			r.env.Send(nb.ID, boxed)
 		}
 	}
 }
@@ -514,6 +523,7 @@ func (r *Router) gossipRounds(m MulticastMsg, remaining int) {
 		// Deterministic iteration through the in-range neighbor list,
 		// skipping peers already gossiped to (paper §3.2.II).
 		n := 0
+		var boxed any = m
 		for _, nb := range r.inRangeNeighbors(m) {
 			if n >= m.Spec.Fanout {
 				break
@@ -522,7 +532,7 @@ func (r *Router) gossipRounds(m MulticastMsg, remaining int) {
 				continue
 			}
 			sent[nb.ID] = true
-			r.env.Send(nb.ID, m)
+			r.env.Send(nb.ID, boxed)
 			n++
 		}
 	}
@@ -547,7 +557,13 @@ func (r *Router) inRangeNeighbors(m MulticastMsg) []core.Neighbor {
 	for _, nb := range all {
 		if m.Target.Contains(nb.Availability) {
 			r.rangeNbs = append(r.rangeNbs, nb)
-			r.rangeKeys = append(r.rangeKeys, ids.PairHash(self, nb.ID))
+			var key float64
+			if r.hashes != nil {
+				key = r.hashes.Pair(self, nb.ID)
+			} else {
+				key = ids.PairHash(self, nb.ID)
+			}
+			r.rangeKeys = append(r.rangeKeys, key)
 		}
 	}
 	r.byHash.keys = r.rangeKeys

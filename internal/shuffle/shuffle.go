@@ -34,6 +34,11 @@ type Service interface {
 type Entry struct {
 	ID  ids.NodeID
 	Age int
+	// idx1 memoizes the peer's liveness index plus one (0 = unresolved)
+	// once UseIndex is configured, so per-tick liveness checks on view
+	// entries are array probes instead of string-map lookups. The memo
+	// travels with the entry through exchanges.
+	idx1 int32
 }
 
 // View is one node's bounded coarse view. The zero value is unusable;
@@ -42,28 +47,34 @@ type view struct {
 	self    ids.NodeID
 	cap     int
 	entries []Entry
+	// idx1 memoizes self's liveness index plus one (0 = unresolved).
+	idx1 int32
 }
 
-func (v *view) contains(id ids.NodeID) bool {
-	for _, e := range v.entries {
-		if e.ID == id {
+// entriesEqual reports whether two entries name the same node: an int32
+// compare when both indexes are resolved, a string compare otherwise.
+func entriesEqual(a, b *Entry) bool {
+	if a.idx1 > 0 && b.idx1 > 0 {
+		return a.idx1 == b.idx1
+	}
+	return a.ID == b.ID
+}
+
+func (v *view) contains(e *Entry) bool {
+	for i := range v.entries {
+		if entriesEqual(&v.entries[i], e) {
 			return true
 		}
 	}
 	return false
 }
 
-// add inserts id with age 0 if absent, evicting the oldest entry when
-// the view is full.
-func (v *view) add(id ids.NodeID) {
-	if id == v.self || id.IsNil() || v.contains(id) {
-		return
+// isSelf reports whether e names the view's owner.
+func (v *view) isSelf(e *Entry) bool {
+	if v.idx1 > 0 && e.idx1 > 0 {
+		return v.idx1 == e.idx1
 	}
-	if len(v.entries) < v.cap {
-		v.entries = append(v.entries, Entry{ID: id})
-		return
-	}
-	v.entries[oldestIndex(v.entries)] = Entry{ID: id}
+	return e.ID == v.self
 }
 
 // oldestIndex returns the index of the entry with the greatest age.
@@ -88,6 +99,22 @@ type Cyclon struct {
 	rng        *rand.Rand
 	online     func(ids.NodeID) bool
 	views      map[ids.NodeID]*view
+
+	// Index fast path (UseIndex): liveness by dense index instead of by
+	// NodeID, with per-view and per-entry index memoization and an
+	// index-keyed view table for the *Idx entry points.
+	indexOf    func(ids.NodeID) int
+	onlineAt   func(i int) bool
+	viewsByIdx []*view
+	// leaves counts Leave calls. While zero — the whole lifetime of a
+	// simulated deployment — the per-entry departed-node scan in Tick is
+	// skipped (the partner's view resolution still catches strays).
+	leaves int
+	// Exchange scratch, reused across ticks: an index permutation for
+	// partial Fisher–Yates sampling and the two offered-entry buffers.
+	// merge copies entries out, so nothing retains these between calls.
+	permScratch []int
+	outX, outQ  []Entry
 }
 
 var _ Service = (*Cyclon)(nil)
@@ -127,15 +154,120 @@ func (c *Cyclon) Join(x ids.NodeID, seeds []ids.NodeID) {
 	if v == nil {
 		v = &view{self: x, cap: c.viewSize, entries: make([]Entry, 0, c.viewSize)}
 		c.views[x] = v
+		if c.indexOf != nil {
+			if i := c.indexOf(x); i >= 0 {
+				v.idx1 = int32(i) + 1
+				for len(c.viewsByIdx) <= i {
+					c.viewsByIdx = append(c.viewsByIdx, nil)
+				}
+				c.viewsByIdx[i] = v
+			} else {
+				v.idx1 = -1
+			}
+		}
 	}
 	for _, s := range seeds {
-		v.add(s)
+		c.addEntry(v, Entry{ID: s})
 	}
+}
+
+// resolveEntry memoizes e's liveness index (sentinel -1 = unknown).
+func (c *Cyclon) resolveEntry(e *Entry) {
+	if c.indexOf == nil || e.idx1 != 0 {
+		return
+	}
+	if i := c.indexOf(e.ID); i >= 0 {
+		e.idx1 = int32(i) + 1
+	} else {
+		e.idx1 = -1
+	}
+}
+
+// addEntry inserts e if absent, evicting the oldest entry when the view
+// is full.
+func (c *Cyclon) addEntry(v *view, e Entry) {
+	if e.ID.IsNil() {
+		return
+	}
+	c.resolveEntry(&e)
+	if v.isSelf(&e) || v.contains(&e) {
+		return
+	}
+	if len(v.entries) < v.cap {
+		v.entries = append(v.entries, e)
+		return
+	}
+	v.entries[oldestIndex(v.entries)] = e
 }
 
 // Leave removes x entirely (a permanent departure; churned-offline nodes
 // should simply fail the online check instead).
-func (c *Cyclon) Leave(x ids.NodeID) { delete(c.views, x) }
+func (c *Cyclon) Leave(x ids.NodeID) {
+	if v := c.views[x]; v != nil && v.idx1 > 0 && int(v.idx1-1) < len(c.viewsByIdx) {
+		c.viewsByIdx[v.idx1-1] = nil
+	}
+	delete(c.views, x)
+	c.leaves++
+}
+
+// UseIndex switches liveness checks to a dense index: a node is online
+// iff onlineAt(indexOf(id)). Entries memoize their index on first
+// resolution, so steady-state per-tick liveness checks are array probes.
+// indexOf must return a stable non-negative index for every node the
+// service will see (negative means unknown → treated offline). Views
+// joined before the call are backfilled into the index table, so the
+// *Idx entry points work regardless of Join/UseIndex order.
+func (c *Cyclon) UseIndex(indexOf func(ids.NodeID) int, onlineAt func(i int) bool) {
+	if indexOf == nil || onlineAt == nil {
+		return
+	}
+	c.indexOf = indexOf
+	c.onlineAt = onlineAt
+	for x, v := range c.views {
+		if v.idx1 != 0 {
+			continue
+		}
+		if i := indexOf(x); i >= 0 {
+			v.idx1 = int32(i) + 1
+			for len(c.viewsByIdx) <= i {
+				c.viewsByIdx = append(c.viewsByIdx, nil)
+			}
+			c.viewsByIdx[i] = v
+		} else {
+			v.idx1 = -1
+		}
+	}
+}
+
+// entryOnline reports liveness for a view entry, memoizing its index.
+func (c *Cyclon) entryOnline(e *Entry) bool {
+	if c.onlineAt == nil {
+		return c.online(e.ID)
+	}
+	c.resolveEntry(e)
+	if e.idx1 < 0 {
+		return false
+	}
+	return c.onlineAt(int(e.idx1 - 1))
+}
+
+// viewOnline reports liveness for a view's owner, memoizing its index.
+func (c *Cyclon) viewOnline(v *view) bool {
+	if c.onlineAt == nil {
+		return c.online(v.self)
+	}
+	if v.idx1 == 0 {
+		if i := c.indexOf(v.self); i >= 0 {
+			v.idx1 = int32(i) + 1
+		} else {
+			v.idx1 = -1
+		}
+	}
+	if v.idx1 < 0 {
+		return false
+	}
+	return c.onlineAt(int(v.idx1 - 1))
+}
 
 // View implements Service.
 func (c *Cyclon) View(x ids.NodeID) []ids.NodeID {
@@ -148,6 +280,67 @@ func (c *Cyclon) View(x ids.NodeID) []ids.NodeID {
 		out[i] = e.ID
 	}
 	return out
+}
+
+// ViewLen returns the current number of entries in x's coarse view
+// without copying it.
+func (c *Cyclon) ViewLen(x ids.NodeID) int {
+	v := c.views[x]
+	if v == nil {
+		return 0
+	}
+	return len(v.entries)
+}
+
+// AppendView appends x's current coarse-view identifiers to dst and
+// returns it — the allocation-free variant of View for callers that
+// reuse a scratch buffer across nodes. The result aliases dst.
+func (c *Cyclon) AppendView(dst []ids.NodeID, x ids.NodeID) []ids.NodeID {
+	v := c.views[x]
+	if v == nil {
+		return dst
+	}
+	for _, e := range v.entries {
+		dst = append(dst, e.ID)
+	}
+	return dst
+}
+
+// viewByIdx resolves a view through the index table (UseIndex + Join).
+func (c *Cyclon) viewByIdx(i int) *view {
+	if i < 0 || i >= len(c.viewsByIdx) {
+		return nil
+	}
+	return c.viewsByIdx[i]
+}
+
+// ViewLenIdx is ViewLen keyed by liveness index — no map lookup.
+func (c *Cyclon) ViewLenIdx(i int) int {
+	v := c.viewByIdx(i)
+	if v == nil {
+		return 0
+	}
+	return len(v.entries)
+}
+
+// AppendViewIdx is AppendView keyed by liveness index — no map lookup.
+func (c *Cyclon) AppendViewIdx(dst []ids.NodeID, i int) []ids.NodeID {
+	v := c.viewByIdx(i)
+	if v == nil {
+		return dst
+	}
+	for j := range v.entries {
+		dst = append(dst, v.entries[j].ID)
+	}
+	return dst
+}
+
+// TickIdx is Tick keyed by liveness index — no map lookup for the
+// initiator's own view.
+func (c *Cyclon) TickIdx(i int) {
+	if v := c.viewByIdx(i); v != nil {
+		c.tick(v)
+	}
 }
 
 // ViewSize returns the configured per-node view bound.
@@ -167,24 +360,35 @@ func (c *Cyclon) ViewSize() int { return c.viewSize }
 // Entries for permanently departed nodes (Leave) are discarded.
 func (c *Cyclon) Tick(x ids.NodeID) {
 	vx := c.views[x]
-	if vx == nil || !c.online(x) {
+	if vx == nil {
+		return
+	}
+	c.tick(vx)
+}
+
+// tick is the shared body of Tick and TickIdx.
+func (c *Cyclon) tick(vx *view) {
+	if !c.viewOnline(vx) {
 		return
 	}
 	for i := range vx.entries {
 		vx.entries[i].Age++
 	}
 	// Partner = the oldest entry whose node is online and registered.
-	// Departed (unregistered) nodes are dropped as encountered.
+	// Departed (unregistered) nodes are dropped as encountered; while no
+	// node has ever left, that scan is pure liveness probes.
+	checkDeparted := c.leaves > 0
 	for {
 		partner := -1
-		for i, e := range vx.entries {
-			if c.views[e.ID] == nil {
+		for i := range vx.entries {
+			e := &vx.entries[i]
+			if checkDeparted && c.views[e.ID] == nil {
 				// Permanently gone: remove and rescan.
 				vx.entries = append(vx.entries[:i], vx.entries[i+1:]...)
 				partner = -2
 				break
 			}
-			if !c.online(e.ID) {
+			if !c.entryOnline(e) {
 				continue
 			}
 			if partner < 0 || e.Age > vx.entries[partner].Age {
@@ -197,7 +401,13 @@ func (c *Cyclon) Tick(x ids.NodeID) {
 		if partner < 0 {
 			return // no online partner this round
 		}
-		c.exchange(vx, c.views[vx.entries[partner].ID], partner)
+		vq := c.views[vx.entries[partner].ID]
+		if vq == nil {
+			// Unregistered stray (seeded but never joined): drop, rescan.
+			vx.entries = append(vx.entries[:partner], vx.entries[partner+1:]...)
+			continue
+		}
+		c.exchange(vx, vq, partner)
 		return
 	}
 }
@@ -208,38 +418,56 @@ func (c *Cyclon) exchange(vx, vq *view, qIdx int) {
 	// The initiator discards its entry for the responder and sends a
 	// fresh self-entry plus up to shuffleLen-1 random others.
 	vx.entries = append(vx.entries[:qIdx], vx.entries[qIdx+1:]...)
-	outX := c.sampleEntries(vx, c.shuffleLen-1)
-	outX = append(outX, Entry{ID: vx.self, Age: 0})
+	c.outX = c.sampleEntries(c.outX[:0], vx, c.shuffleLen-1)
+	c.outX = append(c.outX, Entry{ID: vx.self, Age: 0, idx1: vx.idx1})
 
-	outQ := c.sampleEntries(vq, c.shuffleLen)
+	c.outQ = c.sampleEntries(c.outQ[:0], vq, c.shuffleLen)
 
-	c.merge(vq, outX)
-	c.merge(vx, outQ)
+	c.merge(vq, c.outX)
+	c.merge(vx, c.outQ)
 }
 
-// sampleEntries picks up to n distinct random entries from v.
-func (c *Cyclon) sampleEntries(v *view, n int) []Entry {
-	if n <= 0 || len(v.entries) == 0 {
-		return nil
+// sampleEntries appends up to n distinct random entries from v to dst
+// via a partial Fisher–Yates over a reusable index scratch.
+func (c *Cyclon) sampleEntries(dst []Entry, v *view, n int) []Entry {
+	m := len(v.entries)
+	if n > m {
+		n = m
 	}
-	idx := c.rng.Perm(len(v.entries))
-	if n > len(idx) {
-		n = len(idx)
+	if n <= 0 {
+		return dst
 	}
-	out := make([]Entry, 0, n)
-	for _, i := range idx[:n] {
-		out = append(out, v.entries[i])
+	if cap(c.permScratch) < m {
+		c.permScratch = make([]int, m)
 	}
-	return out
+	idx := c.permScratch[:m]
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < n; i++ {
+		j := i + c.rng.Intn(m-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		dst = append(dst, v.entries[idx[i]])
+	}
+	return dst
 }
 
 // merge folds received entries into v, skipping self, duplicates, and
-// permanently departed nodes (without the last check, two nodes could
-// ping-pong a departed entry between their views forever), evicting the
-// oldest entries when over capacity.
+// entries for unregistered (departed or never-joined) nodes — without
+// that check, two nodes could ping-pong a departed entry between their
+// views forever. The check stays unconditional here: merge sees at most
+// shuffleLen entries per exchange, unlike tick's full-view scan.
 func (c *Cyclon) merge(v *view, received []Entry) {
-	for _, e := range received {
-		if e.ID == v.self || e.ID.IsNil() || v.contains(e.ID) || c.views[e.ID] == nil {
+	for i := range received {
+		e := received[i]
+		if e.ID.IsNil() {
+			continue
+		}
+		c.resolveEntry(&e)
+		if v.isSelf(&e) || v.contains(&e) {
+			continue
+		}
+		if c.views[e.ID] == nil {
 			continue
 		}
 		if len(v.entries) < v.cap {

@@ -346,3 +346,101 @@ func TestUniformSamplerSmallPopulation(t *testing.T) {
 		t.Errorf("sample = %v, want just the other node", v)
 	}
 }
+
+// indexedCyclon builds a Cyclon whose liveness runs through UseIndex,
+// with Join called either before or after UseIndex.
+func indexedCyclon(t *testing.T, n int, joinFirst bool) (*Cyclon, []ids.NodeID, func(ids.NodeID) int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	c, err := NewCyclon(6, 3, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]ids.NodeID, n)
+	index := map[ids.NodeID]int{}
+	for i := range nodes {
+		nodes[i] = ids.Synthetic(i)
+		index[nodes[i]] = i
+	}
+	indexOf := func(id ids.NodeID) int {
+		if i, ok := index[id]; ok {
+			return i
+		}
+		return -1
+	}
+	join := func() {
+		for i, id := range nodes {
+			c.Join(id, []ids.NodeID{nodes[(i+1)%n], nodes[(i+2)%n]})
+		}
+	}
+	use := func() { c.UseIndex(indexOf, func(int) bool { return true }) }
+	if joinFirst {
+		join()
+		use()
+	} else {
+		use()
+		join()
+	}
+	return c, nodes, indexOf
+}
+
+// TestUseIndexBackfillsExistingViews: the *Idx entry points must work
+// regardless of Join/UseIndex order.
+func TestUseIndexBackfillsExistingViews(t *testing.T) {
+	for _, joinFirst := range []bool{true, false} {
+		c, nodes, indexOf := indexedCyclon(t, 10, joinFirst)
+		for _, id := range nodes {
+			i := indexOf(id)
+			if got, want := c.ViewLenIdx(i), c.ViewLen(id); got != want {
+				t.Fatalf("joinFirst=%v: ViewLenIdx(%d)=%d, ViewLen=%d", joinFirst, i, got, want)
+			}
+		}
+		before := c.ViewLen(nodes[0])
+		c.TickIdx(indexOf(nodes[0]))
+		if before == 0 || c.ViewLen(nodes[0]) == 0 {
+			t.Fatalf("joinFirst=%v: TickIdx was a no-op on a joined view", joinFirst)
+		}
+	}
+}
+
+// TestLeaveClearsIndexTable: a departed node must be invisible through
+// the index entry points too, and its entries must wash out of peers.
+func TestLeaveClearsIndexTable(t *testing.T) {
+	c, nodes, indexOf := indexedCyclon(t, 10, true)
+	gone := nodes[3]
+	i := indexOf(gone)
+	c.Leave(gone)
+	if got := c.ViewLenIdx(i); got != 0 {
+		t.Errorf("ViewLenIdx after Leave = %d, want 0", got)
+	}
+	c.TickIdx(i) // must be a no-op, not a shuffle by a departed node
+	if got := c.View(gone); got != nil {
+		t.Errorf("view resurrected by TickIdx: %v", got)
+	}
+}
+
+// TestMergeRejectsNeverJoinedStrays: entries for nodes that were seeded
+// but never joined must not replicate through exchanges.
+func TestMergeRejectsNeverJoinedStrays(t *testing.T) {
+	c, nodes, _ := indexedCyclon(t, 10, true)
+	stray := ids.Synthetic(999) // outside the index and never joined
+	c.Join(nodes[0], []ids.NodeID{stray})
+	for round := 0; round < 50; round++ {
+		for _, id := range nodes {
+			c.Tick(id)
+		}
+	}
+	holders := 0
+	for _, id := range nodes {
+		for _, peer := range c.View(id) {
+			if peer == stray {
+				holders++
+			}
+		}
+	}
+	// The stray may linger in the view it was seeded into until age
+	// pressure evicts it, but it must never spread beyond it.
+	if holders > 1 {
+		t.Errorf("never-joined stray replicated into %d views", holders)
+	}
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestHeapPopsInAtSeqOrder drives the value heap through random
+// insert/pop interleavings and checks every pop returns exactly the
+// (at, seq)-minimum of what a reference model says is pending.
+func TestHeapPopsInAtSeqOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var h eventHeap
+		var model []event // unordered reference of pending events
+		seq := uint64(0)
+		for step := 0; step < 400; step++ {
+			if len(model) == 0 || rng.Intn(3) != 0 {
+				// Duplicate deadlines are common (same-tick events), so
+				// draw from a small range to force seq tie-breaks.
+				seq++
+				ev := event{at: time.Duration(rng.Intn(20)), seq: seq, fn: func() {}}
+				h.push(ev)
+				model = append(model, ev)
+				continue
+			}
+			sort.Slice(model, func(i, j int) bool {
+				if model[i].at != model[j].at {
+					return model[i].at < model[j].at
+				}
+				return model[i].seq < model[j].seq
+			})
+			want := model[0]
+			model = model[1:]
+			at, fn := h.pop()
+			if at != want.at {
+				t.Fatalf("trial %d step %d: popped at=%v, want %v", trial, step, at, want.at)
+			}
+			if fn == nil {
+				t.Fatalf("trial %d step %d: popped nil fn", trial, step)
+			}
+			if got := h.evs; len(got) != len(model) {
+				t.Fatalf("trial %d step %d: heap len %d, model len %d", trial, step, len(got), len(model))
+			}
+		}
+		// Drain: remaining events must come out fully sorted.
+		var last event
+		for i := 0; len(h.evs) > 0; i++ {
+			cur := h.evs[0]
+			h.pop()
+			if i > 0 && (cur.at < last.at || (cur.at == last.at && cur.seq < last.seq)) {
+				t.Fatalf("trial %d: drain out of order: %v/%d after %v/%d", trial, cur.at, cur.seq, last.at, last.seq)
+			}
+			last = cur
+		}
+	}
+}
+
+// TestHeapSeqTieBreakExhaustive pushes many events at one identical
+// deadline and checks strict FIFO pops.
+func TestHeapSeqTieBreakExhaustive(t *testing.T) {
+	w := NewWorld(1)
+	const n = 257 // spans several 4-ary levels
+	got := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		w.At(time.Millisecond, func() { got = append(got, i) })
+	}
+	w.Run(time.Second)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-deadline pop order broken at %d: got %d", i, v)
+		}
+	}
+}
+
+// BenchmarkSchedulerReschedule measures the periodic-driver hot cycle:
+// pop the due event, push its successor one period out — the pattern
+// every cohort tick and ping round executes. The pushed deadline is the
+// queue's latest, so the push fast path (one parent comparison, no
+// swaps) should dominate and the whole cycle should not allocate.
+func BenchmarkSchedulerReschedule(b *testing.B) {
+	w := NewWorld(1)
+	const drivers = 1024
+	period := time.Minute
+	var tick func()
+	tick = func() { w.After(period, tick) }
+	for i := 0; i < drivers; i++ {
+		w.At(time.Duration(i)*time.Second, tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at, fn := w.events.pop()
+		w.now = at
+		fn()
+	}
+}

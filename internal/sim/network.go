@@ -34,6 +34,15 @@ type Network struct {
 	ackTimeout time.Duration
 	handlers   map[ids.NodeID]Handler
 	stats      NetworkStats
+
+	// Indexed fast path, populated by Bind: a fixed host universe gets a
+	// dense handler table and an index-based liveness probe, so a
+	// delivery resolves the target once (one map hit) and the rest is
+	// array reads. Hosts outside the bound universe fall back to the
+	// map + OnlineFunc path.
+	idx      map[ids.NodeID]int32
+	byIdx    []Handler
+	onlineAt func(i int) bool
 }
 
 // NewNetwork creates a network on the world. latency defaults to the
@@ -58,9 +67,35 @@ func NewNetwork(w *World, latency LatencyModel, online OnlineFunc, ackTimeout ti
 	}
 }
 
+// Bind declares the fixed host universe and its index-based liveness
+// probe: hosts[i] is online iff onlineAt(i). Handlers registered for
+// bound hosts live in a dense table and deliveries to them skip the
+// OnlineFunc entirely. Handlers registered before the call are migrated
+// into the table, so Bind and Register compose in either order;
+// typically hosts is the churn trace's population in trace-index order.
+func (n *Network) Bind(hosts []ids.NodeID, onlineAt func(i int) bool) {
+	if len(hosts) == 0 || onlineAt == nil {
+		return
+	}
+	n.idx = make(map[ids.NodeID]int32, len(hosts))
+	n.byIdx = make([]Handler, len(hosts))
+	for i, id := range hosts {
+		n.idx[id] = int32(i)
+		if h, ok := n.handlers[id]; ok {
+			n.byIdx[i] = h
+			delete(n.handlers, id)
+		}
+	}
+	n.onlineAt = onlineAt
+}
+
 // Register installs the message handler for a node. A nil handler
 // unregisters the node.
 func (n *Network) Register(id ids.NodeID, h Handler) {
+	if i, ok := n.idx[id]; ok {
+		n.byIdx[i] = h
+		return
+	}
 	if h == nil {
 		delete(n.handlers, id)
 		return
@@ -76,7 +111,27 @@ func (n *Network) Stats() NetworkStats { return n.stats }
 func (n *Network) ResetStats() { n.stats = NetworkStats{} }
 
 // Online reports whether the network considers id online right now.
-func (n *Network) Online(id ids.NodeID) bool { return n.online(id) }
+func (n *Network) Online(id ids.NodeID) bool {
+	if i, ok := n.idx[id]; ok {
+		return n.onlineAt(int(i))
+	}
+	return n.online(id)
+}
+
+// handlerFor resolves the live handler for a delivery: nil when the
+// target is unregistered or offline right now.
+func (n *Network) handlerFor(to ids.NodeID) Handler {
+	if i, ok := n.idx[to]; ok {
+		if h := n.byIdx[i]; h != nil && n.onlineAt(int(i)) {
+			return h
+		}
+		return nil
+	}
+	if h, ok := n.handlers[to]; ok && n.online(to) {
+		return h
+	}
+	return nil
+}
 
 // Send delivers msg to to after one sampled hop latency, if the target
 // is online and registered at delivery time. Offline targets silently
@@ -85,8 +140,8 @@ func (n *Network) Send(from, to ids.NodeID, msg any) {
 	n.stats.Sent++
 	lat := n.latency.Sample(n.world.Rand())
 	n.world.After(lat, func() {
-		h, ok := n.handlers[to]
-		if !ok || !n.online(to) {
+		h := n.handlerFor(to)
+		if h == nil {
 			n.stats.Dropped++
 			return
 		}
@@ -105,8 +160,8 @@ func (n *Network) SendCall(from, to ids.NodeID, msg any, onResult func(ok bool))
 	out := n.latency.Sample(n.world.Rand())
 	back := n.latency.Sample(n.world.Rand())
 	n.world.After(out, func() {
-		h, ok := n.handlers[to]
-		if !ok || !n.online(to) {
+		h := n.handlerFor(to)
+		if h == nil {
 			n.stats.Dropped++
 			if onResult != nil {
 				// Failure is detected only after the ack timeout expires.

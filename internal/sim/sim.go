@@ -10,7 +10,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -46,7 +45,7 @@ func (w *World) At(at time.Duration, fn func()) {
 		at = w.now
 	}
 	w.seq++
-	heap.Push(&w.events, &event{at: at, seq: w.seq, fn: fn})
+	w.events.push(event{at: at, seq: w.seq, fn: fn})
 }
 
 // After schedules fn to run d from now.
@@ -79,10 +78,10 @@ func (w *World) Every(offset, period time.Duration, stop func() bool, fn func())
 // of events processed.
 func (w *World) Run(until time.Duration) int {
 	n := 0
-	for len(w.events) > 0 && w.events[0].at <= until {
-		ev := heap.Pop(&w.events).(*event)
-		w.now = ev.at
-		ev.fn()
+	for len(w.events.evs) > 0 && w.events.evs[0].at <= until {
+		at, fn := w.events.pop()
+		w.now = at
+		fn()
 		n++
 	}
 	if until > w.now {
@@ -97,45 +96,98 @@ func (w *World) Run(until time.Duration) int {
 // of events processed.
 func (w *World) RunAll(maxEvents int) int {
 	n := 0
-	for len(w.events) > 0 {
+	for len(w.events.evs) > 0 {
 		if maxEvents > 0 && n >= maxEvents {
 			break
 		}
-		ev := heap.Pop(&w.events).(*event)
-		w.now = ev.at
-		ev.fn()
+		at, fn := w.events.pop()
+		w.now = at
+		fn()
 		n++
 	}
 	return n
 }
 
 // Pending returns the number of queued events.
-func (w *World) Pending() int { return len(w.events) }
+func (w *World) Pending() int { return len(w.events.evs) }
 
+// event is a value type: the queue stores events inline, so scheduling
+// neither boxes through an interface nor allocates per event (only the
+// backing array grows, amortized).
 type event struct {
 	at  time.Duration
 	seq uint64
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// eventHeap is an index-based 4-ary min-heap ordered by (at, seq):
+// earliest deadline first, FIFO among equal deadlines. A 4-ary layout
+// halves the tree depth of a binary heap, which matters on push — the
+// dominant operation in a periodic-reschedule workload, where a pushed
+// event almost always carries a deadline at least one protocol period in
+// the future and therefore settles after a single parent comparison (the
+// fast path BenchmarkSchedulerReschedule measures).
+type eventHeap struct {
+	evs []event
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+// less orders events by (at, seq).
+func (h *eventHeap) less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts ev, sifting it up from the last leaf.
+func (h *eventHeap) push(ev event) {
+	h.evs = append(h.evs, ev)
+	i := len(h.evs) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !h.less(&h.evs[i], &h.evs[parent]) {
+			break
+		}
+		h.evs[i], h.evs[parent] = h.evs[parent], h.evs[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event's deadline and function,
+// sifting the displaced last leaf down. The vacated slot's fn is cleared
+// so the closure can be collected.
+func (h *eventHeap) pop() (time.Duration, func()) {
+	evs := h.evs
+	at, fn := evs[0].at, evs[0].fn
+	last := len(evs) - 1
+	evs[0] = evs[last]
+	evs[last] = event{}
+	evs = evs[:last]
+	h.evs = evs
+	// Sift down: promote the smallest of up to four children.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= last {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > last {
+			end = last
+		}
+		for c := first + 1; c < end; c++ {
+			if h.less(&evs[c], &evs[min]) {
+				min = c
+			}
+		}
+		if !h.less(&evs[min], &evs[i]) {
+			break
+		}
+		evs[i], evs[min] = evs[min], evs[i]
+		i = min
+	}
+	return at, fn
 }
 
 // LatencyModel samples one-way message latencies.

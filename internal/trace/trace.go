@@ -136,6 +136,18 @@ func (t *Trace) EpochAt(at time.Duration) int {
 // UpAt reports whether host h is online at the given instant.
 func (t *Trace) UpAt(h int, at time.Duration) bool { return t.Up(h, t.EpochAt(at)) }
 
+// UpAtIndex is the hot-path liveness probe: like UpAt but tolerant of
+// out-of-range host indexes (reported offline instead of panicking), so
+// deployment-wide liveness checks — executed once per node per delivery,
+// tick, and ping — are a pure bitset read with no map lookups. Index h
+// is the host's row in this trace (HostIndex / HostID order).
+func (t *Trace) UpAtIndex(h int, at time.Duration) bool {
+	if h < 0 || h >= len(t.hosts) {
+		return false
+	}
+	return t.Up(h, t.EpochAt(at))
+}
+
 // OnlineCount returns how many hosts are online during epoch e.
 func (t *Trace) OnlineCount(e int) int {
 	n := 0

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# bench.sh — record a benchmark run as BENCH_<n>.json in the repo root,
+# so the performance trajectory is tracked PR over PR.
+#
+# Usage:
+#   scripts/bench.sh                  # key benchmarks, next free BENCH_<n>.json
+#   scripts/bench.sh 'Scenario|Fig7'  # custom -bench regex
+#   BENCHTIME=5x scripts/bench.sh     # custom -benchtime
+#
+# The file is the `go test -json` (test2json) stream, which embeds the
+# standard benchmark text lines in "output" records. To feed a pair of
+# recordings to benchstat:
+#
+#   jq -r 'select(.Action=="output") | .Output' BENCH_0.json > /tmp/old.txt
+#   jq -r 'select(.Action=="output") | .Output' BENCH_1.json > /tmp/new.txt
+#   benchstat /tmp/old.txt /tmp/new.txt
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+regex="${1:-BenchmarkScenario2000Hosts|BenchmarkDiscoverRound|BenchmarkFig7AnycastHops|BenchmarkSchedulerReschedule}"
+benchtime="${BENCHTIME:-3x}"
+
+n=0
+while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+out="BENCH_${n}.json"
+
+echo "recording -bench='${regex}' -benchtime=${benchtime} -> ${out}" >&2
+status=0
+go test -run=NONE -bench="${regex}" -benchtime="${benchtime}" -benchmem -json ./... > "${out}" || status=$?
+grep -o '"Output":"\(Benchmark\| *[0-9]\)[^"]*' "${out}" | sed 's/"Output":"//; s/\\t/\t/g; s/\\n//' || true
+if [ "${status}" -ne 0 ]; then
+  # Keep the stream for debugging, but never let a broken run pose as a
+  # recorded baseline.
+  mv "${out}" "${out}.failed"
+  echo "bench run FAILED (exit ${status}); stream kept at ${out}.failed" >&2
+  exit "${status}"
+fi
+echo "recorded ${out}" >&2
