@@ -271,3 +271,43 @@ func TestLiveFacade(t *testing.T) {
 		}
 	}
 }
+
+func TestSimMemnetBackend(t *testing.T) {
+	sim, err := avmem.NewSim(avmem.SimConfig{
+		Hosts:          120,
+		Days:           1,
+		Seed:           1,
+		ProtocolPeriod: 2 * time.Minute,
+		Backend:        "memnet",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Warmup(3 * time.Hour)
+	if len(sim.OnlineNodes()) == 0 {
+		t.Fatal("nobody online after warmup on memnet backend")
+	}
+	if sim.MeanDegree() <= 0 {
+		t.Error("overlay never formed on memnet backend")
+	}
+	target, err := avmem.NewRange(0.5, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Eligible(target) == 0 {
+		t.Skip("no eligible nodes in small cluster")
+	}
+	rec, err := sim.Anycast(avmem.AutoInitiator, target, avmem.DefaultAnycastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Outcome != avmem.OutcomeDelivered {
+		t.Errorf("memnet anycast outcome = %v, want delivered", rec.Outcome)
+	}
+}
+
+func TestNewSimRejectsUnknownBackend(t *testing.T) {
+	if _, err := avmem.NewSim(avmem.SimConfig{Backend: "carrier-pigeon"}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}

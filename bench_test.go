@@ -404,6 +404,44 @@ func BenchmarkScenario2000Hosts(b *testing.B) {
 	b.ReportMetric(delivered, "delivered")
 }
 
+// BenchmarkScenarioMemnet600Hosts runs a complete declarative scenario
+// on the memnet backend: 600 real node.Node agents — live CYCLON
+// shuffle, per-node timers, transport-level messaging — executing on
+// the virtual clock over the deterministic memnet. The sim-vs-memnet
+// cost ratio is the price of exercising the shipped node code instead
+// of the deployment engine's cohort drivers.
+func BenchmarkScenarioMemnet600Hosts(b *testing.B) {
+	spec := &scenario.Spec{
+		Name: "bench-memnet-600",
+		Seed: 1,
+		Fleet: scenario.Fleet{
+			Hosts:          600,
+			Days:           1,
+			ProtocolPeriod: scenario.Duration(2 * time.Minute),
+		},
+		Warmup: scenario.Duration(3 * time.Hour),
+		Events: []scenario.Event{
+			{At: 0, ChurnBurst: &scenario.ChurnBurst{
+				Fraction: 0.25, Duration: scenario.Duration(30 * time.Minute)}},
+			{At: scenario.Duration(2 * time.Minute), AnycastBatch: &scenario.AnycastBatch{
+				Count: 30, BandLo: 0, BandHi: 1.01, TargetLo: 0.85, TargetHi: 0.95}},
+			{At: scenario.Duration(5 * time.Minute), MulticastBatch: &scenario.MulticastBatch{
+				Count: 10, BandLo: 0.66, BandHi: 1.01, TargetLo: 0.7, TargetHi: 1}},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var delivered float64
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.Run(spec, scenario.Options{Backend: scenario.BackendMemnet})
+		if err != nil {
+			b.Fatal(err)
+		}
+		delivered = res.Metrics["anycast_delivery_rate"]
+	}
+	b.ReportMetric(delivered, "delivered")
+}
+
 // --- Ablations -----------------------------------------------------------
 
 // BenchmarkAblationEpsilon sweeps the horizontal sliver half-width: a

@@ -10,6 +10,8 @@
 //	avmemsim -fig 2,5,11 -quick            # scaled-down quick pass
 //	avmemsim -trace overnet.trace -fig 2   # use an archived trace
 //	avmemsim run scenarios/churn-storm.json       # execute a scenario
+//	avmemsim run -backend memnet scenarios/churn-storm.json
+//	                                              # same scenario on the live runtime
 //	avmemsim run -seeds 8 -parallel 4 scenarios/churn-storm.json
 //	                                              # multi-seed sweep, 4 worlds at once
 //	avmemsim validate scenarios/churn-storm.json  # check a scenario file
@@ -54,11 +56,13 @@ func runScenario(args []string, out io.Writer) error {
 	quiet := fs.Bool("q", false, "suppress progress lines")
 	seeds := fs.Int("seeds", 1, "number of consecutive seeds to sweep, starting at the spec's seed")
 	parallel := fs.Int("parallel", 0, "worlds in flight at once for a multi-seed sweep (0 = GOMAXPROCS)")
+	backend := fs.String("backend", scenario.BackendSim,
+		"execution engine: 'sim' (virtual-time simulator) or 'memnet' (real nodes on a deterministic in-process network)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: avmemsim run [-q] [-seeds N] [-parallel P] <scenario.json>")
+		return fmt.Errorf("usage: avmemsim run [-q] [-backend sim|memnet] [-seeds N] [-parallel P] <scenario.json>")
 	}
 	if *seeds < 1 {
 		return fmt.Errorf("avmemsim run: -seeds must be >= 1, got %d", *seeds)
@@ -72,7 +76,8 @@ func runScenario(args []string, out io.Writer) error {
 		log = nil
 	}
 	if *seeds > 1 {
-		multi, err := scenario.RunMany(spec, scenario.SeedRange(spec.Seed, *seeds), *parallel, scenario.Options{Log: log})
+		multi, err := scenario.RunMany(spec, scenario.SeedRange(spec.Seed, *seeds), *parallel,
+			scenario.Options{Log: log, Backend: *backend})
 		if err != nil {
 			return err
 		}
@@ -83,7 +88,7 @@ func runScenario(args []string, out io.Writer) error {
 		}
 		return nil
 	}
-	res, err := scenario.Run(spec, scenario.Options{Log: log})
+	res, err := scenario.Run(spec, scenario.Options{Log: log, Backend: *backend})
 	if err != nil {
 		return err
 	}

@@ -107,9 +107,9 @@ func (r AnycastResult) HopsCDF() []float64 {
 	return out
 }
 
-// RunAnycasts executes one anycast series on the world and aggregates
-// its outcomes.
-func RunAnycasts(w *World, spec AnycastSpec) (AnycastResult, error) {
+// RunAnycasts executes one anycast series on a deployment (either
+// engine) and aggregates its outcomes.
+func RunAnycasts(w Deployment, spec AnycastSpec) (AnycastResult, error) {
 	spec.applyDefaults()
 	if err := spec.Target.Validate(); err != nil {
 		return AnycastResult{}, err
@@ -122,7 +122,7 @@ func RunAnycasts(w *World, spec AnycastSpec) (AnycastResult, error) {
 			if !ok {
 				continue
 			}
-			id, err := w.Router(initiator).Anycast(spec.Target, spec.Opts)
+			id, err := w.Anycast(initiator, spec.Target, spec.Opts)
 			if err != nil {
 				return AnycastResult{}, fmt.Errorf("exp: initiating anycast: %w", err)
 			}
@@ -131,8 +131,9 @@ func RunAnycasts(w *World, spec AnycastSpec) (AnycastResult, error) {
 		}
 		w.RunFor(spec.Settle)
 	}
+	col := w.Collector()
 	for _, id := range sent {
-		rec, ok := w.Col.Anycast(id)
+		rec, ok := col.Anycast(id)
 		if !ok {
 			continue
 		}

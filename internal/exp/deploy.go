@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"avmem/internal/avdist"
@@ -9,6 +10,8 @@ import (
 	"avmem/internal/core"
 	"avmem/internal/ids"
 	"avmem/internal/ops"
+	"avmem/internal/runtime"
+	"avmem/internal/sim"
 	"avmem/internal/trace"
 )
 
@@ -88,64 +91,85 @@ func (s *switchMonitor) Availability(id ids.NodeID) (float64, bool) {
 	return s.inner.Availability(id)
 }
 
-// buildMonitor wires the monitoring service: oracle by default,
-// optionally noisy/stale, or the full AVMON-style distributed
-// estimator — always behind the switchMonitor indirection.
-func (w *World) buildMonitor() error {
-	cfg := w.Cfg
+// monitorStack is the monitoring plumbing both deployment engines (the
+// simulated World and the memnet Cluster) own: the switchable service
+// handed to every node, the noiseless base service underneath, and the
+// clock/randomness a noise layer needs.
+type monitorStack struct {
+	monitor *switchMonitor
+	base    avmon.Service
+	now     func() time.Duration
+	rng     *rand.Rand
+}
+
+// buildMonitorStack wires the monitoring service: oracle by default,
+// optionally noisy/stale, or the full AVMON-style distributed estimator
+// — always behind the switchMonitor indirection. sched carries the
+// engine's virtual clock, randomness, and the periodic tick the
+// distributed monitor's ping overlay runs on.
+func buildMonitorStack(cfg WorldConfig, tr *trace.Trace, hosts []ids.NodeID, sched *sim.World,
+	nodeOnline func(ids.NodeID) bool, onlineAt func(int) bool) (*monitorStack, error) {
 	var base avmon.Service
 	if cfg.DistributedMonitor {
 		expected := cfg.ExpectedMonitors
 		if expected == 0 {
 			expected = 8
 		}
-		dist, err := avmon.NewDistributed(w.hosts, expected, w.nodeOnline, 0)
+		dist, err := avmon.NewDistributed(hosts, expected, nodeOnline, 0)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		// w.hosts is in trace-index order, so the monitor's host indexes
+		// hosts is in trace-index order, so the monitor's host indexes
 		// coincide with the deployment's liveness indexes.
-		dist.UseIndexedLiveness(w.onlineAt)
+		dist.UseIndexedLiveness(onlineAt)
 		// One event per ping period covers the whole population — the
 		// monitoring overlay's cohort tick.
-		if err := w.Sim.Every(0, cfg.ProtocolPeriod, nil, dist.TickAll); err != nil {
-			return err
+		if err := sched.Every(0, cfg.ProtocolPeriod, nil, dist.TickAll); err != nil {
+			return nil, err
 		}
 		base = dist
 	} else {
-		oracle, err := avmon.NewOracle(w.Trace, w.Sim.Now)
+		oracle, err := avmon.NewOracle(tr, sched.Now)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		base = oracle
 	}
-	w.baseMonitor = base
-	w.monitor = &switchMonitor{inner: base}
-	w.Monitor = w.monitor
+	s := &monitorStack{
+		monitor: &switchMonitor{inner: base},
+		base:    base,
+		now:     sched.Now,
+		rng:     sched.Rand(),
+	}
 	if cfg.MonitorErr > 0 || cfg.MonitorStaleness > 0 {
-		if err := w.SetMonitorNoise(cfg.MonitorErr, cfg.MonitorStaleness); err != nil {
-			return err
+		if err := s.setNoise(cfg.MonitorErr, cfg.MonitorStaleness); err != nil {
+			return nil, err
 		}
 	}
-	return nil
+	return s, nil
 }
 
-// SetMonitorNoise rewraps the base monitoring service with a fresh
-// noise layer of the given error half-width and staleness, effective
-// for every subsequent query in the deployment. Zero for both restores
-// the noiseless base service. Scenario monitor-degradation ramps call
-// this mid-run.
-func (w *World) SetMonitorNoise(maxErr float64, staleness time.Duration) error {
+// setNoise rewraps the base monitoring service with a fresh noise layer
+// of the given error half-width and staleness, effective for every
+// subsequent query in the deployment. Zero for both restores the
+// noiseless base service.
+func (s *monitorStack) setNoise(maxErr float64, staleness time.Duration) error {
 	if maxErr == 0 && staleness == 0 {
-		w.monitor.inner = w.baseMonitor
+		s.monitor.inner = s.base
 		return nil
 	}
-	noisy, err := avmon.NewNoisy(w.baseMonitor, maxErr, staleness, w.Sim.Now, w.Sim.Rand())
+	noisy, err := avmon.NewNoisy(s.base, maxErr, staleness, s.now, s.rng)
 	if err != nil {
 		return err
 	}
-	w.monitor.inner = noisy
+	s.monitor.inner = noisy
 	return nil
+}
+
+// SetMonitorNoise swaps the deployment's monitor-noise layer; scenario
+// monitor-degradation ramps call this mid-run.
+func (w *World) SetMonitorNoise(maxErr float64, staleness time.Duration) error {
+	return w.mon.setNoise(maxErr, staleness)
 }
 
 // ForceOffline injects an outage: id is treated as offline by the
@@ -209,7 +233,13 @@ func (w *World) installNodes(pred *core.Predicate) error {
 		w.members[h] = m
 
 		h := h
-		env, err := ops.NewSimEnv(w.Sim, w.Net, id, func() bool { return w.onlineAt(h) })
+		env, err := runtime.NewVirtual(runtime.VirtualConfig{
+			Self:      id,
+			Scheduler: w.Sim,
+			Fabric:    runtime.NetFabric(w.Net),
+			Online:    func() bool { return w.onlineAt(h) },
+			RNG:       w.Sim.Rand(),
+		})
 		if err != nil {
 			return err
 		}
@@ -224,7 +254,9 @@ func (w *World) installNodes(pred *core.Predicate) error {
 			return err
 		}
 		w.routers[h] = r
-		w.Net.Register(id, r.HandleMessage)
+		if err := env.Register(r.HandleMessage); err != nil {
+			return err
+		}
 
 		w.Shuffle.Join(id, w.randomSeeds(id, 4))
 	}
@@ -312,7 +344,14 @@ func (w *World) discoverCohort(cohort []int32) {
 // is filled by a deterministic scan, so the call can neither return the
 // same host twice nor spin.
 func (w *World) randomSeeds(self ids.NodeID, n int) []ids.NodeID {
-	if max := len(w.hosts) - 1; n > max {
+	return pickSeeds(w.Sim.Rand(), w.hosts, self, n)
+}
+
+// pickSeeds picks up to n distinct random hosts other than self from
+// hosts, using rng; both deployment engines bootstrap (re)joining nodes
+// through it.
+func pickSeeds(rng *rand.Rand, hosts []ids.NodeID, self ids.NodeID, n int) []ids.NodeID {
+	if max := len(hosts) - 1; n > max {
 		n = max
 	}
 	if n <= 0 {
@@ -328,12 +367,12 @@ func (w *World) randomSeeds(self ids.NodeID, n int) []ids.NodeID {
 		return false
 	}
 	for attempts := 8 * n; len(seeds) < n && attempts > 0; attempts-- {
-		cand := w.hosts[w.Sim.Rand().Intn(len(w.hosts))]
+		cand := hosts[rng.Intn(len(hosts))]
 		if cand != self && !contains(cand) {
 			seeds = append(seeds, cand)
 		}
 	}
-	for _, cand := range w.hosts {
+	for _, cand := range hosts {
 		if len(seeds) >= n {
 			break
 		}

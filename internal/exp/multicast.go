@@ -61,7 +61,10 @@ type MulticastResult struct {
 	// NetworkMessages counts every message the series put on the wire
 	// (dissemination, acks excluded) — the bandwidth side of the
 	// flood-vs-gossip trade-off. It includes concurrent maintenance
-	// traffic, which is negligible against dissemination volume.
+	// traffic: negligible on the sim engine (whose shuffling service is
+	// call-based), but on the memnet engine every node's CYCLON
+	// request/reply rides the same fabric, so compare overhead numbers
+	// within one backend, not across backends.
 	NetworkMessages int
 	// WorstLatencies holds the last-delivery latency of each multicast
 	// that delivered at least once (Figure 11).
@@ -107,15 +110,16 @@ func (r MulticastResult) MaxWorstLatency() time.Duration {
 	return max
 }
 
-// RunMulticasts executes one multicast series on the world.
-func RunMulticasts(w *World, spec MulticastSpec) (MulticastResult, error) {
+// RunMulticasts executes one multicast series on a deployment (either
+// engine).
+func RunMulticasts(w Deployment, spec MulticastSpec) (MulticastResult, error) {
 	spec.applyDefaults()
 	if err := spec.Target.Validate(); err != nil {
 		return MulticastResult{}, err
 	}
 	res := MulticastResult{Name: spec.Name}
 	sent := make([]ops.MsgID, 0, spec.Runs*spec.PerRun)
-	netBefore := w.Net.Stats().Sent
+	netBefore := w.NetworkSent()
 	for run := 0; run < spec.Runs; run++ {
 		for i := 0; i < spec.PerRun; i++ {
 			initiator, ok := w.PickInitiator(spec.BandLo, spec.BandHi)
@@ -131,7 +135,7 @@ func RunMulticasts(w *World, spec MulticastSpec) (MulticastResult, error) {
 				Period:   spec.Period,
 				Eligible: w.EligibleFor(spec.Target),
 			}
-			id, err := w.Router(initiator).Multicast(spec.Target, opts)
+			id, err := w.Multicast(initiator, spec.Target, opts)
 			if err != nil {
 				return MulticastResult{}, fmt.Errorf("exp: initiating multicast: %w", err)
 			}
@@ -140,9 +144,10 @@ func RunMulticasts(w *World, spec MulticastSpec) (MulticastResult, error) {
 		}
 		w.RunFor(spec.Settle)
 	}
-	res.NetworkMessages = w.Net.Stats().Sent - netBefore
+	res.NetworkMessages = w.NetworkSent() - netBefore
+	col := w.Collector()
 	for _, id := range sent {
-		rec, ok := w.Col.Multicast(id)
+		rec, ok := col.Multicast(id)
 		if !ok {
 			continue
 		}

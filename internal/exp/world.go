@@ -1,12 +1,15 @@
-// Package exp is the deployment engine and experiment harness: it
-// assembles complete AVMEM deployments inside the discrete-event
-// simulator (wiring, clocks, protocol drivers — deploy.go), answers
-// ground-truth queries about a running deployment (query.go), and
-// regenerates every figure of the paper's evaluation (§4) via one
-// runner per figure. cmd/avmemsim exposes the figure runners on the
-// command line, internal/scenario drives arbitrary declarative
-// scenarios on top of the same engine, and bench_test.go wraps both in
-// testing.B benchmarks.
+// Package exp is the deployment-engine layer and experiment harness.
+// Two engines implement the shared Deployment surface (deployment.go):
+// World assembles a deployment inside the discrete-event simulator
+// (wiring, clocks, cohort protocol drivers — deploy.go), and Cluster
+// deploys real node.Node agents on a deterministic in-process memnet
+// (cluster.go). Both answer ground-truth queries (query.go), run the
+// workload series and attack probes, and regenerate the figures of the
+// paper's evaluation (§4) via one runner per figure. cmd/avmemsim
+// exposes the figure runners and both scenario backends on the command
+// line, internal/scenario drives arbitrary declarative scenarios on
+// either engine, and bench_test.go wraps it all in testing.B
+// benchmarks.
 package exp
 
 import (
@@ -24,7 +27,7 @@ import (
 )
 
 // WorldConfig parameterizes a simulated AVMEM deployment. Zero fields
-// take the paper's defaults (§4, and DESIGN.md §7).
+// take the paper's defaults (§4, and DESIGN.md §8).
 type WorldConfig struct {
 	// Seed drives all randomness in the world.
 	Seed int64
@@ -141,10 +144,9 @@ type World struct {
 	members []*core.Membership
 	routers []*ops.Router
 
-	// monitor is the stable indirection the whole deployment queries;
-	// baseMonitor is the pre-noise service SetMonitorNoise rewraps.
-	monitor     *switchMonitor
-	baseMonitor avmon.Service
+	// mon is the monitoring plumbing: the stable indirection the whole
+	// deployment queries plus the pre-noise base SetMonitorNoise rewraps.
+	mon *monitorStack
 	// forcedDownUntil[h] holds a scenario-injected outage: the virtual
 	// time host h's outage lifts (zero = none). Reads are pure — expired
 	// entries are swept by an event ForceOffline schedules, never by the
@@ -187,9 +189,12 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	}
 	w.Net = sim.NewNetwork(w.Sim, cfg.Latency, w.nodeOnline, 0)
 	w.Net.Bind(w.hosts, w.onlineAt)
-	if err := w.buildMonitor(); err != nil {
+	mon, err := buildMonitorStack(cfg, tr, w.hosts, w.Sim, w.nodeOnline, w.onlineAt)
+	if err != nil {
 		return nil, err
 	}
+	w.mon = mon
+	w.Monitor = mon.monitor
 	cyc, err := shuffle.NewCyclon(cfg.ViewSize, cfg.ShuffleLen, w.nodeOnline, w.Sim.Rand())
 	if err != nil {
 		return nil, err

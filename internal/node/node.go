@@ -1,28 +1,33 @@
-// Package node is the live AVMEM runtime: a real-time agent that
-// maintains its slivers with wall-clock timers and executes management
-// operations over a transport. The same core and ops packages that the
-// simulator exercises run here unchanged — Node supplies the Env
-// (real time, real goroutines) instead of the simulator.
+// Package node is the live AVMEM runtime: an agent that maintains its
+// slivers with periodic timers and executes management operations over
+// a message fabric. The same core and ops packages the simulator
+// exercises run here unchanged — the node binds them to a runtime.Env,
+// and the Env decides which engine executes the node: the default is
+// the wall-clock Env over a real transport (TCP or in-process), and the
+// scenario engine injects virtual-time Envs to run whole clusters of
+// real nodes deterministically inside the simulator's clock.
 package node
 
 import (
 	"fmt"
-	"math/rand"
-	"sync"
 	"time"
 
 	"avmem/internal/avmon"
 	"avmem/internal/core"
 	"avmem/internal/ids"
 	"avmem/internal/ops"
+	"avmem/internal/runtime"
 	"avmem/internal/shuffle"
 	"avmem/internal/transport"
+
+	"sync"
 )
 
 // PeerSource supplies coarse-view candidates for discovery — the live
 // counterpart of the shuffling membership service. Implementations may
 // be a static seed list, a shared in-process shuffler, or a client of
-// an external membership service.
+// an external membership service. Peers is called outside the node's
+// internal lock.
 type PeerSource interface {
 	// Peers returns current coarse-view candidates for self.
 	Peers(self ids.NodeID) []ids.NodeID
@@ -57,8 +62,21 @@ type Config struct {
 	// ShuffleLen is the per-exchange entry count (default ViewSize/4,
 	// min 3; only used with Seeds).
 	ShuffleLen int
-	// Transport moves operation messages.
+	// Transport moves operation messages. Required unless Env is set.
 	Transport transport.Transport
+	// Env overrides the node's host environment entirely — clock,
+	// timers, messaging, randomness. Leave nil for the default live
+	// (wall-clock) Env over Transport; the deployment engine injects
+	// virtual-time Envs here to run real nodes inside the simulator.
+	Env runtime.Env
+	// Collector receives operation outcomes. Leave nil for a private
+	// collector (each node sees only its own operations); a deployment
+	// harness shares one collector across nodes for cluster-wide
+	// accounting.
+	Collector *ops.Collector
+	// Hashes optionally shares a memoized pair-hash cache across nodes
+	// of an in-process deployment.
+	Hashes *ids.HashCache
 	// ProtocolPeriod is the discovery period (default 1 min).
 	ProtocolPeriod time.Duration
 	// RefreshPeriod is the refresh period (default 20 min).
@@ -67,8 +85,10 @@ type Config struct {
 	VerifyInbound bool
 	// Cushion is the verification cushion.
 	Cushion float64
-	// Seed seeds the node's private randomness (annealing); 0 derives
-	// one from Self.
+	// Seed seeds all of the node's private randomness — the shuffle
+	// agent's sampling and (in the default live Env) the annealing RNG —
+	// so a fixed (Seed, Env) pair replays the same local decisions.
+	// 0 derives a seed from Self.
 	Seed int64
 }
 
@@ -88,8 +108,8 @@ func (c *Config) validate() error {
 	if c.Peers != nil && len(c.Seeds) > 0 {
 		return fmt.Errorf("node: Peers and Seeds are mutually exclusive")
 	}
-	if c.Transport == nil {
-		return fmt.Errorf("node: Transport is required")
+	if c.Transport == nil && c.Env == nil {
+		return fmt.Errorf("node: either Transport or Env is required")
 	}
 	if c.ViewSize == 0 {
 		c.ViewSize = 16
@@ -120,13 +140,17 @@ func (c *Config) validate() error {
 type Node struct {
 	cfg Config
 
+	// base is the raw host environment; env is base with every
+	// asynchronous callback gated through the node's lock and shutdown
+	// check. The router and the periodic drivers see only env.
+	base runtime.Env
+	env  runtime.Env
+
 	mu      sync.Mutex
 	mem     *core.Membership
 	router  *ops.Router
 	col     *ops.Collector
-	rng     *rand.Rand
-	started time.Time
-	timers  []*time.Timer
+	stops   []func()
 	stopped chan struct{}
 	running bool
 	// agent is the built-in live CYCLON (Seeds mode); nil in Peers mode.
@@ -140,10 +164,35 @@ func New(cfg Config) (*Node, error) {
 	}
 	n := &Node{
 		cfg:     cfg,
-		col:     ops.NewCollector(),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		col:     cfg.Collector,
 		stopped: make(chan struct{}),
 	}
+	if n.col == nil {
+		n.col = ops.NewCollector()
+	}
+	n.base = cfg.Env
+	if n.base == nil {
+		// The stopped channel (not the node lock) reports liveness, so
+		// the router may ask while the lock is held.
+		live, err := runtime.NewLive(runtime.LiveConfig{
+			Self:      cfg.Self,
+			Transport: cfg.Transport,
+			Seed:      cfg.Seed + 1,
+			Online: func() bool {
+				select {
+				case <-n.stopped:
+					return false
+				default:
+					return true
+				}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.base = live
+	}
+	n.env = runtime.Gated(n.base, n.gate)
 	if len(cfg.Seeds) > 0 {
 		agent, err := shuffle.NewAgent(cfg.Self, cfg.ViewSize, cfg.ShuffleLen, cfg.Seed)
 		if err != nil {
@@ -155,7 +204,8 @@ func New(cfg Config) (*Node, error) {
 	mem, err := core.NewMembership(cfg.Self, core.Config{
 		Predicate:     cfg.Predicate,
 		Monitor:       cfg.Monitor,
-		Clock:         n.now,
+		Hashes:        cfg.Hashes,
+		Clock:         n.env.Now,
 		VerifyCushion: cfg.Cushion,
 	})
 	if err != nil {
@@ -164,9 +214,10 @@ func New(cfg Config) (*Node, error) {
 	n.mem = mem
 	router, err := ops.NewRouter(ops.RouterConfig{
 		Membership:    mem,
-		Env:           (*liveEnv)(n),
+		Env:           n.env,
 		Collector:     n.col,
 		VerifyInbound: cfg.VerifyInbound,
+		Hashes:        cfg.Hashes,
 	})
 	if err != nil {
 		return nil, err
@@ -175,60 +226,48 @@ func New(cfg Config) (*Node, error) {
 	return n, nil
 }
 
-// now returns time since Start (zero before starting).
-func (n *Node) now() time.Duration {
-	if n.started.IsZero() {
-		return 0
+// gate serializes asynchronous Env callbacks (timer ticks, ack results)
+// against the node's state and drops them after Stop.
+func (n *Node) gate(fn func()) {
+	select {
+	case <-n.stopped:
+		return
+	default:
 	}
-	return time.Since(n.started)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.running {
+		return
+	}
+	fn()
 }
 
 // Self returns the node's identity.
 func (n *Node) Self() ids.NodeID { return n.cfg.Self }
 
-// Start registers with the transport and launches the periodic
-// discovery and refresh loops.
+// Start registers with the message fabric and launches the periodic
+// discovery and refresh drivers (the first discovery runs immediately).
 func (n *Node) Start() error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.running {
 		return fmt.Errorf("node: already started")
 	}
-	n.started = time.Now()
-	if err := n.cfg.Transport.Register(n.cfg.Self, n.handleMessage); err != nil {
+	if err := n.env.Register(n.handleMessage); err != nil {
 		return err
 	}
 	n.running = true
-	n.loop(n.cfg.ProtocolPeriod, n.discoverOnce)
-	n.loop(n.cfg.RefreshPeriod, n.refreshOnce)
-	// Run one discovery immediately so the node is useful right away.
-	go n.discoverOnce()
+	// The discovery driver runs on the ungated env: its first phase (an
+	// external PeerSource fetch) must not hold the node lock, so the
+	// round does its own gating in phase two.
+	n.stops = append(n.stops,
+		n.base.Every(0, n.cfg.ProtocolPeriod, func() { n.discoverRound(true) }),
+		n.env.Every(n.cfg.RefreshPeriod, n.cfg.RefreshPeriod, n.refreshTick),
+	)
 	return nil
 }
 
-// loop schedules fn every period until Stop. Caller holds n.mu.
-func (n *Node) loop(period time.Duration, fn func()) {
-	var schedule func()
-	schedule = func() {
-		t := time.AfterFunc(period, func() {
-			select {
-			case <-n.stopped:
-				return
-			default:
-			}
-			fn()
-			n.mu.Lock()
-			if n.running {
-				schedule()
-			}
-			n.mu.Unlock()
-		})
-		n.timers = append(n.timers, t)
-	}
-	schedule()
-}
-
-// Stop halts the loops and unregisters from the transport.
+// Stop halts the drivers and unregisters from the fabric.
 func (n *Node) Stop() {
 	n.mu.Lock()
 	if !n.running {
@@ -237,42 +276,75 @@ func (n *Node) Stop() {
 	}
 	n.running = false
 	close(n.stopped)
-	for _, t := range n.timers {
-		t.Stop()
+	for _, stop := range n.stops {
+		stop()
 	}
-	n.timers = nil
+	n.stops = nil
 	n.mu.Unlock()
-	n.cfg.Transport.Unregister(n.cfg.Self)
+	if s, ok := n.base.(runtime.Stopper); ok {
+		s.Stop()
+	}
+	n.env.Unregister()
 }
 
-// discoverOnce runs one discovery round: in Seeds mode it first
-// initiates a shuffle exchange, then discovers over the current coarse
-// view; in Peers mode it asks the external source.
-func (n *Node) discoverOnce() {
-	var candidates []ids.NodeID
-	if n.agent != nil {
-		if peer, req, ok := n.agent.Tick(); ok {
-			n.cfg.Transport.Send(n.cfg.Self, peer, req)
-		} else {
-			n.agent.Seed(n.cfg.Seeds) // view emptied: re-bootstrap
-		}
-		candidates = n.agent.View()
-	} else {
-		candidates = n.cfg.Peers.Peers(n.cfg.Self)
+// discoverRound runs one discovery round in two phases: the external
+// candidate fetch (PeerSource) happens outside the node lock — a
+// PeerSource may call back into the node — and the membership update
+// happens under it. requireRunning gates the periodic driver;
+// DiscoverNow passes false so it also works on a built-but-unstarted
+// node.
+func (n *Node) discoverRound(requireRunning bool) {
+	select {
+	case <-n.stopped:
+		return
+	default:
+	}
+	var external []ids.NodeID
+	if n.agent == nil {
+		external = n.cfg.Peers.Peers(n.cfg.Self)
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if requireRunning && !n.running {
+		return
+	}
+	n.discoverLocked(external)
+}
+
+// discoverLocked applies one discovery round; caller holds n.mu. A node
+// whose Env reports it offline (a trace-driven outage in a virtual
+// cluster) skips protocol work entirely, like its simulated
+// counterpart.
+func (n *Node) discoverLocked(external []ids.NodeID) {
+	if !n.base.Online() {
+		return
+	}
+	candidates := external
+	if n.agent != nil {
+		if peer, req, ok := n.agent.Tick(); ok {
+			n.env.Send(peer, req)
+			// Tick removes the shuffle partner from the view pending its
+			// reply, but the partner is still the freshest-known peer —
+			// keep it as a discovery candidate (in a two-node deployment
+			// the view would otherwise be empty at every tick).
+			candidates = append(n.agent.View(), peer)
+		} else {
+			n.agent.Seed(n.cfg.Seeds) // view emptied: re-bootstrap
+			candidates = n.agent.View()
+		}
+	}
 	n.mem.Discover(candidates)
 }
 
-// refreshOnce runs one refresh round.
-func (n *Node) refreshOnce() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+// refreshTick runs one refresh round; the gate holds n.mu.
+func (n *Node) refreshTick() {
+	if !n.base.Online() {
+		return
+	}
 	n.mem.Refresh()
 }
 
-// handleMessage is the transport callback.
+// handleMessage is the fabric callback.
 func (n *Node) handleMessage(from ids.NodeID, msg any) {
 	// Shuffle traffic goes to the agent (it has its own lock and must
 	// not wait on operation handling).
@@ -280,7 +352,7 @@ func (n *Node) handleMessage(from ids.NodeID, msg any) {
 	case shuffle.Request:
 		if n.agent != nil {
 			reply := n.agent.HandleRequest(from, m)
-			n.cfg.Transport.Send(n.cfg.Self, from, reply)
+			n.env.Send(from, reply)
 		}
 		return
 	case shuffle.Reply:
@@ -331,8 +403,8 @@ func (n *Node) AnycastResult(id ops.MsgID) (ops.AnycastRecord, bool) {
 
 // MulticastResult returns the current record of a multicast this node
 // initiated. The Delivered map reflects only deliveries observed by
-// this node's collector (its own receipt); cluster-wide accounting
-// needs a shared collector, which the simulation provides.
+// this node's collector (its own receipt) unless the deployment shares
+// a collector through Config.Collector.
 func (n *Node) MulticastResult(id ops.MsgID) (ops.MulticastRecord, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -357,69 +429,16 @@ func (n *Node) SliverSizes() (hs, vs int) {
 	return n.mem.SliverSize(core.SliverHorizontal), n.mem.SliverSize(core.SliverVertical)
 }
 
+// Membership exposes the node's membership state to deployment
+// harnesses (ground-truth queries, attack probes). The returned value
+// is shared, not a copy: callers outside a single-threaded harness must
+// treat it as read-only and tolerate concurrent updates, or use the
+// snapshot accessors (Neighbors, SliverSizes) instead.
+func (n *Node) Membership() *core.Membership {
+	return n.mem
+}
+
 // DiscoverNow forces an immediate discovery round (useful in tests and
-// demos; production nodes rely on the periodic loop).
-func (n *Node) DiscoverNow() { n.discoverOnce() }
-
-// liveEnv adapts Node to ops.Env. Methods may be called with n.mu held
-// (from router code paths), so they must not lock it.
-type liveEnv Node
-
-var _ ops.Env = (*liveEnv)(nil)
-
-// Now implements ops.Env.
-func (e *liveEnv) Now() time.Duration { return (*Node)(e).now() }
-
-// After implements ops.Env.
-func (e *liveEnv) After(d time.Duration, fn func()) {
-	n := (*Node)(e)
-	time.AfterFunc(d, func() {
-		select {
-		case <-n.stopped:
-			return
-		default:
-		}
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		fn()
-	})
-}
-
-// RandFloat implements ops.Env.
-func (e *liveEnv) RandFloat() float64 { return e.rng.Float64() }
-
-// Send implements ops.Env.
-func (e *liveEnv) Send(to ids.NodeID, msg any) {
-	e.cfg.Transport.Send(e.cfg.Self, to, msg)
-}
-
-// SendCall implements ops.Env.
-func (e *liveEnv) SendCall(to ids.NodeID, msg any, onResult func(ok bool)) {
-	n := (*Node)(e)
-	e.cfg.Transport.SendCall(e.cfg.Self, to, msg, func(ok bool) {
-		// The transport calls back on its own goroutine; re-enter the
-		// node under its lock.
-		select {
-		case <-n.stopped:
-			return
-		default:
-		}
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		if onResult != nil {
-			onResult(ok)
-		}
-	})
-}
-
-// Online implements ops.Env: a running live node is online by
-// definition.
-func (e *liveEnv) Online() bool {
-	n := (*Node)(e)
-	select {
-	case <-n.stopped:
-		return false
-	default:
-		return n.running
-	}
-}
+// demos; production nodes rely on the periodic driver). It works on a
+// built-but-unstarted node too; only a stopped node ignores it.
+func (n *Node) DiscoverNow() { n.discoverRound(false) }

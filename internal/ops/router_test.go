@@ -27,6 +27,34 @@ type cluster struct {
 
 const testHop = 10 * time.Millisecond
 
+// testEnv adapts the test cluster's world + network to Env (the
+// production bindings live in internal/runtime, which this package
+// cannot import without a cycle).
+type testEnv struct {
+	world  *sim.World
+	net    *sim.Network
+	self   ids.NodeID
+	online func() bool
+}
+
+var _ Env = (*testEnv)(nil)
+
+func newTestEnv(world *sim.World, net *sim.Network, self ids.NodeID, online func() bool) *testEnv {
+	if online == nil {
+		online = func() bool { return true }
+	}
+	return &testEnv{world: world, net: net, self: self, online: online}
+}
+
+func (e *testEnv) Now() time.Duration               { return e.world.Now() }
+func (e *testEnv) After(d time.Duration, fn func()) { e.world.After(d, fn) }
+func (e *testEnv) RandFloat() float64               { return e.world.Rand().Float64() }
+func (e *testEnv) Send(to ids.NodeID, msg any)      { e.net.Send(e.self, to, msg) }
+func (e *testEnv) SendCall(to ids.NodeID, msg any, onResult func(ok bool)) {
+	e.net.SendCall(e.self, to, msg, onResult)
+}
+func (e *testEnv) Online() bool { return e.online() }
+
 // newCluster builds a cluster where node i has availability avails[i].
 // The predicate decides the membership graph; every node discovers all
 // others.
@@ -65,10 +93,7 @@ func newCluster(t *testing.T, pred *core.Predicate, avails []float64, verify boo
 		c.members[id] = m
 
 		self := id
-		env, err := NewSimEnv(c.world, c.net, id, func() bool { return c.online[self] })
-		if err != nil {
-			t.Fatal(err)
-		}
+		env := newTestEnv(c.world, c.net, id, func() bool { return c.online[self] })
 		r, err := NewRouter(RouterConfig{
 			Membership:    m,
 			Env:           env,
@@ -111,7 +136,7 @@ func fullPredicate(t *testing.T) *core.Predicate {
 func TestNewRouterValidation(t *testing.T) {
 	c := newCluster(t, fullPredicate(t), []float64{0.5}, false)
 	m := c.members[c.nodes[0]]
-	env, _ := NewSimEnv(c.world, c.net, c.nodes[0], nil)
+	env := newTestEnv(c.world, c.net, c.nodes[0], nil)
 	if _, err := NewRouter(RouterConfig{Env: env, Collector: c.col}); err == nil {
 		t.Error("want error for nil membership")
 	}

@@ -1,0 +1,79 @@
+package runtime
+
+import (
+	"time"
+
+	"avmem/internal/ids"
+	"avmem/internal/transport"
+)
+
+// gated decorates an Env so every asynchronous callback — one-shot
+// timers, periodic ticks, and SendCall results — runs through a gate.
+// The owning node's gate takes its state lock and drops callbacks that
+// arrive after shutdown, which is exactly the serialization the live
+// engine needs; under a virtual Env the gate is an uncontended lock on
+// the single scheduler goroutine, so determinism is unaffected.
+type gated struct {
+	env  Env
+	gate func(fn func())
+}
+
+var _ Env = (*gated)(nil)
+
+// Gated wraps env with a callback gate. A nil gate returns env
+// unchanged.
+func Gated(env Env, gate func(fn func())) Env {
+	if gate == nil {
+		return env
+	}
+	return &gated{env: env, gate: gate}
+}
+
+// Self implements Env.
+func (g *gated) Self() ids.NodeID { return g.env.Self() }
+
+// Now implements Env.
+func (g *gated) Now() time.Duration { return g.env.Now() }
+
+// After implements Env: fn fires inside the gate.
+func (g *gated) After(d time.Duration, fn func()) {
+	g.env.After(d, func() { g.gate(fn) })
+}
+
+// Every implements Env: each tick fires inside the gate.
+func (g *gated) Every(offset, period time.Duration, fn func()) (stop func()) {
+	return g.env.Every(offset, period, func() { g.gate(fn) })
+}
+
+// RandFloat implements Env.
+func (g *gated) RandFloat() float64 { return g.env.RandFloat() }
+
+// RandIntn implements Env.
+func (g *gated) RandIntn(n int) int { return g.env.RandIntn(n) }
+
+// Register implements Env. The inbound handler is not gated: handlers
+// manage their own locking (shuffle traffic must not serialize behind
+// operation handling).
+func (g *gated) Register(h transport.Handler) error {
+	return g.env.Register(h)
+}
+
+// Unregister implements Env.
+func (g *gated) Unregister() { g.env.Unregister() }
+
+// Send implements Env.
+func (g *gated) Send(to ids.NodeID, msg any) { g.env.Send(to, msg) }
+
+// SendCall implements Env: the result callback fires inside the gate.
+func (g *gated) SendCall(to ids.NodeID, msg any, onResult func(ok bool)) {
+	if onResult == nil {
+		g.env.SendCall(to, msg, nil)
+		return
+	}
+	g.env.SendCall(to, msg, func(ok bool) {
+		g.gate(func() { onResult(ok) })
+	})
+}
+
+// Online implements Env.
+func (g *gated) Online() bool { return g.env.Online() }

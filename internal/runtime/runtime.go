@@ -1,0 +1,89 @@
+// Package runtime is the execution contract between AVMEM's protocol
+// logic and the engine that hosts it. One interface — Env — names
+// everything a node needs from its surroundings (a clock, one-shot and
+// periodic timers, messaging with acknowledgment semantics, a liveness
+// probe, private randomness, and a registration point on the message
+// fabric), and two families of implementations bind it:
+//
+//   - Virtual: a deterministic Env on the discrete-event simulator's
+//     clock. Many Virtual envs share one Scheduler and one Fabric, so a
+//     whole cluster of real nodes executes single-threaded in virtual
+//     time — fast, reproducible per seed, and race-free by construction.
+//   - Live: a wall-clock Env over a transport.Transport. Timers are real
+//     timers, messages cross a real (TCP or in-process) network, and the
+//     owning node serializes asynchronous callbacks through a gate.
+//
+// core, ops, avmon, and shuffle drivers are written once against this
+// contract; internal/node runs on any Env, and internal/exp binds the
+// same node code to either engine. ops.Env is the structural subset the
+// operation router consumes — every runtime Env satisfies it.
+package runtime
+
+import (
+	"time"
+
+	"avmem/internal/ids"
+	"avmem/internal/ops"
+	"avmem/internal/transport"
+)
+
+// Env is the single host-environment contract of the AVMEM runtime.
+// It embeds ops.Env (clock, one-shot timers, uniform randomness,
+// messaging with ack semantics, self-liveness) and adds the node-level
+// surface: periodic timers for protocol drivers, integer randomness,
+// identity, and fabric registration.
+//
+// Callback discipline: After, Every, and SendCall callbacks fire on the
+// engine's thread (the simulator's event loop, or a timer/transport
+// goroutine in live mode). Owners that need mutual exclusion wrap the
+// Env with Gated rather than locking inside every callback.
+type Env interface {
+	ops.Env
+
+	// Self returns the identity this Env is bound to.
+	Self() ids.NodeID
+	// Every schedules fn at now+offset and every period thereafter until
+	// the returned stop function is called. period must be positive.
+	Every(offset, period time.Duration, fn func()) (stop func())
+	// RandIntn returns a uniform int in [0, n); n must be positive.
+	RandIntn(n int) int
+	// Register binds the Env's identity to the message fabric and
+	// installs the inbound handler. It must precede Send/SendCall.
+	Register(h transport.Handler) error
+	// Unregister removes the identity from the fabric.
+	Unregister()
+}
+
+// Scheduler is the time source of a virtual Env: the discrete-event
+// simulator's clock and deferred-execution queue. sim.World implements
+// it.
+type Scheduler interface {
+	// Now returns the current virtual time.
+	Now() time.Duration
+	// After schedules fn to run d from now.
+	After(d time.Duration, fn func())
+}
+
+// Fabric moves messages between identities. transport.Transport
+// implementations (TCP, Memory, Memnet) satisfy it directly; sim.Network
+// is adapted by NetFabric.
+type Fabric interface {
+	// Register installs the message handler for self.
+	Register(self ids.NodeID, h transport.Handler) error
+	// Unregister removes self from the fabric.
+	Unregister(self ids.NodeID)
+	// Send delivers msg to the target, best effort.
+	Send(from, to ids.NodeID, msg any)
+	// SendCall delivers msg and reports the outcome exactly once:
+	// onResult(true) after the target acknowledged, onResult(false) when
+	// it was unreachable.
+	SendCall(from, to ids.NodeID, msg any, onResult func(ok bool))
+}
+
+// Stopper is implemented by Envs whose timers outlive a node and must be
+// cancelled on shutdown (both Virtual and Live implement it). Owners
+// call it from their Stop path; a stopped Env suppresses every pending
+// and future callback.
+type Stopper interface {
+	Stop()
+}

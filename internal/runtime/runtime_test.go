@@ -1,0 +1,230 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"avmem/internal/ids"
+	"avmem/internal/sim"
+	"avmem/internal/transport"
+)
+
+func newVirtualPair(t *testing.T) (*sim.World, *transport.Memnet, *Virtual, *Virtual) {
+	t.Helper()
+	w := sim.NewWorld(1)
+	net := transport.NewMemnet(transport.MemnetConfig{After: w.After, Seed: 1})
+	mk := func(self ids.NodeID) *Virtual {
+		env, err := NewVirtual(VirtualConfig{Self: self, Scheduler: w, Fabric: net, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return env
+	}
+	return w, net, mk("a"), mk("b")
+}
+
+func TestVirtualEnvMessaging(t *testing.T) {
+	w, _, a, b := newVirtualPair(t)
+	var got []any
+	if err := b.Register(func(from ids.NodeID, msg any) {
+		if from != "a" {
+			t.Errorf("from = %v", from)
+		}
+		got = append(got, msg)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a.Send("b", "hello")
+	acked := false
+	a.SendCall("b", "call", func(ok bool) { acked = ok })
+	w.RunAll(0)
+	if len(got) != 2 || !acked {
+		t.Fatalf("messages=%d acked=%v", len(got), acked)
+	}
+	b.Unregister()
+	nacked := false
+	a.SendCall("b", "call2", func(ok bool) { nacked = !ok })
+	w.RunAll(0)
+	if !nacked {
+		t.Error("unregistered peer acknowledged")
+	}
+}
+
+func TestVirtualEnvTimers(t *testing.T) {
+	w, _, a, _ := newVirtualPair(t)
+	var ticks []time.Duration
+	stop := a.Every(10*time.Millisecond, 20*time.Millisecond, func() {
+		ticks = append(ticks, a.Now())
+		if len(ticks) == 3 {
+			// Stopping from inside a tick must halt the chain.
+			a.stopSelfForTest()
+		}
+	})
+	defer stop()
+	fired := false
+	a.After(5*time.Millisecond, func() { fired = true })
+	w.Run(200 * time.Millisecond)
+	if !fired {
+		t.Error("After never fired")
+	}
+	want := []time.Duration{10 * time.Millisecond, 30 * time.Millisecond, 50 * time.Millisecond}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Errorf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+// stopSelfForTest exercises Stop from inside a callback.
+func (e *Virtual) stopSelfForTest() { e.Stop() }
+
+func TestVirtualEveryStopFunc(t *testing.T) {
+	w, _, a, _ := newVirtualPair(t)
+	count := 0
+	stop := a.Every(0, 10*time.Millisecond, func() { count++ })
+	w.Run(25 * time.Millisecond)
+	stop()
+	w.Run(200 * time.Millisecond)
+	if count != 3 {
+		t.Errorf("ticks after stop: count = %d, want 3", count)
+	}
+}
+
+func TestGatedSerializesCallbacks(t *testing.T) {
+	w, _, a, b := newVirtualPair(t)
+	var mu sync.Mutex
+	inGate := 0
+	gate := func(fn func()) {
+		mu.Lock()
+		defer mu.Unlock()
+		inGate++
+		fn()
+	}
+	g := Gated(a, gate)
+	if err := b.Register(func(ids.NodeID, any) {}); err != nil {
+		t.Fatal(err)
+	}
+	results := 0
+	g.After(time.Millisecond, func() { results++ })
+	g.SendCall("b", "x", func(ok bool) {
+		if ok {
+			results++
+		}
+	})
+	stop := g.Every(0, time.Millisecond, func() { results++ })
+	w.Run(2 * time.Millisecond)
+	stop()
+	if inGate < 3 {
+		t.Errorf("gate saw %d callbacks, want >= 3", inGate)
+	}
+	if results < 3 {
+		t.Errorf("callbacks ran %d times, want >= 3", results)
+	}
+	if Gated(a, nil) != Env(a) {
+		t.Error("nil gate must return the env unchanged")
+	}
+}
+
+func TestLiveEnvLifecycle(t *testing.T) {
+	tr := transport.NewMemorySeeded(0, 0, 1)
+	defer tr.Close()
+	mkLive := func(self ids.NodeID) *Live {
+		env, err := NewLive(LiveConfig{Self: self, Transport: tr, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return env
+	}
+	a, b := mkLive("a"), mkLive("b")
+	got := make(chan any, 4)
+	if err := b.Register(func(from ids.NodeID, msg any) { got <- msg }); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Register(func(ids.NodeID, any) {}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Now() < 0 {
+		t.Error("clock went backwards")
+	}
+	a.Send("b", "hi")
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("live delivery lost")
+	}
+	acks := make(chan bool, 1)
+	a.SendCall("b", "call", func(ok bool) { acks <- ok })
+	if ok := <-acks; !ok {
+		t.Fatal("live ack lost")
+	}
+
+	fired := make(chan struct{}, 8)
+	stop := a.Every(time.Millisecond, time.Millisecond, func() { fired <- struct{}{} })
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("live periodic timer never fired")
+	}
+	stop()
+
+	// After Stop, timers and ack callbacks are suppressed.
+	a.Stop()
+	a.After(time.Millisecond, func() { t.Error("timer fired after Stop") })
+	a.SendCall("b", "late", func(bool) { t.Error("ack fired after Stop") })
+	if a.Online() {
+		t.Error("stopped env reports online")
+	}
+	time.Sleep(50 * time.Millisecond)
+	b.Stop()
+}
+
+func TestNewValidation(t *testing.T) {
+	w := sim.NewWorld(1)
+	net := transport.NewMemnet(transport.MemnetConfig{After: w.After})
+	if _, err := NewVirtual(VirtualConfig{Scheduler: w, Fabric: net}); err == nil {
+		t.Error("want error for missing identity")
+	}
+	if _, err := NewVirtual(VirtualConfig{Self: "a", Fabric: net}); err == nil {
+		t.Error("want error for missing scheduler")
+	}
+	if _, err := NewVirtual(VirtualConfig{Self: "a", Scheduler: w}); err == nil {
+		t.Error("want error for missing fabric")
+	}
+	if _, err := NewLive(LiveConfig{Transport: net}); err == nil {
+		t.Error("want error for missing identity")
+	}
+	if _, err := NewLive(LiveConfig{Self: "a"}); err == nil {
+		t.Error("want error for missing transport")
+	}
+}
+
+func TestNetFabricAdapter(t *testing.T) {
+	w := sim.NewWorld(1)
+	net := sim.NewNetwork(w, sim.FixedLatency(time.Millisecond), nil, 0)
+	f := NetFabric(net)
+	env, err := NewVirtual(VirtualConfig{Self: "a", Scheduler: w, Fabric: f, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	if err := f.Register("b", func(from ids.NodeID, msg any) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	env.Send("b", "x")
+	okCh := false
+	env.SendCall("b", "y", func(ok bool) { okCh = ok })
+	w.RunAll(0)
+	if got != 2 || !okCh {
+		t.Fatalf("deliveries=%d ack=%v", got, okCh)
+	}
+	f.Unregister("b")
+	env.Send("b", "z")
+	w.RunAll(0)
+	if got != 2 {
+		t.Error("unregistered sim handler still receiving")
+	}
+}

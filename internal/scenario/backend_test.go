@@ -1,0 +1,114 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestRunMemnetBackend runs the tiny scenario on the live runtime: real
+// node.Node agents over the deterministic memnet, same spec, same
+// assertions.
+func TestRunMemnetBackend(t *testing.T) {
+	res, err := Run(tinySpec(), Options{Backend: BackendMemnet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("tiny scenario failed on memnet: %v", res.Failures)
+	}
+	for _, want := range []string{"anycast_delivery_rate", "mean_sliver_size", "online_fraction", "max_sliver_size"} {
+		if _, ok := res.Metrics[want]; !ok {
+			t.Errorf("metric %q missing: %v", want, res.Metrics)
+		}
+	}
+}
+
+// TestMemnetBackendDeterministic asserts the memnet backend is
+// bit-reproducible per seed: two runs of the same spec produce the same
+// metrics and event log.
+func TestMemnetBackendDeterministic(t *testing.T) {
+	a, err := Run(tinySpec(), Options{Backend: BackendMemnet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tinySpec(), Options{Backend: BackendMemnet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Metrics, b.Metrics) {
+		t.Errorf("metrics differ across identical runs:\n a: %v\n b: %v", a.Metrics, b.Metrics)
+	}
+	if !reflect.DeepEqual(a.EventLog, b.EventLog) {
+		t.Errorf("event logs differ across identical runs:\n a: %v\n b: %v", a.EventLog, b.EventLog)
+	}
+}
+
+// TestBackendsAgreeOnVerdicts runs a scenario with every event kind on
+// both backends and requires both to produce the same metric set and
+// pass the same assertions — the engines may differ in exact values
+// but not in shape or verdict.
+func TestBackendsAgreeOnVerdicts(t *testing.T) {
+	spec := tinySpec()
+	spec.Events = append(spec.Events,
+		Event{At: dur("10m"), Attack: &Attack{Cushion: 0.1}},
+		Event{At: dur("11m"), MonitorNoise: &MonitorNoise{Error: 0.05, Staleness: dur("20m")}},
+		Event{At: dur("12m"), MulticastBatch: &MulticastBatch{
+			Count:    5,
+			TargetLo: 0.5, TargetHi: 1,
+		}},
+	)
+	spec.Assertions = append(spec.Assertions,
+		Assertion{Metric: "multicast_reliability", Min: f(0.3)},
+		Assertion{Metric: "attack_accept_rate", Max: f(1)},
+	)
+	sim, err := Run(spec, Options{Backend: BackendSim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := Run(spec, Options{Backend: BackendMemnet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.Passed() {
+		t.Errorf("sim backend failed: %v", sim.Failures)
+	}
+	if !mem.Passed() {
+		t.Errorf("memnet backend failed: %v", mem.Failures)
+	}
+	for name := range sim.Metrics {
+		if _, ok := mem.Metrics[name]; !ok {
+			t.Errorf("metric %q produced by sim but not memnet", name)
+		}
+	}
+	for name := range mem.Metrics {
+		if _, ok := sim.Metrics[name]; !ok {
+			t.Errorf("metric %q produced by memnet but not sim", name)
+		}
+	}
+}
+
+func TestRunRejectsUnknownBackend(t *testing.T) {
+	if _, err := Run(tinySpec(), Options{Backend: "quantum"}); err == nil ||
+		!strings.Contains(err.Error(), "quantum") {
+		t.Fatalf("want unknown-backend error, got %v", err)
+	}
+}
+
+// TestRunManyMemnetBackend sweeps seeds on the memnet backend (each
+// world independent, race-detector clean under -race).
+func TestRunManyMemnetBackend(t *testing.T) {
+	spec := tinySpec()
+	spec.Fleet.Hosts = 60
+	spec.Assertions = []Assertion{{Metric: "anycast_delivery_rate", Min: f(0.3)}}
+	multi, err := RunMany(spec, SeedRange(1, 3), 3, Options{Backend: BackendMemnet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !multi.Passed() {
+		t.Fatalf("memnet sweep failed: %v", multi.Failures)
+	}
+	if got := multi.Metrics["anycast_delivery_rate"].N; got != 3 {
+		t.Errorf("aggregate runs = %d, want 3", got)
+	}
+}

@@ -12,10 +12,24 @@ import (
 	"avmem/internal/trace"
 )
 
+// Backends name the execution engines a scenario can run on.
+const (
+	// BackendSim is the virtual-time simulator (exp.World): protocol
+	// logic driven by the deployment engine's cohort ticks.
+	BackendSim = exp.BackendSim
+	// BackendMemnet is the live runtime (exp.Cluster): real node.Node
+	// agents on a deterministic, seedable in-process memnet, executing
+	// on the same virtual clock.
+	BackendMemnet = exp.BackendMemnet
+)
+
 // Options tunes a scenario run.
 type Options struct {
 	// Log receives progress lines as events fire (nil discards).
 	Log io.Writer
+	// Backend selects the execution engine: BackendSim (default) or
+	// BackendMemnet. The same spec, events, and assertions run on both.
+	Backend string
 }
 
 // Result is the outcome of one scenario run.
@@ -67,15 +81,20 @@ func Run(spec *Spec, opts Options) (*Result, error) {
 		logw = io.Discard
 	}
 
-	w, err := buildWorld(spec)
+	w, err := buildDeployment(spec, opts.Backend)
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(logw, "fleet ready: %d hosts, N*=%.0f; warming up %v\n",
-		len(w.Hosts()), w.NStar, spec.Warmup.D())
+	// Backends that own resources (the memnet cluster's nodes and
+	// fabric) expose Stop; tear them down when the run ends.
+	if c, ok := w.(interface{ Stop() }); ok {
+		defer c.Stop()
+	}
+	fmt.Fprintf(logw, "fleet ready (%s backend): %d hosts, N*=%.0f; warming up %v\n",
+		backendName(opts.Backend), len(w.Hosts()), w.StableSize(), spec.Warmup.D())
 	w.Warmup(spec.Warmup.D())
 
-	run := &runState{w: w, spec: spec, log: logw, base: w.Sim.Now()}
+	run := &runState{w: w, spec: spec, log: logw, base: w.Now()}
 	for i := range spec.Events {
 		if err := run.fire(i, &spec.Events[i]); err != nil {
 			return nil, err
@@ -87,7 +106,16 @@ func Run(spec *Spec, opts Options) (*Result, error) {
 	return res, nil
 }
 
-func buildWorld(spec *Spec) (*exp.World, error) {
+// backendName resolves the default backend label.
+func backendName(backend string) string {
+	if backend == "" {
+		return BackendSim
+	}
+	return backend
+}
+
+// buildDeployment assembles the fleet on the requested backend.
+func buildDeployment(spec *Spec, backend string) (exp.Deployment, error) {
 	var tr *trace.Trace
 	if spec.Fleet.Trace != "" {
 		f, err := os.Open(spec.Fleet.Trace)
@@ -113,7 +141,7 @@ func buildWorld(spec *Spec) (*exp.World, error) {
 			return nil, fmt.Errorf("scenario: generating churn trace: %w", err)
 		}
 	}
-	return exp.NewWorld(exp.WorldConfig{
+	cfg := exp.WorldConfig{
 		Seed:               spec.Seed,
 		Trace:              tr,
 		Epsilon:            spec.Fleet.Epsilon,
@@ -127,12 +155,17 @@ func buildWorld(spec *Spec) (*exp.World, error) {
 		MonitorErr:         spec.Fleet.MonitorError,
 		MonitorStaleness:   spec.Fleet.MonitorStaleness.D(),
 		DistributedMonitor: spec.Fleet.DistributedMonitor,
-	})
+	}
+	d, err := exp.NewDeployment(backend, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return d, nil
 }
 
 // runState accumulates workload outcomes across the event sequence.
 type runState struct {
-	w    *exp.World
+	w    exp.Deployment
 	spec *Spec
 	log  io.Writer
 	// base is the virtual time at warmup end; event At times are
@@ -156,14 +189,14 @@ type runState struct {
 func (r *runState) logf(format string, args ...any) {
 	line := fmt.Sprintf(format, args...)
 	r.events = append(r.events, line)
-	fmt.Fprintf(r.log, "[%8v] %s\n", r.w.Sim.Now()-r.base, line)
+	fmt.Fprintf(r.log, "[%8v] %s\n", r.w.Now()-r.base, line)
 }
 
 // fire advances virtual time to the event's At (when it is still in the
 // future) and applies the action.
 func (r *runState) fire(i int, e *Event) error {
 	due := r.base + e.At.D()
-	if now := r.w.Sim.Now(); due > now {
+	if now := r.w.Now(); due > now {
 		r.w.RunFor(due - now)
 	}
 	switch {
@@ -187,8 +220,8 @@ func (r *runState) churnBurst(b *ChurnBurst) error {
 	if k > len(online) {
 		k = len(online)
 	}
-	until := r.w.Sim.Now() + b.Duration.D()
-	perm := r.w.Sim.Rand().Perm(len(online))
+	until := r.w.Now() + b.Duration.D()
+	perm := r.w.Rand().Perm(len(online))
 	for _, idx := range perm[:k] {
 		r.w.ForceOffline(online[idx], until)
 	}
@@ -296,7 +329,10 @@ func (r *runState) metrics() map[string]float64 {
 	online := r.w.OnlineHosts()
 	var total, max int
 	for _, id := range online {
-		size := r.w.Membership(id).Size()
+		size := 0
+		if m := r.w.Membership(id); m != nil {
+			size = m.Size()
+		}
 		total += size
 		if size > max {
 			max = size

@@ -148,6 +148,83 @@ func TestLoadRejectsMalformed(t *testing.T) {
 	}
 }
 
+func TestLoadReportsKeyAndLine(t *testing.T) {
+	// A typo'd key must fail with the offending key name and its line.
+	src := `{
+  "name": "x",
+  "fleet": {
+    "hostss": 120
+  },
+  "events": [{"at":"0s","attack":{"cushion":0}}]
+}`
+	_, err := Load(strings.NewReader(src))
+	if err == nil {
+		t.Fatal("typo'd key accepted")
+	}
+	if !strings.Contains(err.Error(), `"hostss"`) {
+		t.Errorf("error %q does not name the offending key", err)
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("error %q does not locate line 4", err)
+	}
+}
+
+func TestLoadLocatesKeyNotValue(t *testing.T) {
+	// The typo'd key's text also appears earlier as a string value; the
+	// reported line must be the key's, not the value's.
+	src := `{
+  "name": "hostss",
+  "fleet": {
+    "hostss": 120
+  },
+  "events": [{"at":"0s","attack":{"cushion":0}}]
+}`
+	_, err := Load(strings.NewReader(src))
+	if err == nil {
+		t.Fatal("typo'd key accepted")
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("error %q does not locate the key on line 4", err)
+	}
+}
+
+func TestLoadLocatesShadowedKey(t *testing.T) {
+	// The unknown field shares its name with a legitimate key earlier
+	// in the file; the later (offending) occurrence must win.
+	src := `{
+  "name": "x",
+  "fleet": {
+    "name": "y"
+  },
+  "events": [{"at":"0s","attack":{"cushion":0}}]
+}`
+	_, err := Load(strings.NewReader(src))
+	if err == nil {
+		t.Fatal("typo'd key accepted")
+	}
+	if !strings.Contains(err.Error(), `"name"`) {
+		t.Errorf("error %q does not name the offending key", err)
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("error %q does not locate the shadowed key on line 4", err)
+	}
+}
+
+func TestLoadReportsTypeErrorLine(t *testing.T) {
+	src := `{
+  "name": "x",
+  "seed": "not-a-number",
+  "events": [{"at":"0s","attack":{"cushion":0}}]
+}`
+	_, err := Load(strings.NewReader(src))
+	if err == nil {
+		t.Fatal("mistyped value accepted")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q does not locate line 3", err)
+	}
+}
+
 func TestLoadAcceptsMinimalValid(t *testing.T) {
 	spec, err := Load(strings.NewReader(
 		`{"name":"ok","events":[{"at":"0s","attack":{"cushion":0.1}}]}`))

@@ -14,10 +14,13 @@
 package scenario
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"avmem/internal/core"
@@ -214,18 +217,105 @@ var Metrics = map[string]string{
 }
 
 // Load parses and validates a scenario spec from r. Unknown fields are
-// rejected so typos fail loudly instead of silently doing nothing.
+// rejected — a typo'd key fails `avmemsim validate` with the offending
+// key and its line instead of silently running a different experiment.
 func Load(r io.Reader) (*Spec, error) {
-	dec := json.NewDecoder(r)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: reading spec: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	var s Spec
 	if err := dec.Decode(&s); err != nil {
-		return nil, fmt.Errorf("scenario: parsing spec: %w", err)
+		return nil, fmt.Errorf("scenario: parsing spec: %w", locate(data, dec, err))
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	return &s, nil
+}
+
+// locate pins a JSON decoding failure to a line and column. Type and
+// syntax errors carry their own offsets; unknown-field rejections (the
+// DisallowUnknownFields errors) carry only the key name in the error
+// text, so the key itself is looked up in the source.
+func locate(data []byte, dec *json.Decoder, err error) error {
+	offset := dec.InputOffset()
+	var typeErr *json.UnmarshalTypeError
+	var synErr *json.SyntaxError
+	switch {
+	case errors.As(err, &typeErr):
+		offset = typeErr.Offset
+	case errors.As(err, &synErr):
+		offset = synErr.Offset
+	default:
+		if key, ok := unknownFieldKey(err); ok {
+			// The decoder has consumed input at least up to the offending
+			// key, so the right occurrence is the last one before offset.
+			if i := keyOffset(data[:offset], key); i >= 0 {
+				offset = int64(i) + 1
+			} else if i := keyOffset(data, key); i >= 0 {
+				offset = int64(i) + 1
+			}
+		}
+	}
+	if offset <= 0 || offset > int64(len(data)) {
+		return err
+	}
+	line, col := 1, 1
+	for _, b := range data[:offset] {
+		if b == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("line %d:%d: %w", line, col, err)
+}
+
+// keyOffset finds the byte offset of the last `"key"` in data used as
+// an object key — the quoted text followed by a colon — so neither an
+// identical string *value* nor an earlier legitimate key of the same
+// name wins. Falls back to the last quoted occurrence, then -1.
+func keyOffset(data []byte, key string) int {
+	quoted := []byte(`"` + key + `"`)
+	lastKey, lastAny := -1, -1
+	for from := 0; from < len(data); {
+		i := bytes.Index(data[from:], quoted)
+		if i < 0 {
+			break
+		}
+		i += from
+		lastAny = i
+		rest := bytes.TrimLeft(data[i+len(quoted):], " \t\r\n")
+		if len(rest) > 0 && rest[0] == ':' {
+			lastKey = i
+		}
+		from = i + len(quoted)
+	}
+	if lastKey >= 0 {
+		return lastKey
+	}
+	return lastAny
+}
+
+// unknownFieldKey extracts the key name from an encoding/json
+// DisallowUnknownFields error ("json: unknown field \"...\"").
+func unknownFieldKey(err error) (string, bool) {
+	const prefix = `json: unknown field "`
+	msg := err.Error()
+	i := strings.Index(msg, prefix)
+	if i < 0 {
+		return "", false
+	}
+	rest := msg[i+len(prefix):]
+	j := strings.LastIndex(rest, `"`)
+	if j <= 0 {
+		return "", false
+	}
+	return rest[:j], true
 }
 
 // LoadFile parses and validates the scenario spec at path.

@@ -88,9 +88,10 @@ func TestGenerateDimensions(t *testing.T) {
 	}
 }
 
-// TestGenerateMatchesOvernetStatistics is the substitution check from
-// DESIGN.md §6: the synthetic trace must reproduce the published Overnet
-// availability statistics the experiments depend on.
+// TestGenerateMatchesOvernetStatistics is the substitution check
+// behind the default fleet (DESIGN.md §8): the synthetic trace must
+// reproduce the published Overnet availability statistics the
+// experiments depend on.
 func TestGenerateMatchesOvernetStatistics(t *testing.T) {
 	tr, err := Generate(DefaultGenConfig(1))
 	if err != nil {

@@ -6,8 +6,8 @@
 // The package provides the trace container with availability queries
 // (raw and exponentially aged), a text codec so real traces can be
 // loaded and synthetic ones archived, and a synthetic generator that
-// reproduces the published Overnet availability statistics (see
-// DESIGN.md §6 for the substitution argument).
+// reproduces the published Overnet availability statistics (see the
+// default-fleet table in DESIGN.md §8 for the substitution argument).
 package trace
 
 import (

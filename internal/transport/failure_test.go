@@ -1,0 +1,199 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"avmem/internal/ids"
+)
+
+// Satellite coverage for transport failure semantics: a SendCall to a
+// dead or unregistered peer must invoke onResult(false) exactly once on
+// every transport, and Unregister racing in-flight traffic must be
+// safe.
+
+// expectExactlyOnceFailure sends one SendCall to a dead peer and
+// asserts onResult fires exactly once, with false.
+func expectExactlyOnceFailure(t *testing.T, tr Transport, from, to ids.NodeID) {
+	t.Helper()
+	var calls atomic.Int32
+	var sawOK atomic.Bool
+	done := make(chan struct{}, 1)
+	tr.SendCall(from, to, sampleAnycast(), func(ok bool) {
+		if ok {
+			sawOK.Store(true)
+		}
+		if calls.Add(1) == 1 {
+			done <- struct{}{}
+		}
+	})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("onResult never fired for dead peer")
+	}
+	// Give a double invocation time to surface before counting.
+	time.Sleep(50 * time.Millisecond)
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("onResult fired %d times, want exactly 1", got)
+	}
+	if sawOK.Load() {
+		t.Fatal("dead peer acknowledged: want onResult(false)")
+	}
+}
+
+func TestMemorySendCallDeadPeerExactlyOnce(t *testing.T) {
+	m := NewMemory(0, 0)
+	defer m.Close()
+	expectExactlyOnceFailure(t, m, "a", "ghost")
+}
+
+func TestMemnetSendCallDeadPeerExactlyOnce(t *testing.T) {
+	m := NewMemnet(MemnetConfig{AckTimeout: 20 * time.Millisecond})
+	defer m.Close()
+	expectExactlyOnceFailure(t, m, "a", "ghost")
+}
+
+func TestTCPSendCallDeadPeerExactlyOnce(t *testing.T) {
+	tr := NewTCP(200*time.Millisecond, time.Second)
+	defer tr.Close()
+	// Nothing listens on the target port.
+	expectExactlyOnceFailure(t, tr, "127.0.0.1:39410", "127.0.0.1:39411")
+}
+
+// stressUnregister hammers a transport with SendCall traffic while the
+// target registers and unregisters concurrently: no panic, and every
+// call reports exactly once. Run under -race in CI.
+func stressUnregister(t *testing.T, tr Transport, self ids.NodeID, senders int) {
+	t.Helper()
+	const perSender = 50
+	var results atomic.Int32
+	handler := func(ids.NodeID, any) {}
+	if err := tr.Register(self, handler); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				tr.SendCall("sender", self, sampleAnycast(), func(bool) {
+					results.Add(1)
+				})
+			}
+		}()
+	}
+	// Flap the registration while traffic is in flight.
+	for i := 0; i < 20; i++ {
+		tr.Unregister(self)
+		time.Sleep(time.Millisecond)
+		if err := tr.Register(self, handler); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	want := int32(senders * perSender)
+	deadline := time.After(10 * time.Second)
+	for results.Load() < want {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d/%d SendCall results arrived", results.Load(), want)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := results.Load(); got != want {
+		t.Fatalf("%d results for %d calls: callbacks must fire exactly once", got, want)
+	}
+}
+
+func TestMemoryUnregisterMidFlight(t *testing.T) {
+	m := NewMemory(0, 0)
+	defer m.Close()
+	stressUnregister(t, m, "flappy", 8)
+}
+
+func TestMemnetUnregisterMidFlight(t *testing.T) {
+	m := NewMemnet(MemnetConfig{AckTimeout: 5 * time.Millisecond})
+	defer m.Close()
+	stressUnregister(t, m, "flappy", 8)
+}
+
+func TestMemnetFaultInjectionRaces(t *testing.T) {
+	// Kill/Restart, partitions, and link faults flapping while traffic
+	// flows: the memnet must stay consistent (callbacks exactly once).
+	m := NewMemnet(MemnetConfig{AckTimeout: 5 * time.Millisecond})
+	defer m.Close()
+	if err := m.Register("peer", func(ids.NodeID, any) {}); err != nil {
+		t.Fatal(err)
+	}
+	var results atomic.Int32
+	var wg sync.WaitGroup
+	const calls = 200
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < calls; i++ {
+			m.SendCall("sender", "peer", sampleAnycast(), func(bool) { results.Add(1) })
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		m.Kill("peer")
+		m.Partition([]ids.NodeID{"peer"}, []ids.NodeID{"sender"})
+		m.SetLinkDrop("sender", "peer", 0.5)
+		time.Sleep(time.Millisecond)
+		m.Restart("peer")
+		m.Heal()
+		m.SetLinkDrop("sender", "peer", -1)
+	}
+	wg.Wait()
+	deadline := time.After(10 * time.Second)
+	for results.Load() < calls {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d/%d results arrived", results.Load(), calls)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestTCPUnregisterMidFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets")
+	}
+	tr := NewTCP(200*time.Millisecond, time.Second)
+	defer tr.Close()
+	self := ids.NodeID("127.0.0.1:39412")
+	handler := func(ids.NodeID, any) {}
+	if err := tr.Register(self, handler); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				done := make(chan struct{})
+				tr.SendCall("127.0.0.1:39413", self, sampleAnycast(), func(bool) { close(done) })
+				<-done
+			}
+		}()
+	}
+	// Flap the listener while calls are in flight; rebinding the port
+	// can transiently fail while the old listener drains, so retry.
+	for i := 0; i < 10; i++ {
+		tr.Unregister(self)
+		time.Sleep(2 * time.Millisecond)
+		for try := 0; try < 50; try++ {
+			if err := tr.Register(self, handler); err == nil {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	wg.Wait()
+}

@@ -8,40 +8,120 @@ import (
 	"avmem/internal/ids"
 )
 
-// Memory is the in-process transport: all nodes live in one process,
-// messages hop between goroutines with an optional simulated latency.
-// It is safe for concurrent use. The zero value is not usable; create
-// with NewMemory.
-type Memory struct {
-	minLatency time.Duration
-	maxLatency time.Duration
+// LatencyFn samples a one-way message latency. It runs under the
+// memnet's lock with the memnet's seeded RNG, so draws happen in a
+// deterministic order.
+type LatencyFn func(rng *rand.Rand) time.Duration
 
-	mu       sync.RWMutex
-	handlers map[ids.NodeID]Handler
-	rng      *rand.Rand
-	closed   bool
-	wg       sync.WaitGroup
+// UniformLatencyFn samples uniformly from [min, max] — the paper's
+// per-virtual-hop model when given 20ms and 80ms.
+func UniformLatencyFn(min, max time.Duration) LatencyFn {
+	return func(rng *rand.Rand) time.Duration {
+		if max <= min {
+			return min
+		}
+		return min + time.Duration(rng.Int63n(int64(max-min)+1))
+	}
 }
 
-var _ Transport = (*Memory)(nil)
+// MemnetStats counts memnet activity.
+type MemnetStats struct {
+	Sent      int // messages handed to the memnet
+	Delivered int // messages that reached a live handler
+	Dropped   int // messages lost to faults, partitions, or dead targets
+}
 
-// NewMemory creates an in-process transport with per-message latency
-// drawn uniformly from [minLatency, maxLatency] (both zero disables
-// artificial latency).
-func NewMemory(minLatency, maxLatency time.Duration) *Memory {
-	if maxLatency < minLatency {
-		maxLatency = minLatency
+// MemnetConfig assembles a deterministic in-process network.
+type MemnetConfig struct {
+	// After defers fn by d. nil uses wall-clock timers (time.AfterFunc);
+	// the scenario engine injects the virtual-time simulator's scheduler
+	// here, which makes every delivery an event on the deterministic
+	// virtual clock.
+	After func(d time.Duration, fn func())
+	// Seed drives all latency and drop sampling.
+	Seed int64
+	// Latency samples per-message one-way latency (nil = instantaneous).
+	Latency LatencyFn
+	// AckTimeout is how long a SendCall waits before reporting failure
+	// when no acknowledgment arrives (default 160ms, 2× the worst-case
+	// paper latency).
+	AckTimeout time.Duration
+	// Drop is the global message-drop probability in [0,1).
+	Drop float64
+	// Online gates delivery-time liveness by identity (nil = every
+	// registered node is live). The scenario engine points this at the
+	// churn trace, so live nodes miss deliveries exactly when their
+	// simulated counterparts would.
+	Online func(id ids.NodeID) bool
+}
+
+// link is a per-directed-link fault overlay.
+type link struct {
+	latency LatencyFn
+	drop    float64
+	hasDrop bool
+}
+
+// Memnet is the deterministic, seedable in-process network: an
+// implementation of Transport whose deliveries are scheduled on an
+// injected clock, with fault injection — node kill/restart, per-link
+// latency distributions, per-link and global drops, and partitions —
+// pushed down into the fabric itself. Driven by a single-threaded
+// virtual scheduler it is bit-reproducible per seed; it is nevertheless
+// fully locked, so mixed (wall-clock, concurrent) use is safe, merely
+// not deterministic.
+type Memnet struct {
+	after      func(d time.Duration, fn func())
+	ackTimeout time.Duration
+	online     func(id ids.NodeID) bool
+	// ownClock marks the built-in wall-clock timer; its callbacks are
+	// tracked in wg so Close can drain in-flight deliveries (injected
+	// virtual schedulers drain by construction — their owner pumps the
+	// event queue on one goroutine, where waiting would deadlock).
+	ownClock bool
+	wg       sync.WaitGroup
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	latency  LatencyFn
+	drop     float64
+	handlers map[ids.NodeID]Handler
+	killed   map[ids.NodeID]bool
+	islands  map[ids.NodeID]int
+	links    map[[2]ids.NodeID]link
+	stats    MemnetStats
+	closed   bool
+}
+
+var _ Transport = (*Memnet)(nil)
+
+// NewMemnet creates a deterministic in-process network.
+func NewMemnet(cfg MemnetConfig) *Memnet {
+	after := cfg.After
+	own := false
+	if after == nil {
+		own = true
+		after = func(d time.Duration, fn func()) { time.AfterFunc(d, fn) }
 	}
-	return &Memory{
-		minLatency: minLatency,
-		maxLatency: maxLatency,
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = 160 * time.Millisecond
+	}
+	return &Memnet{
+		after:      after,
+		ownClock:   own,
+		ackTimeout: cfg.AckTimeout,
+		online:     cfg.Online,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		latency:    cfg.Latency,
+		drop:       cfg.Drop,
 		handlers:   make(map[ids.NodeID]Handler, 64),
-		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+		killed:     make(map[ids.NodeID]bool),
+		links:      make(map[[2]ids.NodeID]link),
 	}
 }
 
 // Register implements Transport.
-func (m *Memory) Register(self ids.NodeID, h Handler) error {
+func (m *Memnet) Register(self ids.NodeID, h Handler) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.handlers[self] = h
@@ -49,70 +129,245 @@ func (m *Memory) Register(self ids.NodeID, h Handler) error {
 }
 
 // Unregister implements Transport.
-func (m *Memory) Unregister(self ids.NodeID) {
+func (m *Memnet) Unregister(self ids.NodeID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	delete(m.handlers, self)
 }
 
-// Close implements Transport. In-flight deliveries are drained.
-func (m *Memory) Close() error {
+// Close implements Transport: further deliveries are suppressed, and
+// on the built-in wall clock in-flight deliveries are drained before
+// returning.
+func (m *Memnet) Close() error {
 	m.mu.Lock()
 	m.closed = true
 	m.handlers = make(map[ids.NodeID]Handler)
 	m.mu.Unlock()
-	m.wg.Wait()
+	if m.ownClock {
+		m.wg.Wait()
+	}
 	return nil
 }
 
-func (m *Memory) latency() time.Duration {
-	if m.maxLatency == 0 {
-		return 0
+// schedule defers fn on the memnet clock, tracking the callback on the
+// built-in wall clock so Close can drain it.
+func (m *Memnet) schedule(d time.Duration, fn func()) {
+	if !m.ownClock {
+		m.after(d, fn)
+		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	span := int64(m.maxLatency - m.minLatency)
-	if span <= 0 {
-		return m.minLatency
-	}
-	return m.minLatency + time.Duration(m.rng.Int63n(span+1))
+	m.wg.Add(1)
+	m.after(d, func() { defer m.wg.Done(); fn() })
 }
 
-// deliver looks up the target handler and invokes it after the
-// simulated latency. It reports whether the target was registered at
-// delivery time.
-func (m *Memory) deliver(from, to ids.NodeID, msg any) bool {
-	if d := m.latency(); d > 0 {
-		time.Sleep(d)
+// Kill makes a node unreachable (and its handler inert) until Restart —
+// the fault-injection face of a node crash. Unlike Unregister, the
+// node's registration survives, so Restart restores delivery without
+// the node's cooperation.
+func (m *Memnet) Kill(id ids.NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.killed[id] = true
+}
+
+// Restart lifts a Kill.
+func (m *Memnet) Restart(id ids.NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.killed, id)
+}
+
+// Partition splits the network into islands: traffic crosses island
+// boundaries only to be dropped. Nodes not named in any group share one
+// implicit extra island. Heal removes the partition.
+func (m *Memnet) Partition(groups ...[]ids.NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.islands = make(map[ids.NodeID]int, 64)
+	for g, group := range groups {
+		for _, id := range group {
+			m.islands[id] = g + 1
+		}
 	}
-	m.mu.RLock()
-	h, ok := m.handlers[to]
-	closed := m.closed
-	m.mu.RUnlock()
-	if !ok || closed {
+}
+
+// Heal removes any partition.
+func (m *Memnet) Heal() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.islands = nil
+}
+
+// SetLinkLatency overrides the latency distribution of the directed
+// link from→to (nil restores the global model).
+func (m *Memnet) SetLinkLatency(from, to ids.NodeID, fn LatencyFn) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := [2]ids.NodeID{from, to}
+	l := m.links[k]
+	l.latency = fn
+	m.setLink(k, l)
+}
+
+// SetLinkDrop overrides the drop probability of the directed link
+// from→to (negative restores the global probability).
+func (m *Memnet) SetLinkDrop(from, to ids.NodeID, p float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := [2]ids.NodeID{from, to}
+	l := m.links[k]
+	l.drop = p
+	l.hasDrop = p >= 0
+	m.setLink(k, l)
+}
+
+// setLink stores or clears a link overlay. Caller holds m.mu.
+func (m *Memnet) setLink(k [2]ids.NodeID, l link) {
+	if l.latency == nil && !l.hasDrop {
+		delete(m.links, k)
+		return
+	}
+	m.links[k] = l
+}
+
+// Stats returns a copy of the activity counters.
+func (m *Memnet) Stats() MemnetStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// plan samples one send's fate under the lock: its latency and whether
+// a fault (global or per-link drop) consumes it. Sampling happens at
+// send time in call order, which is what keeps runs deterministic.
+func (m *Memnet) plan(from, to ids.NodeID) (lat time.Duration, dropped bool) {
+	m.stats.Sent++
+	return m.sampleLatency(from, to), m.sampleDrop(from, to)
+}
+
+// sampleLatency draws one latency for the directed link from→to,
+// honoring a per-link override. Caller holds m.mu.
+func (m *Memnet) sampleLatency(from, to ids.NodeID) time.Duration {
+	latFn := m.latency
+	if l, ok := m.links[[2]ids.NodeID{from, to}]; ok && l.latency != nil {
+		latFn = l.latency
+	}
+	if latFn == nil {
+		return 0
+	}
+	return latFn(m.rng)
+}
+
+// sampleDrop decides whether a message on the directed link from→to is
+// consumed by a fault, honoring a per-link override. No RNG draw is
+// spent when the effective probability is zero, so fault-free runs keep
+// their random sequences. Caller holds m.mu.
+func (m *Memnet) sampleDrop(from, to ids.NodeID) bool {
+	p := m.drop
+	if l, ok := m.links[[2]ids.NodeID{from, to}]; ok && l.hasDrop {
+		p = l.drop
+	}
+	if p <= 0 {
 		return false
 	}
-	h(from, msg)
-	return true
+	return m.rng.Float64() < p
+}
+
+// handlerFor resolves the live handler for a delivery attempt: nil when
+// the target is unregistered, killed, partitioned away from the sender,
+// offline, or the memnet is closed. Caller holds m.mu.
+func (m *Memnet) handlerFor(from, to ids.NodeID) Handler {
+	if m.closed || m.killed[to] || m.killed[from] {
+		return nil
+	}
+	if m.islands != nil && m.islands[from] != m.islands[to] {
+		return nil
+	}
+	h, ok := m.handlers[to]
+	if !ok {
+		return nil
+	}
+	if m.online != nil && !m.online(to) {
+		return nil
+	}
+	return h
 }
 
 // Send implements Transport.
-func (m *Memory) Send(from, to ids.NodeID, msg any) {
-	m.wg.Add(1)
-	go func() {
-		defer m.wg.Done()
-		m.deliver(from, to, msg)
-	}()
+func (m *Memnet) Send(from, to ids.NodeID, msg any) {
+	m.mu.Lock()
+	lat, dropped := m.plan(from, to)
+	m.mu.Unlock()
+	m.schedule(lat, func() {
+		m.mu.Lock()
+		h := m.handlerFor(from, to)
+		if dropped {
+			h = nil
+		}
+		if h == nil {
+			m.stats.Dropped++
+		} else {
+			m.stats.Delivered++
+		}
+		m.mu.Unlock()
+		if h != nil {
+			h(from, msg)
+		}
+	})
 }
 
-// SendCall implements Transport.
-func (m *Memory) SendCall(from, to ids.NodeID, msg any, onResult func(ok bool)) {
-	m.wg.Add(1)
-	go func() {
-		defer m.wg.Done()
-		ok := m.deliver(from, to, msg)
-		if onResult != nil {
-			onResult(ok)
+// SendCall implements Transport: onResult(true) fires one round-trip
+// after sending when the target processed the message (the return leg
+// rides the reverse to→from link, honoring its overrides);
+// onResult(false) fires once the AckTimeout expires when it did not.
+// The callback is invoked exactly once either way.
+//
+// Failure detection mirrors sim.Network, the reference model the
+// engines are compared under: the nack fires at the later of AckTimeout
+// and the attempt's (possibly fault-inflated) one-way latency — a
+// link-latency override larger than the timeout delays detection with
+// it.
+func (m *Memnet) SendCall(from, to ids.NodeID, msg any, onResult func(ok bool)) {
+	m.mu.Lock()
+	out, dropped := m.plan(from, to)
+	back := m.sampleLatency(to, from)
+	backDropped := m.sampleDrop(to, from)
+	m.mu.Unlock()
+	m.schedule(out, func() {
+		m.mu.Lock()
+		h := m.handlerFor(from, to)
+		if dropped {
+			h = nil
 		}
-	}()
+		if h == nil {
+			m.stats.Dropped++
+		} else {
+			m.stats.Delivered++
+		}
+		m.mu.Unlock()
+		nack := func() {
+			wait := m.ackTimeout - out
+			if wait < 0 {
+				wait = 0
+			}
+			m.schedule(wait, func() { onResult(false) })
+		}
+		if h == nil {
+			if onResult != nil {
+				nack()
+			}
+			return
+		}
+		h(from, msg)
+		if onResult == nil {
+			return
+		}
+		if backDropped {
+			// The message arrived but its acknowledgment was lost: the
+			// sender can only conclude failure once the timeout expires.
+			nack()
+			return
+		}
+		m.schedule(back, func() { onResult(true) })
+	})
 }

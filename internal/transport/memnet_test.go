@@ -1,0 +1,236 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"avmem/internal/ids"
+	"avmem/internal/sim"
+)
+
+// virtualMemnet builds a memnet on a fresh virtual clock.
+func virtualMemnet(seed int64, cfg MemnetConfig) (*sim.World, *Memnet) {
+	w := sim.NewWorld(seed)
+	cfg.After = w.After
+	cfg.Seed = seed
+	return w, NewMemnet(cfg)
+}
+
+func TestMemnetVirtualDelivery(t *testing.T) {
+	w, m := virtualMemnet(1, MemnetConfig{
+		Latency: UniformLatencyFn(20*time.Millisecond, 80*time.Millisecond),
+	})
+	var gotAt time.Duration
+	if err := m.Register("b", func(from ids.NodeID, msg any) {
+		gotAt = w.Now()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m.Send("a", "b", sampleAnycast())
+	w.RunAll(0)
+	if gotAt < 20*time.Millisecond || gotAt > 80*time.Millisecond {
+		t.Errorf("delivered at %v, want within [20ms, 80ms]", gotAt)
+	}
+	st := m.Stats()
+	if st.Sent != 1 || st.Delivered != 1 || st.Dropped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMemnetDeterministicPerSeed(t *testing.T) {
+	record := func(seed int64) []time.Duration {
+		w, m := virtualMemnet(seed, MemnetConfig{
+			Latency: UniformLatencyFn(20*time.Millisecond, 80*time.Millisecond),
+		})
+		var times []time.Duration
+		if err := m.Register("b", func(ids.NodeID, any) {
+			times = append(times, w.Now())
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			m.Send("a", "b", sampleAnycast())
+		}
+		w.RunAll(0)
+		return times
+	}
+	a, b := record(7), record(7)
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("deliveries lost: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d at %v vs %v: same seed must replay identically", i, a[i], b[i])
+		}
+	}
+	c := record(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical latency sequences")
+	}
+}
+
+func TestMemnetKillRestart(t *testing.T) {
+	w, m := virtualMemnet(1, MemnetConfig{})
+	delivered := 0
+	if err := m.Register("b", func(ids.NodeID, any) { delivered++ }); err != nil {
+		t.Fatal(err)
+	}
+	m.Kill("b")
+	var ok1 *bool
+	m.SendCall("a", "b", sampleAnycast(), func(ok bool) { ok1 = &ok })
+	w.RunAll(0)
+	if delivered != 0 || ok1 == nil || *ok1 {
+		t.Fatalf("killed node reachable: delivered=%d ok=%v", delivered, ok1)
+	}
+	m.Restart("b")
+	var ok2 *bool
+	m.SendCall("a", "b", sampleAnycast(), func(ok bool) { ok2 = &ok })
+	w.RunAll(0)
+	if delivered != 1 || ok2 == nil || !*ok2 {
+		t.Fatalf("restarted node unreachable: delivered=%d ok=%v", delivered, ok2)
+	}
+}
+
+func TestMemnetPartitionHeal(t *testing.T) {
+	w, m := virtualMemnet(1, MemnetConfig{})
+	got := map[ids.NodeID]int{}
+	for _, id := range []ids.NodeID{"a", "b", "c"} {
+		id := id
+		if err := m.Register(id, func(ids.NodeID, any) { got[id]++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// {a} | {b}; c is in the implicit island of unlisted nodes.
+	m.Partition([]ids.NodeID{"a"}, []ids.NodeID{"b"})
+	m.Send("a", "b", sampleAnycast()) // cross-island: dropped
+	m.Send("b", "a", sampleAnycast()) // cross-island: dropped
+	m.Send("a", "c", sampleAnycast()) // cross-island: dropped
+	w.RunAll(0)
+	if got["a"]+got["b"]+got["c"] != 0 {
+		t.Fatalf("partitioned traffic delivered: %v", got)
+	}
+	m.Heal()
+	m.Send("a", "b", sampleAnycast())
+	m.Send("a", "c", sampleAnycast())
+	w.RunAll(0)
+	if got["b"] != 1 || got["c"] != 1 {
+		t.Fatalf("healed traffic lost: %v", got)
+	}
+}
+
+func TestMemnetLinkFaults(t *testing.T) {
+	w, m := virtualMemnet(1, MemnetConfig{})
+	delivered := map[ids.NodeID]int{}
+	for _, id := range []ids.NodeID{"b", "c"} {
+		id := id
+		if err := m.Register(id, func(ids.NodeID, any) { delivered[id]++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a→b always drops; a→c gets a fixed 1s latency.
+	m.SetLinkDrop("a", "b", 1)
+	m.SetLinkLatency("a", "c", func(*rand.Rand) time.Duration { return time.Second })
+	m.Send("a", "b", sampleAnycast())
+	m.Send("a", "c", sampleAnycast())
+	w.Run(500 * time.Millisecond)
+	if delivered["c"] != 0 {
+		t.Error("link latency override ignored: delivery arrived early")
+	}
+	w.RunAll(0)
+	if delivered["b"] != 0 {
+		t.Error("drop-1.0 link delivered")
+	}
+	if delivered["c"] != 1 {
+		t.Error("latency-overridden link lost the message")
+	}
+	// Clearing the overrides restores the (instantaneous) global model.
+	m.SetLinkDrop("a", "b", -1)
+	m.SetLinkLatency("a", "c", nil)
+	m.Send("a", "b", sampleAnycast())
+	w.RunAll(0)
+	if delivered["b"] != 1 {
+		t.Error("cleared drop override still dropping")
+	}
+}
+
+func TestMemnetAckRidesReverseLink(t *testing.T) {
+	w, m := virtualMemnet(1, MemnetConfig{})
+	if err := m.Register("b", func(ids.NodeID, any) {}); err != nil {
+		t.Fatal(err)
+	}
+	// Outbound a→b instantaneous; the ack's return leg b→a takes 1s.
+	m.SetLinkLatency("b", "a", func(*rand.Rand) time.Duration { return time.Second })
+	var ackAt time.Duration
+	m.SendCall("a", "b", sampleAnycast(), func(ok bool) {
+		if !ok {
+			t.Error("delivered call nacked")
+		}
+		ackAt = w.Now()
+	})
+	w.RunAll(0)
+	if ackAt != time.Second {
+		t.Errorf("ack arrived at %v, want 1s (reverse-link override)", ackAt)
+	}
+}
+
+func TestMemnetLostAckNacksAtTimeout(t *testing.T) {
+	w, m := virtualMemnet(1, MemnetConfig{AckTimeout: 160 * time.Millisecond})
+	delivered := 0
+	if err := m.Register("b", func(ids.NodeID, any) { delivered++ }); err != nil {
+		t.Fatal(err)
+	}
+	// The outbound a→b leg is clean; every ack on the reverse b→a link
+	// is lost. The message must arrive, yet the sender must conclude
+	// failure at the ack timeout.
+	m.SetLinkDrop("b", "a", 1)
+	var failedAt time.Duration
+	gotResult := false
+	m.SendCall("a", "b", sampleAnycast(), func(ok bool) {
+		if ok {
+			t.Error("lost ack reported success")
+		}
+		gotResult = true
+		failedAt = w.Now()
+	})
+	w.RunAll(0)
+	if delivered != 1 {
+		t.Fatalf("message not delivered: %d", delivered)
+	}
+	if !gotResult {
+		t.Fatal("onResult never fired")
+	}
+	if failedAt != 160*time.Millisecond {
+		t.Errorf("failure detected at %v, want the 160ms ack timeout", failedAt)
+	}
+}
+
+func TestMemnetOfflineTargetNacks(t *testing.T) {
+	online := true
+	w, m := virtualMemnet(1, MemnetConfig{
+		AckTimeout: 160 * time.Millisecond,
+		Online:     func(ids.NodeID) bool { return online },
+	})
+	if err := m.Register("b", func(ids.NodeID, any) {}); err != nil {
+		t.Fatal(err)
+	}
+	online = false
+	var failedAt time.Duration
+	m.SendCall("a", "b", sampleAnycast(), func(ok bool) {
+		if ok {
+			t.Error("offline target acknowledged")
+		}
+		failedAt = w.Now()
+	})
+	w.RunAll(0)
+	if failedAt != 160*time.Millisecond {
+		t.Errorf("failure detected at %v, want the 160ms ack timeout", failedAt)
+	}
+}

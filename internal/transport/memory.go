@@ -1,0 +1,129 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"avmem/internal/ids"
+)
+
+// Memory is the in-process wall-clock transport: all nodes live in one
+// process, messages hop between goroutines with an optional simulated
+// latency. It is safe for concurrent use. The zero value is not usable;
+// create with NewMemory or NewMemorySeeded.
+//
+// Memory trades determinism for realism — deliveries ride real
+// goroutines and real timers. For reproducible in-process clusters use
+// Memnet, which schedules deliveries on an injected (virtual) clock.
+type Memory struct {
+	minLatency time.Duration
+	maxLatency time.Duration
+
+	mu       sync.RWMutex
+	handlers map[ids.NodeID]Handler
+	rng      *rand.Rand
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+var _ Transport = (*Memory)(nil)
+
+// NewMemory creates an in-process transport with per-message latency
+// drawn uniformly from [minLatency, maxLatency] (both zero disables
+// artificial latency). The latency jitter is seeded from the wall
+// clock; use NewMemorySeeded when runs must be comparable.
+func NewMemory(minLatency, maxLatency time.Duration) *Memory {
+	return NewMemorySeeded(minLatency, maxLatency, time.Now().UnixNano())
+}
+
+// NewMemorySeeded is NewMemory with injected latency-jitter randomness
+// instead of ambient wall-clock state.
+func NewMemorySeeded(minLatency, maxLatency time.Duration, seed int64) *Memory {
+	if maxLatency < minLatency {
+		maxLatency = minLatency
+	}
+	return &Memory{
+		minLatency: minLatency,
+		maxLatency: maxLatency,
+		handlers:   make(map[ids.NodeID]Handler, 64),
+		rng:        rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Register implements Transport.
+func (m *Memory) Register(self ids.NodeID, h Handler) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers[self] = h
+	return nil
+}
+
+// Unregister implements Transport.
+func (m *Memory) Unregister(self ids.NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.handlers, self)
+}
+
+// Close implements Transport. In-flight deliveries are drained.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	m.handlers = make(map[ids.NodeID]Handler)
+	m.mu.Unlock()
+	m.wg.Wait()
+	return nil
+}
+
+func (m *Memory) latency() time.Duration {
+	if m.maxLatency == 0 {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	span := int64(m.maxLatency - m.minLatency)
+	if span <= 0 {
+		return m.minLatency
+	}
+	return m.minLatency + time.Duration(m.rng.Int63n(span+1))
+}
+
+// deliver looks up the target handler and invokes it after the
+// simulated latency. It reports whether the target was registered at
+// delivery time.
+func (m *Memory) deliver(from, to ids.NodeID, msg any) bool {
+	if d := m.latency(); d > 0 {
+		time.Sleep(d)
+	}
+	m.mu.RLock()
+	h, ok := m.handlers[to]
+	closed := m.closed
+	m.mu.RUnlock()
+	if !ok || closed {
+		return false
+	}
+	h(from, msg)
+	return true
+}
+
+// Send implements Transport.
+func (m *Memory) Send(from, to ids.NodeID, msg any) {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.deliver(from, to, msg)
+	}()
+}
+
+// SendCall implements Transport.
+func (m *Memory) SendCall(from, to ids.NodeID, msg any, onResult func(ok bool)) {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		ok := m.deliver(from, to, msg)
+		if onResult != nil {
+			onResult(ok)
+		}
+	}()
+}

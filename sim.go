@@ -39,16 +39,23 @@ type SimConfig struct {
 	ProtocolPeriod time.Duration
 	// Trace overrides the synthetic churn trace entirely.
 	Trace *Trace
+	// Backend selects the execution engine: "sim" (default) runs the
+	// virtual-time simulator's deployment engine; "memnet" runs real
+	// live-runtime nodes on a deterministic in-process network, on the
+	// same virtual clock. The API is identical on both.
+	Backend string
 }
 
 // AutoInitiator asks the simulation to pick a random online initiator.
 const AutoInitiator = NodeID("")
 
-// Sim is a simulated AVMEM deployment: the whole population, its churn,
-// membership maintenance, and operations, on a deterministic virtual
-// clock. Sim is not safe for concurrent use.
+// Sim is a deterministic AVMEM deployment on a virtual clock: the whole
+// population, its churn, membership maintenance, and operations —
+// executed by the simulator's deployment engine or, with the "memnet"
+// backend, by real live-runtime nodes over an in-process network. Sim
+// is not safe for concurrent use.
 type Sim struct {
-	w *exp.World
+	w exp.Deployment
 }
 
 // NewSim assembles a simulated deployment at virtual time zero. Call
@@ -76,7 +83,7 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 			return nil, fmt.Errorf("avmem: generating churn trace: %w", err)
 		}
 	}
-	w, err := exp.NewWorld(exp.WorldConfig{
+	wc := exp.WorldConfig{
 		Seed:               cfg.Seed,
 		Trace:              tr,
 		Epsilon:            cfg.Epsilon,
@@ -88,9 +95,10 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 		MonitorStaleness:   cfg.MonitorStaleness,
 		DistributedMonitor: cfg.DistributedMonitor,
 		ProtocolPeriod:     cfg.ProtocolPeriod,
-	})
+	}
+	w, err := exp.NewDeployment(cfg.Backend, wc)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("avmem: %w", err)
 	}
 	return &Sim{w: w}, nil
 }
@@ -102,7 +110,7 @@ func (s *Sim) Warmup(d time.Duration) { s.w.Warmup(d) }
 func (s *Sim) RunFor(d time.Duration) { s.w.RunFor(d) }
 
 // Now returns the current virtual time.
-func (s *Sim) Now() time.Duration { return s.w.Sim.Now() }
+func (s *Sim) Now() time.Duration { return s.w.Now() }
 
 // Nodes returns every node identity in the deployment.
 func (s *Sim) Nodes() []NodeID { return s.w.Hosts() }
@@ -160,19 +168,20 @@ func (s *Sim) Anycast(from NodeID, target Target, opts AnycastOptions) (AnycastR
 	if err != nil {
 		return AnycastRecord{}, err
 	}
-	id, err := s.w.Router(initiator).Anycast(target, opts)
+	id, err := s.w.Anycast(initiator, target, opts)
 	if err != nil {
 		return AnycastRecord{}, err
 	}
-	deadline := s.w.Sim.Now() + opHorizon
-	for s.w.Sim.Now() < deadline {
+	col := s.w.Collector()
+	deadline := s.w.Now() + opHorizon
+	for s.w.Now() < deadline {
 		s.w.RunFor(time.Second)
-		rec, ok := s.w.Col.Anycast(id)
+		rec, ok := col.Anycast(id)
 		if ok && rec.Outcome != ops.OutcomePending {
 			return *rec, nil
 		}
 	}
-	rec, _ := s.w.Col.Anycast(id)
+	rec, _ := col.Anycast(id)
 	return *rec, nil
 }
 
@@ -186,7 +195,7 @@ func (s *Sim) Multicast(from NodeID, target Target, opts MulticastOptions) (Mult
 		return MulticastRecord{}, err
 	}
 	opts.Eligible = s.w.EligibleFor(target)
-	id, err := s.w.Router(initiator).Multicast(target, opts)
+	id, err := s.w.Multicast(initiator, target, opts)
 	if err != nil {
 		return MulticastRecord{}, err
 	}
@@ -195,7 +204,7 @@ func (s *Sim) Multicast(from NodeID, target Target, opts MulticastOptions) (Mult
 		settle += time.Duration(opts.Rounds+4) * opts.Period
 	}
 	s.w.RunFor(settle)
-	rec, ok := s.w.Col.Multicast(id)
+	rec, ok := s.w.Collector().Multicast(id)
 	if !ok {
 		return MulticastRecord{}, fmt.Errorf("avmem: multicast record vanished")
 	}
@@ -204,7 +213,7 @@ func (s *Sim) Multicast(from NodeID, target Target, opts MulticastOptions) (Mult
 
 func (s *Sim) resolveInitiator(from NodeID) (NodeID, error) {
 	if from != AutoInitiator {
-		if s.w.Router(from) == nil {
+		if s.w.Membership(from) == nil {
 			return ids.Nil, fmt.Errorf("avmem: unknown node %q", from)
 		}
 		return from, nil
