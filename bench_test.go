@@ -442,6 +442,50 @@ func BenchmarkScenarioMemnet600Hosts(b *testing.B) {
 	b.ReportMetric(delivered, "delivered")
 }
 
+// BenchmarkScenarioEclipse600Hosts runs a full adversary-and-audit
+// scenario — 600 hosts, a 22% eclipse + selective-forwarding cohort,
+// every node auditing — end to end on the simulator engine: the cost
+// of the Byzantine machinery (behavior interception, claim stamping,
+// per-message audit checks, blacklist filtering) on top of the honest
+// protocol.
+func BenchmarkScenarioEclipse600Hosts(b *testing.B) {
+	spec := &scenario.Spec{
+		Name: "bench-eclipse-600",
+		Seed: 1,
+		Fleet: scenario.Fleet{
+			Hosts:          600,
+			Days:           1,
+			ProtocolPeriod: scenario.Duration(2 * time.Minute),
+			Audit:          &scenario.AuditSpec{},
+		},
+		Adversaries: &scenario.AdversariesSpec{
+			Fraction:  0.22,
+			BandLo:    0.3,
+			BandHi:    0.8,
+			Behaviors: []string{"eclipse", "selective-forward"},
+			DropRate:  0.6,
+		},
+		Warmup: scenario.Duration(3 * time.Hour),
+		Events: []scenario.Event{
+			{At: 0, Adversary: &scenario.AdversaryEvent{Active: true}},
+			{At: scenario.Duration(2 * time.Hour), BiasProbe: &scenario.BiasProbe{}},
+			{At: scenario.Duration(2*time.Hour + 2*time.Minute), AnycastBatch: &scenario.AnycastBatch{
+				Count: 30, BandLo: 0.66, BandHi: 1.01, TargetLo: 0.85, TargetHi: 0.95}},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var evicted float64
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.Run(spec, scenario.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		evicted = res.Metrics["audit_eviction_rate"]
+	}
+	b.ReportMetric(evicted, "evicted")
+}
+
 // --- Ablations -----------------------------------------------------------
 
 // BenchmarkAblationEpsilon sweeps the horizontal sliver half-width: a

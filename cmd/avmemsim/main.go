@@ -99,17 +99,30 @@ func runScenario(args []string, out io.Writer) error {
 	return nil
 }
 
-// validateScenario checks a scenario file without building the world.
+// validateScenario checks scenario files without building the world.
+// Unlike `run`, it reports every spec error at once — each with its key
+// path and source line — and exits non-zero with a summary count.
 func validateScenario(args []string, out io.Writer) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: avmemsim validate <scenario.json>")
+	if len(args) == 0 {
+		return fmt.Errorf("usage: avmemsim validate <scenario.json> [more.json ...]")
 	}
-	spec, err := scenario.LoadFile(args[0])
-	if err != nil {
-		return err
+	total, bad := 0, 0
+	for _, path := range args {
+		spec, problems := scenario.LoadFileAll(path)
+		if len(problems) == 0 {
+			fmt.Fprintf(out, "scenario %q valid: %d event(s), %d assertion(s)\n",
+				spec.Name, len(spec.Events), len(spec.Assertions))
+			continue
+		}
+		total += len(problems)
+		bad++
+		for _, p := range problems {
+			fmt.Fprintf(out, "%s: %s\n", path, p)
+		}
 	}
-	fmt.Fprintf(out, "scenario %q valid: %d event(s), %d assertion(s)\n",
-		spec.Name, len(spec.Events), len(spec.Assertions))
+	if total > 0 {
+		return fmt.Errorf("validate: %d error(s) in %d of %d file(s)", total, bad, len(args))
+	}
 	return nil
 }
 

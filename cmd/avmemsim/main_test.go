@@ -211,3 +211,67 @@ func TestCheckedInScenariosValidate(t *testing.T) {
 		t.Errorf("expected at least 3 checked-in scenarios, found %d", found)
 	}
 }
+
+// TestValidateReportsAllErrors: the validate subcommand collects every
+// spec problem — each with its key path and source line — and exits
+// non-zero with a summary count, instead of stopping at the first.
+func TestValidateReportsAllErrors(t *testing.T) {
+	body := `{
+  "name": "",
+  "fleet": {
+    "hosts": 4
+  },
+  "adversaries": {
+    "fraction": 0.9,
+    "behaviors": ["psychic"]
+  },
+  "events": [
+    {
+      "at": "0s",
+      "churn_burst": { "fraction": 2, "duration": "5m" }
+    }
+  ],
+  "assertions": [
+    { "metric": "vibes", "min": 1 }
+  ]
+}`
+	path := writeScenario(t, body)
+	var out strings.Builder
+	err := run([]string{"validate", path}, &out)
+	if err == nil {
+		t.Fatal("invalid scenario validated")
+	}
+	if !strings.Contains(err.Error(), "6 error(s)") {
+		t.Errorf("summary %q does not count all 6 errors", err.Error())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"line 2: name:",
+		"line 4: fleet.hosts:",
+		"line 7: adversaries.fraction:",
+		`line 8: adversaries.behaviors[0]: unknown behavior "psychic"`,
+		"line 13: events[0].churn_burst.fraction:",
+		"line 17: assertions[0].metric:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("validate output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestValidateMultipleFiles: several files in one invocation, valid
+// ones reported as such and the bad one failing the run.
+func TestValidateMultipleFiles(t *testing.T) {
+	good := writeScenario(t, tinyScenario)
+	bad := writeScenario(t, `{"name": "x"}`)
+	var out strings.Builder
+	if err := run([]string{"validate", good, bad}, &out); err == nil {
+		t.Fatal("bad file in the batch validated")
+	}
+	if !strings.Contains(out.String(), "cli-tiny") {
+		t.Errorf("valid file not reported:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "events") {
+		t.Errorf("bad file's problem not reported:\n%s", out.String())
+	}
+}

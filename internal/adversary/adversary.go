@@ -1,0 +1,436 @@
+// Package adversary injects Byzantine participants into an AVMEM
+// deployment. A Behavior describes one way a node misbehaves; Wrap
+// interposes it between the node's protocol logic and its runtime.Env,
+// so the exact same node code — on the virtual-time simulator or the
+// live memnet runtime — transparently lies, drops, and biases on the
+// wire while believing itself honest. Behaviors compose through Mix and
+// are switched on and off at run time (scenario onset/offset events)
+// through a shared Switch; every randomized decision draws from the
+// behavior's private, per-seed RNG stream, so adversarial runs stay
+// bit-deterministic per seed and honest nodes' randomness is untouched.
+//
+// The built-in behaviors model the non-cooperative participants the
+// paper (and the MPO/Avatar lines of related work) argue overlays must
+// survive: availability inflation (lying about one's availability in
+// membership and operation exchanges), eclipse-biased discovery
+// (poisoning coarse-view exchanges with the adversary cohort), selective
+// forwarding (black-holing relayed management operations while
+// acknowledging receipt), and free-riding (ignoring shuffle duties).
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"avmem/internal/ids"
+	"avmem/internal/ops"
+	"avmem/internal/runtime"
+	"avmem/internal/shuffle"
+	"avmem/internal/transport"
+)
+
+// Decision is a behavior's verdict on one outbound message.
+type Decision struct {
+	// Msg is the message to send, possibly rewritten.
+	Msg any
+	// Drop suppresses the send entirely.
+	Drop bool
+	// FakeAck, with Drop on an acknowledged send, reports success to the
+	// sender anyway — the black-hole that defeats retry failover.
+	FakeAck bool
+	// Delay defers the send (selective delaying rather than dropping).
+	Delay time.Duration
+}
+
+// Behavior is one node's misbehavior. Methods are called on the
+// engine's callback thread (the owning Env serializes them); behaviors
+// must draw randomness only from their own stream.
+type Behavior interface {
+	// Name identifies the behavior in reports.
+	Name() string
+	// Outbound intercepts one outbound message.
+	Outbound(to ids.NodeID, msg any) Decision
+	// Inbound intercepts one delivered message; false swallows it (the
+	// node never sees it).
+	Inbound(from ids.NodeID, msg any) bool
+}
+
+// Switch toggles a behavior mix at run time — the scenario engine's
+// adversary onset/offset events flip it. Safe for concurrent use (the
+// live engine's transports deliver on their own goroutines).
+type Switch struct{ on atomic.Bool }
+
+// NewSwitch returns a switch in the given initial state.
+func NewSwitch(active bool) *Switch {
+	s := &Switch{}
+	s.on.Store(active)
+	return s
+}
+
+// Set flips the switch.
+func (s *Switch) Set(active bool) { s.on.Store(active) }
+
+// Active reports the current state.
+func (s *Switch) Active() bool { return s.on.Load() }
+
+// Mix composes behaviors behind one Switch: while the switch is off the
+// mix is a perfect passthrough; while on, each behavior inspects the
+// (possibly already rewritten) message in order, and any drop wins.
+// Mix also records whether the node ever emitted traffic while armed —
+// the "engaged" denominator detection metrics use (a node offline for
+// an entire attack never misbehaved and cannot be observed, let alone
+// evicted).
+type Mix struct {
+	sw        *Switch
+	behaviors []Behavior
+	engaged   atomic.Bool
+}
+
+var _ Behavior = (*Mix)(nil)
+
+// NewMix builds a composite behavior. sw may be nil (always active).
+func NewMix(sw *Switch, behaviors ...Behavior) *Mix {
+	return &Mix{sw: sw, behaviors: behaviors}
+}
+
+// Name implements Behavior.
+func (m *Mix) Name() string {
+	name := "mix("
+	for i, b := range m.behaviors {
+		if i > 0 {
+			name += "+"
+		}
+		name += b.Name()
+	}
+	return name + ")"
+}
+
+// active reports whether the mix currently misbehaves.
+func (m *Mix) active() bool { return m.sw == nil || m.sw.Active() }
+
+// Engaged reports whether the node sent any message while armed.
+func (m *Mix) Engaged() bool { return m.engaged.Load() }
+
+// Outbound implements Behavior.
+func (m *Mix) Outbound(to ids.NodeID, msg any) Decision {
+	d := Decision{Msg: msg}
+	if !m.active() {
+		return d
+	}
+	m.engaged.Store(true)
+	for _, b := range m.behaviors {
+		next := b.Outbound(to, d.Msg)
+		if next.Msg != nil {
+			d.Msg = next.Msg
+		}
+		d.Drop = d.Drop || next.Drop
+		d.FakeAck = d.FakeAck || next.FakeAck
+		if next.Delay > d.Delay {
+			d.Delay = next.Delay
+		}
+	}
+	return d
+}
+
+// Inbound implements Behavior.
+func (m *Mix) Inbound(from ids.NodeID, msg any) bool {
+	if !m.active() {
+		return true
+	}
+	for _, b := range m.behaviors {
+		if !b.Inbound(from, msg) {
+			return false
+		}
+	}
+	return true
+}
+
+// Inflate lies about the node's availability: every availability claim
+// on outbound protocol traffic — operation forwards and coarse-view
+// exchanges — is rewritten to To (MPO-style self-promotion: a
+// low-availability node posing as a stable one).
+type Inflate struct {
+	// To is the claimed availability (e.g. 0.98).
+	To float64
+}
+
+var _ Behavior = Inflate{}
+
+// Name implements Behavior.
+func (i Inflate) Name() string { return "inflate" }
+
+// Outbound implements Behavior.
+func (i Inflate) Outbound(_ ids.NodeID, msg any) Decision {
+	switch m := msg.(type) {
+	case ops.AnycastMsg:
+		m.SenderAvail = i.To
+		return Decision{Msg: m}
+	case ops.MulticastMsg:
+		m.SenderAvail = i.To
+		return Decision{Msg: m}
+	case shuffle.Request:
+		m.SenderAvail = i.To
+		return Decision{Msg: m}
+	case shuffle.Reply:
+		m.SenderAvail = i.To
+		return Decision{Msg: m}
+	}
+	return Decision{Msg: msg}
+}
+
+// Inbound implements Behavior.
+func (i Inflate) Inbound(ids.NodeID, any) bool { return true }
+
+// Eclipse poisons coarse-view exchanges: every outbound shuffle message
+// advertises the adversary cohort instead of an honest sample, and
+// replies lead with the sender itself — the self-promotion that drags
+// the whole population's discovery toward the colluders.
+type Eclipse struct {
+	self      ids.NodeID
+	colluders []ids.NodeID
+	// mu guards rng: on a live transport the inbound reply path and the
+	// gated discovery tick intercept outbound messages from different
+	// goroutines (virtual engines are single-threaded; the lock is
+	// uncontended there and does not affect determinism).
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+var _ Behavior = (*Eclipse)(nil)
+
+// NewEclipse builds the view-poisoning behavior for self, pushing the
+// colluder cohort (self may appear in it; it is skipped when sampling).
+func NewEclipse(self ids.NodeID, colluders []ids.NodeID, seed int64) *Eclipse {
+	return &Eclipse{self: self, colluders: colluders, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Behavior.
+func (e *Eclipse) Name() string { return "eclipse" }
+
+// poison builds a poisoned entry list of roughly the honest offer's
+// size: fresh (age-0) colluder entries, which win every merge-pressure
+// comparison, plus a fresh self-entry.
+func (e *Eclipse) poison(to ids.NodeID, n int) []shuffle.Entry {
+	if n < 1 {
+		n = 1
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]shuffle.Entry, 0, n)
+	out = append(out, shuffle.Entry{ID: e.self})
+	if len(e.colluders) > 0 {
+		for _, i := range e.rng.Perm(len(e.colluders)) {
+			if len(out) >= n {
+				break
+			}
+			c := e.colluders[i]
+			if c == e.self || c == to {
+				continue
+			}
+			out = append(out, shuffle.Entry{ID: c})
+		}
+	}
+	return out
+}
+
+// Outbound implements Behavior.
+func (e *Eclipse) Outbound(to ids.NodeID, msg any) Decision {
+	switch m := msg.(type) {
+	case shuffle.Request:
+		m.Entries = e.poison(to, len(m.Entries))
+		return Decision{Msg: m}
+	case shuffle.Reply:
+		m.Entries = e.poison(to, len(m.Entries))
+		return Decision{Msg: m}
+	}
+	return Decision{Msg: msg}
+}
+
+// Inbound implements Behavior.
+func (e *Eclipse) Inbound(ids.NodeID, any) bool { return true }
+
+// SelectiveForward black-holes relayed management operations: an
+// operation message this node did not originate is dropped with
+// probability Rate — while acknowledging receipt, so the sender's
+// retried-greedy failover never fires. Own operations are forwarded
+// faithfully (the selfish node still wants its own traffic served).
+type SelectiveForward struct {
+	self ids.NodeID
+	rate float64
+	// mu guards rng (see Eclipse.mu).
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+var _ Behavior = (*SelectiveForward)(nil)
+
+// NewSelectiveForward builds the relay black hole for self.
+func NewSelectiveForward(self ids.NodeID, rate float64, seed int64) *SelectiveForward {
+	return &SelectiveForward{self: self, rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Behavior.
+func (s *SelectiveForward) Name() string { return "selective-forward" }
+
+// Outbound implements Behavior.
+func (s *SelectiveForward) Outbound(_ ids.NodeID, msg any) Decision {
+	var origin ids.NodeID
+	switch m := msg.(type) {
+	case ops.AnycastMsg:
+		origin = m.ID.Origin
+	case ops.MulticastMsg:
+		origin = m.ID.Origin
+	default:
+		return Decision{Msg: msg}
+	}
+	if origin == s.self {
+		return Decision{Msg: msg}
+	}
+	s.mu.Lock()
+	keep := s.rng.Float64() >= s.rate
+	s.mu.Unlock()
+	if keep {
+		return Decision{Msg: msg}
+	}
+	return Decision{Msg: msg, Drop: true, FakeAck: true}
+}
+
+// Inbound implements Behavior.
+func (s *SelectiveForward) Inbound(ids.NodeID, any) bool { return true }
+
+// FreeRide shirks membership duties: inbound shuffle requests are
+// ignored (no reply is ever produced), saving the node its share of the
+// overlay's maintenance traffic.
+type FreeRide struct{}
+
+var _ Behavior = FreeRide{}
+
+// Name implements Behavior.
+func (FreeRide) Name() string { return "free-ride" }
+
+// Outbound implements Behavior.
+func (FreeRide) Outbound(_ ids.NodeID, msg any) Decision { return Decision{Msg: msg} }
+
+// Inbound implements Behavior.
+func (FreeRide) Inbound(_ ids.NodeID, msg any) bool {
+	_, isReq := msg.(shuffle.Request)
+	return !isReq
+}
+
+// wrapped interposes a Behavior between protocol logic and the host
+// environment. It implements runtime.Stopper unconditionally,
+// forwarding to the inner Env when it stops.
+type wrapped struct {
+	runtime.Env
+	b Behavior
+}
+
+// Wrap returns env with every outbound message passing through b's
+// Outbound hook and every delivered message through its Inbound hook. A
+// nil behavior returns env unchanged. The wrapper preserves the
+// Stopper contract of the underlying Env.
+func Wrap(env runtime.Env, b Behavior) runtime.Env {
+	if b == nil {
+		return env
+	}
+	return &wrapped{Env: env, b: b}
+}
+
+// Send implements runtime.Env.
+func (w *wrapped) Send(to ids.NodeID, msg any) {
+	d := w.b.Outbound(to, msg)
+	if d.Drop {
+		return
+	}
+	if d.Delay > 0 {
+		w.Env.After(d.Delay, func() { w.Env.Send(to, d.Msg) })
+		return
+	}
+	w.Env.Send(to, d.Msg)
+}
+
+// SendCall implements runtime.Env.
+func (w *wrapped) SendCall(to ids.NodeID, msg any, onResult func(ok bool)) {
+	d := w.b.Outbound(to, msg)
+	if d.Drop {
+		if onResult != nil {
+			// The verdict arrives asynchronously, like a real ack/nack.
+			w.Env.After(0, func() { onResult(d.FakeAck) })
+		}
+		return
+	}
+	if d.Delay > 0 {
+		w.Env.After(d.Delay, func() { w.Env.SendCall(to, d.Msg, onResult) })
+		return
+	}
+	w.Env.SendCall(to, d.Msg, onResult)
+}
+
+// Register implements runtime.Env: the inbound handler is filtered
+// through the behavior.
+func (w *wrapped) Register(h transport.Handler) error {
+	return w.Env.Register(func(from ids.NodeID, msg any) {
+		if !w.b.Inbound(from, msg) {
+			return
+		}
+		h(from, msg)
+	})
+}
+
+// Stop implements runtime.Stopper.
+func (w *wrapped) Stop() {
+	if s, ok := w.Env.(runtime.Stopper); ok {
+		s.Stop()
+	}
+}
+
+// Profile is the declarative per-node behavior assignment the
+// deployment engines build from a scenario's adversary block.
+type Profile struct {
+	// InflateTo, when positive, adds availability inflation claiming
+	// this value.
+	InflateTo float64
+	// Eclipse adds coarse-view poisoning toward the colluder cohort.
+	Eclipse bool
+	// DropRate, when positive, adds selective forwarding at this rate.
+	DropRate float64
+	// FreeRide adds shuffle-duty shirking.
+	FreeRide bool
+}
+
+// Empty reports whether the profile assigns no behavior at all.
+func (p Profile) Empty() bool {
+	return p.InflateTo <= 0 && !p.Eclipse && p.DropRate <= 0 && !p.FreeRide
+}
+
+// Build assembles the composite behavior for one adversary node. seed
+// is the node's private stream; colluders is the full adversary cohort;
+// sw gates activation (may be nil for always-on).
+func (p Profile) Build(self ids.NodeID, colluders []ids.NodeID, seed int64, sw *Switch) (Behavior, error) {
+	if p.Empty() {
+		return nil, fmt.Errorf("adversary: empty profile for %s", self)
+	}
+	var bs []Behavior
+	if p.InflateTo > 0 {
+		if p.InflateTo > 1 {
+			return nil, fmt.Errorf("adversary: InflateTo must be in (0,1], got %v", p.InflateTo)
+		}
+		bs = append(bs, Inflate{To: p.InflateTo})
+	}
+	if p.Eclipse {
+		bs = append(bs, NewEclipse(self, colluders, seed))
+	}
+	if p.DropRate > 0 {
+		if p.DropRate > 1 {
+			return nil, fmt.Errorf("adversary: DropRate must be in (0,1], got %v", p.DropRate)
+		}
+		bs = append(bs, NewSelectiveForward(self, p.DropRate, seed+1))
+	}
+	if p.FreeRide {
+		bs = append(bs, FreeRide{})
+	}
+	return NewMix(sw, bs...), nil
+}

@@ -1,0 +1,211 @@
+package adversary
+
+import (
+	"testing"
+	"time"
+
+	"avmem/internal/ids"
+	"avmem/internal/ops"
+	"avmem/internal/runtime"
+	"avmem/internal/shuffle"
+	"avmem/internal/sim"
+	"avmem/internal/transport"
+)
+
+func TestInflateRewritesClaims(t *testing.T) {
+	b := Inflate{To: 0.98}
+	cases := []any{
+		ops.AnycastMsg{SenderAvail: 0.3},
+		ops.MulticastMsg{SenderAvail: 0.3},
+		shuffle.Request{SenderAvail: 0.3},
+		shuffle.Reply{SenderAvail: 0.3},
+	}
+	for _, msg := range cases {
+		d := b.Outbound("peer", msg)
+		var got float64
+		switch m := d.Msg.(type) {
+		case ops.AnycastMsg:
+			got = m.SenderAvail
+		case ops.MulticastMsg:
+			got = m.SenderAvail
+		case shuffle.Request:
+			got = m.SenderAvail
+		case shuffle.Reply:
+			got = m.SenderAvail
+		}
+		if got != 0.98 {
+			t.Errorf("%T: claim %v, want 0.98", msg, got)
+		}
+		if d.Drop {
+			t.Errorf("%T: inflate dropped the message", msg)
+		}
+	}
+	// Non-claim traffic passes untouched.
+	d := b.Outbound("peer", ops.DeliveredMsg{Hops: 2})
+	if m, ok := d.Msg.(ops.DeliveredMsg); !ok || m.Hops != 2 {
+		t.Errorf("unrelated message rewritten: %#v", d.Msg)
+	}
+}
+
+func TestEclipsePoisonsShuffleTraffic(t *testing.T) {
+	colluders := []ids.NodeID{"adv1", "adv2", "adv3", "self"}
+	b := NewEclipse("self", colluders, 7)
+	honest := []shuffle.Entry{{ID: "h1", Age: 3}, {ID: "h2", Age: 1}, {ID: "h3"}}
+	d := b.Outbound("victim", shuffle.Reply{Entries: honest})
+	reply := d.Msg.(shuffle.Reply)
+	if len(reply.Entries) == 0 || reply.Entries[0].ID != "self" {
+		t.Fatalf("poisoned reply does not lead with self: %v", reply.Entries)
+	}
+	isColluder := map[ids.NodeID]bool{"adv1": true, "adv2": true, "adv3": true, "self": true}
+	for _, e := range reply.Entries {
+		if !isColluder[e.ID] {
+			t.Errorf("poisoned reply contains non-colluder %s", e.ID)
+		}
+		if e.ID == "victim" {
+			t.Errorf("poisoned reply targets the recipient itself")
+		}
+		if e.Age != 0 {
+			t.Errorf("poisoned entry %s has age %d, want 0 (maximally fresh)", e.ID, e.Age)
+		}
+	}
+	// Determinism per seed.
+	b2 := NewEclipse("self", colluders, 7)
+	d2 := b2.Outbound("victim", shuffle.Reply{Entries: honest})
+	r2 := d2.Msg.(shuffle.Reply)
+	if len(r2.Entries) != len(reply.Entries) {
+		t.Fatalf("same seed produced different poison: %v vs %v", reply.Entries, r2.Entries)
+	}
+	for i := range r2.Entries {
+		if r2.Entries[i].ID != reply.Entries[i].ID {
+			t.Fatalf("same seed produced different poison order")
+		}
+	}
+}
+
+func TestSelectiveForwardDropsOnlyRelays(t *testing.T) {
+	b := NewSelectiveForward("self", 1.0, 1) // always drop relays
+	own := ops.AnycastMsg{ID: ops.MsgID{Origin: "self", Seq: 1}}
+	if d := b.Outbound("peer", own); d.Drop {
+		t.Fatal("own operation dropped")
+	}
+	relay := ops.AnycastMsg{ID: ops.MsgID{Origin: "other", Seq: 1}}
+	d := b.Outbound("peer", relay)
+	if !d.Drop || !d.FakeAck {
+		t.Fatalf("relay not black-holed: %+v", d)
+	}
+	if d2 := b.Outbound("peer", shuffle.Request{}); d2.Drop {
+		t.Fatal("shuffle traffic dropped by selective forwarding")
+	}
+}
+
+func TestFreeRideIgnoresShuffleRequests(t *testing.T) {
+	b := FreeRide{}
+	if b.Inbound("peer", shuffle.Request{}) {
+		t.Fatal("free-rider answered a shuffle request")
+	}
+	if !b.Inbound("peer", shuffle.Reply{}) || !b.Inbound("peer", ops.AnycastMsg{}) {
+		t.Fatal("free-rider dropped non-request traffic")
+	}
+}
+
+func TestMixSwitchGatesBehaviors(t *testing.T) {
+	sw := NewSwitch(false)
+	m := NewMix(sw, Inflate{To: 0.98}, FreeRide{})
+	relay := ops.AnycastMsg{SenderAvail: 0.3}
+	if d := m.Outbound("peer", relay); d.Msg.(ops.AnycastMsg).SenderAvail != 0.3 {
+		t.Fatal("dormant mix rewrote traffic")
+	}
+	if !m.Inbound("peer", shuffle.Request{}) {
+		t.Fatal("dormant mix dropped inbound traffic")
+	}
+	if m.Engaged() {
+		t.Fatal("dormant mix reported engagement")
+	}
+	sw.Set(true)
+	if d := m.Outbound("peer", relay); d.Msg.(ops.AnycastMsg).SenderAvail != 0.98 {
+		t.Fatal("armed mix did not rewrite traffic")
+	}
+	if m.Inbound("peer", shuffle.Request{}) {
+		t.Fatal("armed free-riding mix answered a request")
+	}
+	if !m.Engaged() {
+		t.Fatal("armed mix did not report engagement")
+	}
+}
+
+// TestWrapInterceptsEnv drives a wrapped virtual Env end to end: sends
+// pass through the behavior, fake acks arrive asynchronously, and the
+// registered handler is filtered.
+func TestWrapInterceptsEnv(t *testing.T) {
+	w := sim.NewWorld(1)
+	net := transport.NewMemnet(transport.MemnetConfig{After: w.After, Seed: 2})
+	env, err := runtime.NewVirtual(runtime.VirtualConfig{
+		Self: "adv", Scheduler: w, Fabric: net, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := NewSwitch(true)
+	wrapped := Wrap(env, NewMix(sw,
+		NewSelectiveForward("adv", 1.0, 4), Inflate{To: 0.9}))
+
+	// A peer records what actually crosses the fabric.
+	var got []any
+	peerEnv, err := runtime.NewVirtual(runtime.VirtualConfig{
+		Self: "peer", Scheduler: w, Fabric: net, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := peerEnv.Register(func(from ids.NodeID, msg any) { got = append(got, msg) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := wrapped.Register(func(from ids.NodeID, msg any) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A relayed operation is black-holed with a fake ack.
+	acked := false
+	wrapped.SendCall("peer", ops.AnycastMsg{ID: ops.MsgID{Origin: "other", Seq: 1}}, func(ok bool) {
+		acked = ok
+	})
+	// An own operation crosses, with its claim inflated.
+	wrapped.Send("peer", ops.AnycastMsg{ID: ops.MsgID{Origin: "adv", Seq: 1}, SenderAvail: 0.2})
+	w.Run(time.Second)
+
+	if !acked {
+		t.Fatal("black-holed SendCall did not fake an ack")
+	}
+	if len(got) != 1 {
+		t.Fatalf("peer received %d messages, want 1 (the own operation)", len(got))
+	}
+	if m := got[0].(ops.AnycastMsg); m.SenderAvail != 0.9 {
+		t.Fatalf("claim not inflated in flight: %v", m.SenderAvail)
+	}
+
+	// Wrap preserves the Stopper contract.
+	if _, ok := wrapped.(runtime.Stopper); !ok {
+		t.Fatal("wrapped env lost the Stopper contract")
+	}
+	// Nil behavior is the identity.
+	if Wrap(env, nil) != runtime.Env(env) {
+		t.Fatal("Wrap(env, nil) is not the identity")
+	}
+}
+
+func TestProfileBuild(t *testing.T) {
+	if _, err := (Profile{}).Build("x", nil, 1, nil); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+	if _, err := (Profile{InflateTo: 1.5}).Build("x", nil, 1, nil); err == nil {
+		t.Fatal("out-of-range InflateTo accepted")
+	}
+	b, err := Profile{InflateTo: 0.9, Eclipse: true, DropRate: 0.5, FreeRide: true}.
+		Build("x", []ids.NodeID{"x", "y"}, 1, NewSwitch(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "mix(inflate+eclipse+selective-forward+free-ride)" {
+		t.Fatalf("unexpected mix name %q", b.Name())
+	}
+}

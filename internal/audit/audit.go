@@ -1,0 +1,384 @@
+// Package audit is AVMEM's in-protocol defense against non-cooperative
+// participants: every node runs an Auditor over the messages it
+// receives and evicts peers whose behavior provably or persistently
+// violates the protocol's verifiable predicates (paper §4.1, extended
+// with the detect-and-repair machinery self-stabilizing overlays need).
+//
+// The Auditor distinguishes two evidence classes:
+//
+//   - Hard evidence is a provable protocol violation, checkable by the
+//     receiver alone from the consistent pair hash and the monitoring
+//     service: an availability claim that contradicts the AVMON
+//     estimate beyond the configured tolerance, or a shuffle reply in
+//     which the responder advertises itself (an honest CYCLON responder
+//     samples only from its view, which never contains itself). Hard
+//     hits carry enough weight to evict at once by default.
+//   - Soft evidence is a failed in-neighbor predicate recheck on a
+//     received operation message. Honest pairs fail this check too when
+//     their availability views disagree (the paper's Figure-6 regime),
+//     so soft hits carry a small weight and decay on every clean
+//     observation — the hysteresis that keeps honest false positives
+//     out while persistent selfish flooders still accumulate.
+//
+// Evicted peers land on the observer's blacklist: the membership layer
+// drops them from the slivers, the operation router stops forwarding to
+// them and discards their traffic, and the node ignores their shuffle
+// exchanges — audited-out nodes stop receiving management traffic.
+// Deployment harnesses share one Trail across all auditors to measure
+// detection latency and false-positive rates.
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"avmem/internal/avmon"
+	"avmem/internal/core"
+	"avmem/internal/ids"
+	"avmem/internal/ops"
+	"avmem/internal/shuffle"
+)
+
+// Params tunes the suspicion model. The zero value takes the defaults.
+type Params struct {
+	// ClaimTolerance is the allowed claimed-over-monitored availability
+	// excess before a claim counts as a lie (default 0.25: wide enough
+	// for refresh-period staleness, offline-gap drift, and the paper's
+	// ±0.05 monitor noise). The check is directional — only *inflation*
+	// is evidence; a node understating itself harms nobody.
+	ClaimTolerance float64
+	// ClaimWarmup suppresses claim evidence before this virtual time
+	// (default 1h): young monitoring estimates are volatile enough that
+	// even honest cached claims drift past any reasonable tolerance.
+	ClaimWarmup time.Duration
+	// EvictThreshold is the suspicion score at which a peer is evicted
+	// (default 3).
+	EvictThreshold float64
+	// HardWeight is the score added per provable violation (default
+	// EvictThreshold: hard evidence evicts at once).
+	HardWeight float64
+	// SoftWeight is the score added per failed predicate recheck
+	// (default 0.2).
+	SoftWeight float64
+	// Decay is the score subtracted per clean observation, floored at
+	// zero (default 0.05) — the downward half of the hysteresis.
+	Decay float64
+	// RecheckCushion widens the predicate recheck like the §4.1
+	// verification cushion (default 0.1).
+	RecheckCushion float64
+}
+
+func (p *Params) applyDefaults() {
+	if p.ClaimTolerance == 0 {
+		p.ClaimTolerance = 0.25
+	}
+	if p.ClaimWarmup == 0 {
+		p.ClaimWarmup = time.Hour
+	}
+	if p.EvictThreshold == 0 {
+		p.EvictThreshold = 3
+	}
+	if p.HardWeight == 0 {
+		p.HardWeight = p.EvictThreshold
+	}
+	if p.SoftWeight == 0 {
+		p.SoftWeight = 0.2
+	}
+	if p.Decay == 0 {
+		p.Decay = 0.05
+	}
+	if p.RecheckCushion == 0 {
+		p.RecheckCushion = 0.1
+	}
+}
+
+func (p Params) validate() error {
+	if p.ClaimTolerance < 0 || p.ClaimTolerance > 1 {
+		return fmt.Errorf("audit: ClaimTolerance must be in [0,1], got %v", p.ClaimTolerance)
+	}
+	if p.EvictThreshold <= 0 {
+		return fmt.Errorf("audit: EvictThreshold must be positive, got %v", p.EvictThreshold)
+	}
+	if p.HardWeight <= 0 || p.SoftWeight < 0 || p.Decay < 0 {
+		return fmt.Errorf("audit: weights must be non-negative (HardWeight positive), got hard %v soft %v decay %v",
+			p.HardWeight, p.SoftWeight, p.Decay)
+	}
+	if p.RecheckCushion < 0 || p.RecheckCushion > 1 {
+		return fmt.Errorf("audit: RecheckCushion must be in [0,1], got %v", p.RecheckCushion)
+	}
+	return nil
+}
+
+// Eviction is one blacklist entry in the deployment-wide Trail.
+type Eviction struct {
+	Observer ids.NodeID
+	Suspect  ids.NodeID
+	At       time.Duration
+	// Reason names the evidence class that crossed the threshold.
+	Reason string
+}
+
+// Trail is the deployment-wide eviction registry harnesses share across
+// auditors: in a real deployment this information would travel as
+// signed accusations; here it is the measurement surface for detection
+// latency and false-positive metrics. Trail is not safe for concurrent
+// use (each deployment engine is single-threaded on its virtual clock).
+type Trail struct {
+	evictions []Eviction
+	first     map[ids.NodeID]time.Duration
+}
+
+// NewTrail creates an empty registry.
+func NewTrail() *Trail {
+	return &Trail{first: make(map[ids.NodeID]time.Duration, 32)}
+}
+
+// record appends one eviction.
+func (t *Trail) record(e Eviction) {
+	t.evictions = append(t.evictions, e)
+	if _, ok := t.first[e.Suspect]; !ok {
+		t.first[e.Suspect] = e.At
+	}
+}
+
+// Evictions returns all recorded evictions in observation order.
+func (t *Trail) Evictions() []Eviction { return t.evictions }
+
+// FirstEviction returns the earliest time any observer evicted suspect.
+func (t *Trail) FirstEviction(suspect ids.NodeID) (time.Duration, bool) {
+	at, ok := t.first[suspect]
+	return at, ok
+}
+
+// Suspects returns every node evicted by at least one observer, in
+// deterministic (sorted) order.
+func (t *Trail) Suspects() []ids.NodeID {
+	out := make([]ids.NodeID, 0, len(t.first))
+	for id := range t.first {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Config wires an Auditor to its node.
+type Config struct {
+	// Self is the observing node.
+	Self ids.NodeID
+	// Params tunes the suspicion model (zero value = defaults).
+	Params Params
+	// Predicate is the deployment's AVMEM predicate (rechecks).
+	Predicate *core.Predicate
+	// Monitor answers availability queries (the AVMON cross-check).
+	Monitor avmon.Service
+	// SelfInfo returns the node's own identity with cached availability
+	// (the receiver half of the predicate recheck).
+	SelfInfo func() core.NodeInfo
+	// Clock supplies the current virtual or wall time.
+	Clock func() time.Duration
+	// Hashes optionally shares the deployment's pair-hash cache.
+	Hashes *ids.HashCache
+	// Trail optionally shares the deployment-wide eviction registry.
+	Trail *Trail
+}
+
+func (c Config) validate() error {
+	if c.Self.IsNil() {
+		return fmt.Errorf("audit: Config.Self is required")
+	}
+	if c.Predicate == nil {
+		return fmt.Errorf("audit: Config.Predicate is required")
+	}
+	if c.Monitor == nil {
+		return fmt.Errorf("audit: Config.Monitor is required")
+	}
+	if c.SelfInfo == nil {
+		return fmt.Errorf("audit: Config.SelfInfo is required")
+	}
+	if c.Clock == nil {
+		return fmt.Errorf("audit: Config.Clock is required")
+	}
+	return c.Params.validate()
+}
+
+// suspect is the per-peer audit state.
+type suspect struct {
+	score   float64
+	evicted bool
+}
+
+// Auditor is one node's receiving-side audit state: per-peer suspicion
+// scores and the local blacklist. It implements ops.Auditor, so the
+// operation router consults it on every inbound message, and its
+// Blocked method doubles as the membership layer's blocklist. Auditor
+// is not safe for concurrent use; the owning node serializes calls
+// (exactly like core.Membership).
+type Auditor struct {
+	cfg   Config
+	peers map[ids.NodeID]*suspect
+	// evicted counts local evictions (cheap accessor for probes).
+	evictions int
+}
+
+var _ ops.Auditor = (*Auditor)(nil)
+
+// New builds an Auditor.
+func New(cfg Config) (*Auditor, error) {
+	cfg.Params.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Auditor{cfg: cfg, peers: make(map[ids.NodeID]*suspect, 64)}, nil
+}
+
+// Blocked implements ops.Auditor: whether id has been audited out.
+func (a *Auditor) Blocked(id ids.NodeID) bool {
+	s, ok := a.peers[id]
+	return ok && s.evicted
+}
+
+// Suspicion returns the current suspicion score of id.
+func (a *Auditor) Suspicion(id ids.NodeID) float64 {
+	if s, ok := a.peers[id]; ok {
+		return s.score
+	}
+	return 0
+}
+
+// Evictions returns how many peers this auditor has evicted.
+func (a *Auditor) Evictions() int { return a.evictions }
+
+// ObserveInbound implements ops.Auditor: it audits one delivered
+// message and reports whether the node should process it (false =
+// sender blacklisted, drop). It understands operation messages
+// (availability claim + in-neighbor predicate recheck) and shuffle
+// exchanges (availability claim; self-advertising reply check).
+func (a *Auditor) ObserveInbound(from ids.NodeID, msg any) bool {
+	if from.IsNil() || from == a.cfg.Self {
+		return true
+	}
+	if a.Blocked(from) {
+		return false
+	}
+	switch m := msg.(type) {
+	case ops.AnycastMsg:
+		a.observeOp(from, m.SenderAvail)
+	case ops.MulticastMsg:
+		a.observeOp(from, m.SenderAvail)
+	case shuffle.Request:
+		a.observeShuffle(from, m.SenderAvail, m.Entries, false)
+	case shuffle.Reply:
+		a.observeShuffle(from, m.SenderAvail, m.Entries, true)
+	}
+	return !a.Blocked(from)
+}
+
+// observeOp audits one operation message: the AVMON claim cross-check
+// (hard) and the §4.1 in-neighbor predicate recheck (soft). A sender
+// the monitor cannot answer for yields no evidence either way — a
+// young or degraded monitor (e.g. the distributed estimator before its
+// pings accumulate) must not turn honest peers into suspects.
+func (a *Auditor) observeOp(from ids.NodeID, claim float64) {
+	est, known := a.cfg.Monitor.Availability(from)
+	if !known {
+		return
+	}
+	if a.claimLie(claim, est) {
+		a.hit(from, a.cfg.Params.HardWeight, "availability-claim")
+		return
+	}
+	if !a.recheck(from, est) {
+		a.hit(from, a.cfg.Params.SoftWeight, "predicate-recheck")
+		return
+	}
+	a.clean(from)
+}
+
+// observeShuffle audits one coarse-view exchange: for replies, the
+// self-advertising violation (hard proof needing no monitor — an
+// honest responder's sample never contains itself), then the claim
+// cross-check when the monitor can answer.
+func (a *Auditor) observeShuffle(from ids.NodeID, claim float64, entries []shuffle.Entry, reply bool) {
+	if reply {
+		for i := range entries {
+			if entries[i].ID == from {
+				a.hit(from, a.cfg.Params.HardWeight, "self-advertising-reply")
+				return
+			}
+		}
+	}
+	est, known := a.cfg.Monitor.Availability(from)
+	if !known {
+		return
+	}
+	if a.claimLie(claim, est) {
+		a.hit(from, a.cfg.Params.HardWeight, "availability-claim")
+		return
+	}
+	a.clean(from)
+}
+
+// claimLie reports whether the sender inflated its availability claim
+// beyond the monitor's estimate. Absent claims are not evidence, and
+// neither are claims observed before ClaimWarmup — a monitor without
+// history misjudges honest nodes.
+func (a *Auditor) claimLie(claim, est float64) bool {
+	if claim <= 0 {
+		return false // no claim attached (pre-audit senders)
+	}
+	if a.cfg.Clock() < a.cfg.Params.ClaimWarmup {
+		return false
+	}
+	return claim-est > a.cfg.Params.ClaimTolerance
+}
+
+// recheck evaluates the consistent in-neighbor predicate M(from, self)
+// from the receiver's own information, cushioned like §4.1.
+func (a *Auditor) recheck(from ids.NodeID, est float64) bool {
+	match, _ := a.cfg.Predicate.EvalNodes(
+		core.NodeInfo{ID: from, Availability: est},
+		a.cfg.SelfInfo(),
+		a.cfg.Params.RecheckCushion, a.cfg.Hashes)
+	return match
+}
+
+// hit raises a peer's suspicion and evicts it at the threshold.
+func (a *Auditor) hit(from ids.NodeID, weight float64, reason string) {
+	s := a.peers[from]
+	if s == nil {
+		s = &suspect{}
+		a.peers[from] = s
+	}
+	if s.evicted {
+		return
+	}
+	s.score += weight
+	if s.score < a.cfg.Params.EvictThreshold {
+		return
+	}
+	s.evicted = true
+	a.evictions++
+	if a.cfg.Trail != nil {
+		a.cfg.Trail.record(Eviction{
+			Observer: a.cfg.Self,
+			Suspect:  from,
+			At:       a.cfg.Clock(),
+			Reason:   reason,
+		})
+	}
+}
+
+// clean decays a peer's suspicion after a well-formed message — the
+// downward half of the hysteresis that absorbs occasional noise-driven
+// misses without letting persistent misbehavior hide.
+func (a *Auditor) clean(from ids.NodeID) {
+	s, ok := a.peers[from]
+	if !ok || s.evicted || s.score == 0 {
+		return
+	}
+	s.score -= a.cfg.Params.Decay
+	if s.score < 0 {
+		s.score = 0
+	}
+}

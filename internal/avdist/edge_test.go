@@ -1,0 +1,114 @@
+package avdist
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEmptyDistributionRejected pins the empty-input contracts: an
+// empty weight vector, an all-zero weight vector, and an empty sample
+// set all fail construction rather than producing a degenerate PDF.
+func TestEmptyDistributionRejected(t *testing.T) {
+	if _, err := FromWeights(nil); err == nil {
+		t.Error("FromWeights(nil) accepted")
+	}
+	if _, err := FromWeights([]float64{}); err == nil {
+		t.Error("FromWeights(empty) accepted")
+	}
+	if _, err := FromWeights([]float64{0, 0, 0}); err == nil {
+		t.Error("FromWeights(all-zero) accepted")
+	}
+	if _, err := FromSamples(nil, 10); err == nil {
+		t.Error("FromSamples(nil) accepted")
+	}
+	if _, err := FromSamples([]float64{}, 10); err == nil {
+		t.Error("FromSamples(empty) accepted")
+	}
+}
+
+// TestSingleSampleQuantiles: one observation concentrates all mass in
+// one bucket; every quantile must land inside that bucket, the CDF must
+// step from 0 to 1 across it, and no quantile may be NaN.
+func TestSingleSampleQuantiles(t *testing.T) {
+	p, err := FromSamples([]float64{0.37}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 0.37, 0.38 // the bucket holding the sample
+	// Quantile(0) is the smallest a with CDF(a) >= 0, which is 0 by
+	// definition; every positive quantile lands inside the mass bucket.
+	if v := p.Quantile(0); v != 0 {
+		t.Errorf("Quantile(0) = %v, want 0", v)
+	}
+	for _, q := range []float64{0.001, 0.25, 0.5, 0.75, 1} {
+		v := p.Quantile(q)
+		if math.IsNaN(v) {
+			t.Fatalf("Quantile(%v) is NaN", q)
+		}
+		if v < lo-1e-9 || v > hi+1e-9 {
+			t.Errorf("Quantile(%v) = %v, want inside the single-mass bucket [%v,%v]", q, v, lo, hi)
+		}
+	}
+	if got := p.CDF(0.3); got != 0 {
+		t.Errorf("CDF(0.3) = %v, want 0", got)
+	}
+	if got := p.CDF(0.5); got != 1 {
+		t.Errorf("CDF(0.5) = %v, want 1", got)
+	}
+	// A single-bucket PDF still has unit mass.
+	if got := p.IntervalMass(0, 1); math.Abs(got-1) > 1e-9 {
+		t.Errorf("total mass = %v, want 1", got)
+	}
+}
+
+// TestOutOfRangeQuantileRequests: quantile arguments are clamped into
+// [0,1] — q below zero behaves like 0, q above one like 1, and NaN is
+// treated as 0 (the documented Clamp01 funnel), never panicking and
+// never escaping the unit interval.
+func TestOutOfRangeQuantileRequests(t *testing.T) {
+	p := Uniform(10)
+	cases := []struct {
+		q, want float64
+	}{
+		{-1, p.Quantile(0)},
+		{-0.0001, p.Quantile(0)},
+		{1.5, p.Quantile(1)},
+		{math.Inf(1), p.Quantile(1)},
+		{math.Inf(-1), p.Quantile(0)},
+		{math.NaN(), p.Quantile(0)},
+	}
+	for _, tc := range cases {
+		got := p.Quantile(tc.q)
+		if got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+		if got < 0 || got > 1 {
+			t.Errorf("Quantile(%v) = %v escapes [0,1]", tc.q, got)
+		}
+	}
+	// The skewed model obeys the same clamp: an out-of-range request is
+	// exactly the boundary request.
+	ov := Overnet(50)
+	if got, want := ov.Quantile(2), ov.Quantile(1); got != want {
+		t.Errorf("Overnet Quantile(2) = %v, want Quantile(1) = %v", got, want)
+	}
+	if got := ov.Quantile(-3); got < 0 || got > ov.Quantile(0)+1e-12 {
+		t.Errorf("Overnet Quantile(-3) = %v, want clamped to Quantile(0)", got)
+	}
+}
+
+// TestZeroMassBucketQuantile: a quantile landing exactly on a zero-mass
+// bucket resolves to the bucket edge without division blowups.
+func TestZeroMassBucketQuantile(t *testing.T) {
+	p, err := FromWeights([]float64{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := p.Quantile(0.5)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("Quantile(0.5) over a zero-mass bucket = %v", v)
+	}
+	if v < 1.0/3-1e-9 || v > 2.0/3+1e-9 {
+		t.Errorf("Quantile(0.5) = %v, want within the middle (zero-mass) bucket span", v)
+	}
+}

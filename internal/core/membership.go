@@ -61,6 +61,10 @@ type Config struct {
 	// tolerate stale or inconsistent availability views (paper §4.1
 	// evaluates cushion 0 and 0.1).
 	VerifyCushion float64
+	// Blocked, when non-nil, reports peers the owner's audit layer has
+	// evicted: Discover never admits them and Refresh drops them, so an
+	// audited-out node falls out of both slivers for good.
+	Blocked func(ids.NodeID) bool
 }
 
 func (c Config) validate() error {
@@ -190,6 +194,20 @@ func (m *Membership) SelfInfo() NodeInfo {
 // Predicate exposes the configured predicate (read-only use).
 func (m *Membership) Predicate() *Predicate { return m.cfg.Predicate }
 
+// SelfClaim returns the monitoring service's current answer for this
+// node itself — the availability an honest node claims on outbound
+// protocol traffic. Unlike RefreshSelf it does not update the cached
+// selfAvail the predicate consumes, so claims stay as fresh as the
+// monitor (the audit layer cross-checks them against the same service)
+// without perturbing membership decisions. Falls back to the cached
+// value when the monitor does not answer.
+func (m *Membership) SelfClaim() float64 {
+	if v, ok := m.cfg.Monitor.Availability(m.self); ok {
+		return v
+	}
+	return m.selfAvail
+}
+
 // RefreshSelf re-queries the monitoring service for this node's own
 // availability. Returns the cached value.
 func (m *Membership) RefreshSelf() float64 {
@@ -216,6 +234,9 @@ func (m *Membership) Discover(candidates []ids.NodeID) int {
 			continue
 		}
 		if _, exists := m.sliver[y]; exists {
+			continue
+		}
+		if m.cfg.Blocked != nil && m.cfg.Blocked(y) {
 			continue
 		}
 		avY, ok := m.cfg.Monitor.Availability(y)
@@ -251,6 +272,11 @@ func (m *Membership) Refresh() int {
 	keep := m.all[:0]
 	for i := range m.all {
 		nb := m.all[i]
+		if m.cfg.Blocked != nil && m.cfg.Blocked(nb.ID) {
+			delete(m.sliver, nb.ID)
+			evicted++
+			continue
+		}
 		avY, ok := m.cfg.Monitor.Availability(nb.ID)
 		if !ok {
 			delete(m.sliver, nb.ID)

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"avmem/internal/audit"
 	"avmem/internal/avdist"
 	"avmem/internal/avmon"
 	"avmem/internal/core"
@@ -52,6 +53,10 @@ type Cluster struct {
 	// forcedDownUntil[h] holds a scenario-injected outage lift time
 	// (zero = none); see World.ForceOffline for the sweep discipline.
 	forcedDownUntil []time.Duration
+	// adv is the Byzantine cohort (nil when honest); trail is the
+	// shared eviction registry (nil when auditing is off).
+	adv   *advState
+	trail *audit.Trail
 }
 
 var _ Deployment = (*Cluster)(nil)
@@ -99,6 +104,14 @@ func NewCluster(cfg WorldConfig) (*Cluster, error) {
 	}
 	c.mon = mon
 	c.Monitor = mon.monitor
+	adv, err := buildAdversaries(cfg.Adversary, tr, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	c.adv = adv
+	if cfg.Audit != nil {
+		c.trail = audit.NewTrail()
+	}
 
 	for h, id := range c.hosts {
 		h := h
@@ -129,6 +142,9 @@ func NewCluster(cfg WorldConfig) (*Cluster, error) {
 			VerifyInbound:  cfg.VerifyInbound,
 			Cushion:        cfg.Cushion,
 			Seed:           nodeSeed(cfg.Seed, h),
+			Behavior:       c.adv.behavior(h),
+			Audit:          cfg.Audit,
+			AuditTrail:     c.trail,
 		})
 		if err != nil {
 			return nil, err
@@ -345,3 +361,24 @@ func (c *Cluster) ForceOffline(id ids.NodeID, until time.Duration) {
 func (c *Cluster) SetMonitorNoise(maxErr float64, staleness time.Duration) error {
 	return c.mon.setNoise(maxErr, staleness)
 }
+
+// CoarseView implements Deployment: the live node's CYCLON agent view.
+func (c *Cluster) CoarseView(id ids.NodeID) []ids.NodeID {
+	n := c.Node(id)
+	if n == nil {
+		return nil
+	}
+	return n.CoarseView()
+}
+
+// Adversaries implements Deployment.
+func (c *Cluster) Adversaries() []ids.NodeID { return c.adv.cohort() }
+
+// EngagedAdversaries implements Deployment.
+func (c *Cluster) EngagedAdversaries() []ids.NodeID { return c.adv.engagedCohort() }
+
+// SetAdversariesActive implements Deployment.
+func (c *Cluster) SetAdversariesActive(active bool) { c.adv.setActive(active) }
+
+// AuditTrail implements Deployment.
+func (c *Cluster) AuditTrail() *audit.Trail { return c.trail }

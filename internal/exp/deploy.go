@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"time"
 
+	"avmem/internal/adversary"
+	"avmem/internal/audit"
 	"avmem/internal/avdist"
 	"avmem/internal/avmon"
 	"avmem/internal/core"
@@ -220,13 +222,34 @@ func (w *World) nodeOnline(id ids.NodeID) bool {
 // resolved here, once, and captured by its liveness closure.
 func (w *World) installNodes(pred *core.Predicate) error {
 	for h, id := range w.hosts {
-		m, err := core.NewMembership(id, core.Config{
+		memCfg := core.Config{
 			Predicate:     pred,
 			Monitor:       w.Monitor,
 			Hashes:        w.Hashes,
 			Clock:         w.Sim.Now,
 			VerifyCushion: w.Cfg.Cushion,
-		})
+		}
+		var auditor *audit.Auditor
+		if w.auditors != nil {
+			slot := &w.members[h] // the auditor's SelfInfo resolves lazily
+			a, err := audit.New(audit.Config{
+				Self:      id,
+				Params:    *w.Cfg.Audit,
+				Predicate: pred,
+				Monitor:   w.Monitor,
+				SelfInfo:  func() core.NodeInfo { return (*slot).SelfInfo() },
+				Clock:     w.Sim.Now,
+				Hashes:    w.Hashes,
+				Trail:     w.trail,
+			})
+			if err != nil {
+				return err
+			}
+			auditor = a
+			w.auditors[h] = a
+			memCfg.Blocked = a.Blocked
+		}
+		m, err := core.NewMembership(id, memCfg)
 		if err != nil {
 			return err
 		}
@@ -243,18 +266,26 @@ func (w *World) installNodes(pred *core.Predicate) error {
 		if err != nil {
 			return err
 		}
-		r, err := ops.NewRouter(ops.RouterConfig{
+		// The adversary interceptor wraps the env, so a Byzantine host's
+		// router misbehaves on the wire exactly like a Byzantine live
+		// node (Wrap is the identity for honest hosts).
+		wenv := adversary.Wrap(env, w.adv.behavior(h))
+		routerCfg := ops.RouterConfig{
 			Membership:    m,
-			Env:           env,
+			Env:           wenv,
 			Collector:     w.Col,
 			VerifyInbound: w.Cfg.VerifyInbound,
 			Hashes:        w.Hashes,
-		})
+		}
+		if auditor != nil {
+			routerCfg.Auditor = auditor
+		}
+		r, err := ops.NewRouter(routerCfg)
 		if err != nil {
 			return err
 		}
 		w.routers[h] = r
-		if err := env.Register(r.HandleMessage); err != nil {
+		if err := wenv.Register(r.HandleMessage); err != nil {
 			return err
 		}
 

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"avmem/internal/audit"
 	"avmem/internal/avmon"
 	"avmem/internal/core"
 	"avmem/internal/ids"
@@ -71,6 +72,23 @@ type Deployment interface {
 	ForceOffline(id ids.NodeID, until time.Duration)
 	// SetMonitorNoise swaps the monitor-noise layer mid-run.
 	SetMonitorNoise(maxErr float64, staleness time.Duration) error
+	// CoarseView returns a node's current shuffling (coarse) view — the
+	// surface eclipse attacks poison first.
+	CoarseView(id ids.NodeID) []ids.NodeID
+	// Adversaries returns the configured Byzantine cohort (nil when the
+	// deployment is honest).
+	Adversaries() []ids.NodeID
+	// EngagedAdversaries returns the cohort members that emitted
+	// traffic while armed — the detection-rate denominator (an
+	// adversary offline for a whole attack never misbehaved and cannot
+	// be observed).
+	EngagedAdversaries() []ids.NodeID
+	// SetAdversariesActive arms or disarms the cohort's behaviors
+	// (scenario onset/offset events).
+	SetAdversariesActive(active bool)
+	// AuditTrail returns the deployment-wide eviction registry (nil
+	// when auditing is off).
+	AuditTrail() *audit.Trail
 }
 
 var _ Deployment = (*World)(nil)

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"avmem/internal/audit"
 	"avmem/internal/core"
 	"avmem/internal/ids"
 	"avmem/internal/ops"
@@ -91,6 +92,29 @@ func (w *World) PickInitiator(lo, hi float64) (ids.NodeID, bool) {
 		return ids.Nil, false
 	}
 	return band[w.Sim.Rand().Intn(len(band))], true
+}
+
+// CoarseView implements Deployment: the node's central-shuffle view.
+func (w *World) CoarseView(id ids.NodeID) []ids.NodeID {
+	return w.Shuffle.View(id)
+}
+
+// Adversaries implements Deployment.
+func (w *World) Adversaries() []ids.NodeID { return w.adv.cohort() }
+
+// EngagedAdversaries implements Deployment.
+func (w *World) EngagedAdversaries() []ids.NodeID { return w.adv.engagedCohort() }
+
+// SetAdversariesActive implements Deployment.
+func (w *World) SetAdversariesActive(active bool) { w.adv.setActive(active) }
+
+// AuditTrail implements Deployment.
+func (w *World) AuditTrail() *audit.Trail { return w.trail }
+
+// Auditor returns host id's audit layer (nil if unknown or auditing is
+// off) — harnesses inspect suspicion and local blacklists through it.
+func (w *World) Auditor(id ids.NodeID) *audit.Auditor {
+	return w.auditorAt(w.Trace.HostIndex(id))
 }
 
 // MeanDegree returns the mean AVMEM neighbor count across online nodes

@@ -16,6 +16,7 @@ import (
 	"math"
 	"time"
 
+	"avmem/internal/audit"
 	"avmem/internal/avdist"
 	"avmem/internal/avmon"
 	"avmem/internal/core"
@@ -69,6 +70,13 @@ type WorldConfig struct {
 	Cushion float64
 	// Latency is the per-hop latency model (default U[20ms, 80ms]).
 	Latency sim.LatencyModel
+	// Audit, when non-nil, gives every node the receiving-side audit
+	// layer (suspicion scores, blacklist, eviction).
+	Audit *audit.Params
+	// Adversary, when non-nil, makes a deterministic fraction of the
+	// population misbehave (internal/adversary behaviors injected under
+	// the Runtime/Env contract).
+	Adversary *AdversaryConfig
 }
 
 func (c *WorldConfig) applyDefaults() error {
@@ -144,6 +152,12 @@ type World struct {
 	members []*core.Membership
 	routers []*ops.Router
 
+	// adv is the Byzantine cohort (nil when honest); auditors and trail
+	// are the audit layer (nil slices/pointer when auditing is off).
+	adv      *advState
+	auditors []*audit.Auditor
+	trail    *audit.Trail
+
 	// mon is the monitoring plumbing: the stable indirection the whole
 	// deployment queries plus the pre-noise base SetMonitorNoise rewraps.
 	mon *monitorStack
@@ -201,13 +215,37 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	}
 	cyc.UseIndex(tr.HostIndex, w.onlineAt)
 	w.Shuffle = cyc
+	adv, err := buildAdversaries(cfg.Adversary, tr, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	w.adv = adv
+	if cfg.Audit != nil {
+		w.trail = audit.NewTrail()
+		w.auditors = make([]*audit.Auditor, tr.Hosts())
+	}
 	if err := w.installNodes(pred); err != nil {
 		return nil, err
+	}
+	if w.adv != nil || w.trail != nil {
+		// The central shuffle gets the same attack surface and audit
+		// seam real shuffle messages give the live engine.
+		w.Shuffle.SetTap(shuffleTap(w.adv, tr.HostIndex,
+			func(h int) float64 { return w.members[h].SelfClaim() },
+			w.auditorAt))
 	}
 	if err := w.startDrivers(); err != nil {
 		return nil, err
 	}
 	return w, nil
+}
+
+// auditorAt returns host h's audit layer (nil when auditing is off).
+func (w *World) auditorAt(h int) *audit.Auditor {
+	if w.auditors == nil || h < 0 || h >= len(w.auditors) {
+		return nil
+	}
+	return w.auditors[h]
 }
 
 // Warmup advances the simulation by d (the paper warms up for 24 hours

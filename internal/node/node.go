@@ -10,8 +10,12 @@ package node
 
 import (
 	"fmt"
+	"math"
+	"sync/atomic"
 	"time"
 
+	"avmem/internal/adversary"
+	"avmem/internal/audit"
 	"avmem/internal/avmon"
 	"avmem/internal/core"
 	"avmem/internal/ids"
@@ -90,6 +94,17 @@ type Config struct {
 	// so a fixed (Seed, Env) pair replays the same local decisions.
 	// 0 derives a seed from Self.
 	Seed int64
+	// Behavior, when non-nil, makes this node misbehave: the host Env is
+	// wrapped with the adversary interceptor, so the node's outbound and
+	// inbound traffic passes through the behavior on either engine.
+	Behavior adversary.Behavior
+	// Audit, when non-nil, enables the receiving-side audit layer: the
+	// node scores every sender, evicts provable or persistent
+	// misbehavers from its membership, and stops routing to them.
+	Audit *audit.Params
+	// AuditTrail optionally shares a deployment-wide eviction registry
+	// across nodes (detection-latency and false-positive metrics).
+	AuditTrail *audit.Trail
 }
 
 func (c *Config) validate() error {
@@ -155,6 +170,14 @@ type Node struct {
 	running bool
 	// agent is the built-in live CYCLON (Seeds mode); nil in Peers mode.
 	agent *shuffle.Agent
+	// auditor is the receiving-side audit layer (nil when Audit unset).
+	auditor *audit.Auditor
+	// claimBits/claimAt cache the node's own availability claim (float
+	// bits) and its stamp time for the lock-free shuffle reply path. A
+	// cache the discovery driver has not refreshed recently (e.g. right
+	// after an outage) yields no claim rather than a stale one.
+	claimBits atomic.Uint64
+	claimAt   atomic.Int64
 }
 
 // New builds a live node (not yet started).
@@ -192,7 +215,26 @@ func New(cfg Config) (*Node, error) {
 		}
 		n.base = live
 	}
+	// The adversary interceptor sits directly on the host Env: protocol
+	// code above it stays honest-looking while its traffic is rewritten.
+	n.base = adversary.Wrap(n.base, cfg.Behavior)
 	n.env = runtime.Gated(n.base, n.gate)
+	if cfg.Audit != nil {
+		auditor, err := audit.New(audit.Config{
+			Self:      cfg.Self,
+			Params:    *cfg.Audit,
+			Predicate: cfg.Predicate,
+			Monitor:   cfg.Monitor,
+			SelfInfo:  func() core.NodeInfo { return n.mem.SelfInfo() },
+			Clock:     n.env.Now,
+			Hashes:    cfg.Hashes,
+			Trail:     cfg.AuditTrail,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.auditor = auditor
+	}
 	if len(cfg.Seeds) > 0 {
 		agent, err := shuffle.NewAgent(cfg.Self, cfg.ViewSize, cfg.ShuffleLen, cfg.Seed)
 		if err != nil {
@@ -201,29 +243,58 @@ func New(cfg Config) (*Node, error) {
 		agent.Seed(cfg.Seeds)
 		n.agent = agent
 	}
-	mem, err := core.NewMembership(cfg.Self, core.Config{
+	memCfg := core.Config{
 		Predicate:     cfg.Predicate,
 		Monitor:       cfg.Monitor,
 		Hashes:        cfg.Hashes,
 		Clock:         n.env.Now,
 		VerifyCushion: cfg.Cushion,
-	})
+	}
+	if n.auditor != nil {
+		memCfg.Blocked = n.auditor.Blocked
+	}
+	mem, err := core.NewMembership(cfg.Self, memCfg)
 	if err != nil {
 		return nil, err
 	}
 	n.mem = mem
-	router, err := ops.NewRouter(ops.RouterConfig{
+	n.cacheClaim()
+	routerCfg := ops.RouterConfig{
 		Membership:    mem,
 		Env:           n.env,
 		Collector:     n.col,
 		VerifyInbound: cfg.VerifyInbound,
 		Hashes:        cfg.Hashes,
-	})
+	}
+	if n.auditor != nil {
+		routerCfg.Auditor = n.auditor
+	}
+	router, err := ops.NewRouter(routerCfg)
 	if err != nil {
 		return nil, err
 	}
 	n.router = router
 	return n, nil
+}
+
+// cacheClaim snapshots the node's current self-availability claim (a
+// fresh monitor answer) for the lock-free shuffle reply path. Called
+// under the node lock from the discovery/refresh drivers, so the claim
+// is at most one protocol period stale.
+func (n *Node) cacheClaim() {
+	n.claimBits.Store(math.Float64bits(n.mem.SelfClaim()))
+	n.claimAt.Store(int64(n.env.Now()))
+}
+
+// selfClaim returns the cached availability claim, or zero ("no
+// claim") when the cache has gone stale — a node answering traffic
+// right after rejoining must not claim its pre-outage availability.
+func (n *Node) selfClaim() float64 {
+	age := time.Duration(int64(n.env.Now()) - n.claimAt.Load())
+	if age > 2*n.cfg.ProtocolPeriod {
+		return 0
+	}
+	return math.Float64frombits(n.claimBits.Load())
 }
 
 // gate serializes asynchronous Env callbacks (timer ticks, ack results)
@@ -320,8 +391,10 @@ func (n *Node) discoverLocked(external []ids.NodeID) {
 		return
 	}
 	candidates := external
+	n.cacheClaim()
 	if n.agent != nil {
 		if peer, req, ok := n.agent.Tick(); ok {
+			req.SenderAvail = n.selfClaim()
 			n.env.Send(peer, req)
 			// Tick removes the shuffle partner from the view pending its
 			// reply, but the partner is still the freshest-known peer —
@@ -342,28 +415,53 @@ func (n *Node) refreshTick() {
 		return
 	}
 	n.mem.Refresh()
+	n.cacheClaim()
 }
 
 // handleMessage is the fabric callback.
 func (n *Node) handleMessage(from ids.NodeID, msg any) {
 	// Shuffle traffic goes to the agent (it has its own lock and must
-	// not wait on operation handling).
+	// not wait on operation handling). The audit layer inspects it
+	// first: a poisoned or lying exchange raises the sender's suspicion,
+	// and traffic from audited-out peers is discarded. Auditing shuffle
+	// traffic takes the node lock (auditor state is not its own monitor),
+	// but never calls back out, so the agent stays uncontended.
 	switch m := msg.(type) {
 	case shuffle.Request:
-		if n.agent != nil {
-			reply := n.agent.HandleRequest(from, m)
-			n.env.Send(from, reply)
+		if n.agent == nil {
+			return
 		}
+		if !n.observeShuffle(from, msg) {
+			return
+		}
+		reply := n.agent.HandleRequest(from, m)
+		reply.SenderAvail = n.selfClaim()
+		n.env.Send(from, reply)
 		return
 	case shuffle.Reply:
-		if n.agent != nil {
-			n.agent.HandleReply(from, m)
+		if n.agent == nil {
+			return
 		}
+		if !n.observeShuffle(from, msg) {
+			return
+		}
+		n.agent.HandleReply(from, m)
 		return
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.router.HandleMessage(from, msg)
+}
+
+// observeShuffle audits one inbound shuffle message; false means drop
+// (the sender is, or just became, blacklisted).
+func (n *Node) observeShuffle(from ids.NodeID, msg any) bool {
+	if n.auditor == nil {
+		return true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.auditor.ObserveInbound(from, msg)
 }
 
 // CoarseView returns the node's current coarse view (Seeds mode only;
@@ -437,6 +535,10 @@ func (n *Node) SliverSizes() (hs, vs int) {
 func (n *Node) Membership() *core.Membership {
 	return n.mem
 }
+
+// Auditor exposes the node's audit layer (nil when auditing is off).
+// Like Membership, the returned value is shared, not a copy.
+func (n *Node) Auditor() *audit.Auditor { return n.auditor }
 
 // DiscoverNow forces an immediate discovery round (useful in tests and
 // demos; production nodes rely on the periodic driver). It works on a

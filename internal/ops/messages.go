@@ -91,6 +91,12 @@ type AnycastMsg struct {
 	Hops int
 	// SentAt is the operation's start time (for latency measurement).
 	SentAt time.Duration
+	// SenderAvail is the forwarding node's claimed availability,
+	// restamped at every hop. Honest routers claim their cached own
+	// availability; receivers' audit layers cross-check the claim
+	// against the monitoring service (an unverifiable or inflated claim
+	// is hard evidence of misbehavior).
+	SenderAvail float64
 	// Multicast carries stage-two parameters when this anycast fronts a
 	// multicast operation.
 	Multicast *MulticastSpec
@@ -114,6 +120,9 @@ type MulticastMsg struct {
 	Target Target
 	Spec   MulticastSpec
 	SentAt time.Duration
+	// SenderAvail is the disseminating node's claimed availability (see
+	// AnycastMsg.SenderAvail).
+	SenderAvail float64
 }
 
 // DeliveredMsg notifies an anycast's origin that the operation reached

@@ -30,6 +30,18 @@ type Env interface {
 	Online() bool
 }
 
+// Auditor is the receiving-side audit seam (internal/audit implements
+// it). The router consults it on every inbound operation message and
+// excludes blacklisted peers from forwarding and dissemination, so
+// audited-out nodes stop receiving management traffic.
+type Auditor interface {
+	// ObserveInbound audits one delivered message; false means the
+	// sender is blacklisted and the message must be dropped.
+	ObserveInbound(from ids.NodeID, msg any) bool
+	// Blocked reports whether id has been audited out.
+	Blocked(id ids.NodeID) bool
+}
+
 // maxSeen bounds the duplicate-suppression set; operations are
 // short-lived so a full reset on overflow is harmless.
 const maxSeen = 1 << 14
@@ -45,7 +57,10 @@ type Router struct {
 	// received operation message.
 	verifyInbound bool
 	// hashes memoizes dissemination-order pair hashes when non-nil.
-	hashes     *ids.HashCache
+	hashes *ids.HashCache
+	// auditor, when non-nil, audits inbound messages and supplies the
+	// blacklist that forwarding and dissemination honor.
+	auditor    Auditor
 	rejected   int
 	seq        uint64
 	seen       map[MsgID]bool
@@ -65,6 +80,28 @@ type Router struct {
 	rangeKeys []float64
 	rangeNbs  []core.Neighbor
 	byHash    hashSorter
+	// claimVal/claimAt/claimSet memoize the availability claim stamped
+	// on outbound messages: a fresh monitor self-query per claimCache
+	// window instead of per forwarded message (monitor estimates move
+	// at epoch granularity, far slower than the cache expires).
+	claimVal float64
+	claimAt  time.Duration
+	claimSet bool
+}
+
+// claimCache bounds the claim memo's staleness.
+const claimCache = time.Minute
+
+// selfClaim returns the availability claim for outbound stamps,
+// re-querying the monitor at most once per claimCache window.
+func (r *Router) selfClaim() float64 {
+	now := r.env.Now()
+	if !r.claimSet || now-r.claimAt > claimCache {
+		r.claimVal = r.mem.SelfClaim()
+		r.claimAt = now
+		r.claimSet = true
+	}
+	return r.claimVal
 }
 
 // distanceSorter orders candidates by availability distance to the
@@ -131,6 +168,9 @@ type RouterConfig struct {
 	// Hashes optionally memoizes the pair hashes dissemination ordering
 	// uses; deployments share one cache across all routers.
 	Hashes *ids.HashCache
+	// Auditor optionally audits inbound messages and blacklists
+	// misbehaving peers (internal/audit).
+	Auditor Auditor
 }
 
 // NewRouter validates and builds a Router.
@@ -150,6 +190,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		col:           cfg.Collector,
 		verifyInbound: cfg.VerifyInbound,
 		hashes:        cfg.Hashes,
+		auditor:       cfg.Auditor,
 		seen:          make(map[MsgID]bool, 256),
 		gossipSent:    make(map[MsgID]map[ids.NodeID]bool, 16),
 	}, nil
@@ -215,13 +256,14 @@ func (r *Router) Anycast(target Target, opts AnycastOptions) (MsgID, error) {
 	id := r.nextID()
 	r.col.StartAnycast(id, target)
 	msg := AnycastMsg{
-		ID:     id,
-		Target: target,
-		Policy: opts.Policy,
-		Flavor: opts.Flavor,
-		TTL:    opts.TTL,
-		Retry:  opts.Retry,
-		SentAt: r.env.Now(),
+		ID:          id,
+		Target:      target,
+		Policy:      opts.Policy,
+		Flavor:      opts.Flavor,
+		TTL:         opts.TTL,
+		Retry:       opts.Retry,
+		SentAt:      r.env.Now(),
+		SenderAvail: r.selfClaim(),
 	}
 	r.handleAnycast(ids.Nil, msg)
 	return id, nil
@@ -298,14 +340,15 @@ func (r *Router) Multicast(target Target, opts MulticastOptions) (MsgID, error) 
 		Period: opts.Period,
 	}
 	msg := AnycastMsg{
-		ID:        id,
-		Target:    target,
-		Policy:    opts.Anycast.Policy,
-		Flavor:    opts.Anycast.Flavor,
-		TTL:       opts.Anycast.TTL,
-		Retry:     opts.Anycast.Retry,
-		SentAt:    now,
-		Multicast: &spec,
+		ID:          id,
+		Target:      target,
+		Policy:      opts.Anycast.Policy,
+		Flavor:      opts.Anycast.Flavor,
+		TTL:         opts.Anycast.TTL,
+		Retry:       opts.Anycast.Retry,
+		SentAt:      now,
+		SenderAvail: r.selfClaim(),
+		Multicast:   &spec,
 	}
 	r.handleAnycast(ids.Nil, msg)
 	return id, nil
@@ -314,6 +357,12 @@ func (r *Router) Multicast(target Target, opts MulticastOptions) (MsgID, error) 
 // HandleMessage is the network entry point: the simulator and live
 // runtime register it as the node's message handler.
 func (r *Router) HandleMessage(from ids.NodeID, msg any) {
+	// The audit layer sees every message first: traffic from peers this
+	// node has evicted is discarded, delivery notices included.
+	if r.auditor != nil && !r.auditor.ObserveInbound(from, msg) {
+		r.rejected++
+		return
+	}
 	// Delivery notices bypass the in-neighbor check: the delivering
 	// node is rarely the origin's neighbor. They are harmless to spoof —
 	// the collector only accepts verdicts for operations this node
@@ -375,6 +424,7 @@ func (r *Router) forwardAnycast(from ids.NodeID, m AnycastMsg) {
 	next := m
 	next.TTL--
 	next.Hops++
+	next.SenderAvail = r.selfClaim()
 	budget := unlimitedBudget
 	if m.Policy == RetriedGreedy {
 		budget = m.Retry
@@ -455,6 +505,9 @@ func (r *Router) candidates(from ids.NodeID, flavor core.Flavor, target Target) 
 	var sender core.Neighbor
 	hasSender := false
 	for i := range all {
+		if r.auditor != nil && r.auditor.Blocked(all[i].ID) {
+			continue
+		}
 		if all[i].ID == from {
 			sender = all[i]
 			hasSender = true
@@ -496,6 +549,8 @@ func (r *Router) disseminate(m MulticastMsg) {
 		// A node outside the target consumed spam; it does not forward.
 		return
 	}
+	// Onward copies carry this node's own availability claim.
+	m.SenderAvail = r.selfClaim()
 	switch m.Spec.Mode {
 	case Gossip:
 		r.gossipRounds(m, m.Spec.Rounds)
@@ -555,6 +610,9 @@ func (r *Router) inRangeNeighbors(m MulticastMsg) []core.Neighbor {
 	r.rangeKeys = r.rangeKeys[:0]
 	self := r.mem.Self()
 	for _, nb := range all {
+		if r.auditor != nil && r.auditor.Blocked(nb.ID) {
+			continue
+		}
 		if m.Target.Contains(nb.Availability) {
 			r.rangeNbs = append(r.rangeNbs, nb)
 			var key float64

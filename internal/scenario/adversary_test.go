@@ -1,0 +1,174 @@
+package scenario
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// adversaryScenarioFiles are the checked-in Byzantine scenarios; the
+// acceptance bar (≥90% eviction of engaged adversaries, <1% honest
+// false positives, fraction ≥0.2) lives in their own assertion blocks.
+var adversaryScenarioFiles = []string{
+	filepath.Join("..", "..", "scenarios", "eclipse-attack.json"),
+	filepath.Join("..", "..", "scenarios", "availability-inflation.json"),
+}
+
+// TestAdversaryScenariosPassOnBothBackends executes both checked-in
+// adversary scenarios on the simulator and the live memnet runtime and
+// requires every in-spec assertion — including the eviction-rate and
+// false-positive bars — to hold on each.
+func TestAdversaryScenariosPassOnBothBackends(t *testing.T) {
+	for _, path := range adversaryScenarioFiles {
+		for _, backend := range []string{BackendSim, BackendMemnet} {
+			t.Run(filepath.Base(path)+"/"+backend, func(t *testing.T) {
+				spec, err := LoadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Run(spec, Options{Backend: backend})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Passed() {
+					t.Fatalf("assertions failed: %v", res.Failures)
+				}
+				for _, want := range []string{
+					"adversary_fraction", "audit_eviction_rate", "audit_false_positive_rate",
+				} {
+					if _, ok := res.Metrics[want]; !ok {
+						t.Errorf("metric %q missing: %v", want, res.Metrics)
+					}
+				}
+				if res.Metrics["adversary_fraction"] < 0.2 {
+					t.Errorf("adversary fraction %v below the 0.2 bar", res.Metrics["adversary_fraction"])
+				}
+			})
+		}
+	}
+}
+
+// TestAdversaryScenariosDeterministicPerSeed pins bit-determinism: the
+// same spec and seed produce identical metrics and event logs on each
+// backend, adversaries and audit included.
+func TestAdversaryScenariosDeterministicPerSeed(t *testing.T) {
+	for _, path := range adversaryScenarioFiles {
+		for _, backend := range []string{BackendSim, BackendMemnet} {
+			t.Run(filepath.Base(path)+"/"+backend, func(t *testing.T) {
+				run := func() *Result {
+					spec, err := LoadFile(path)
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := Run(spec, Options{Backend: backend})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res
+				}
+				a, b := run(), run()
+				if !reflect.DeepEqual(a.Metrics, b.Metrics) {
+					t.Errorf("metrics differ across identical runs:\n a: %v\n b: %v", a.Metrics, b.Metrics)
+				}
+				if !reflect.DeepEqual(a.EventLog, b.EventLog) {
+					t.Errorf("event logs differ across identical runs:\n a: %v\n b: %v", a.EventLog, b.EventLog)
+				}
+			})
+		}
+	}
+}
+
+// TestAuditLayerDoesNotPerturbHonestRuns is the honest-run regression:
+// enabling the audit layer on a deployment with zero adversaries must
+// leave the produced figures byte-identical — same metrics, same event
+// log, same rendered report — pinned on the checked-in mixed-workload
+// scenario.
+func TestAuditLayerDoesNotPerturbHonestRuns(t *testing.T) {
+	path := filepath.Join("..", "..", "scenarios", "mixed-workload.json")
+	render := func(withAudit bool) (string, *Result) {
+		spec, err := LoadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withAudit {
+			spec.Fleet.Audit = &AuditSpec{}
+		}
+		res, err := Run(spec, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		res.WriteReport(&buf)
+		return buf.String() + "\n" + strings.Join(res.EventLog, "\n"), res
+	}
+	plain, plainRes := render(false)
+	audited, auditedRes := render(true)
+	if plain != audited {
+		t.Fatalf("audit layer perturbed an honest run:\n--- audit off ---\n%s\n--- audit on ---\n%s", plain, audited)
+	}
+	if !plainRes.Passed() || !auditedRes.Passed() {
+		t.Fatalf("mixed workload failed: %v / %v", plainRes.Failures, auditedRes.Failures)
+	}
+}
+
+// TestAdversarySpecValidation covers the new spec blocks end to end.
+func TestAdversarySpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"fraction too large", `{"name":"x","adversaries":{"fraction":0.6,"behaviors":["eclipse"]},"events":[{"at":"0s","attack":{"cushion":0}}]}`},
+		{"no behaviors", `{"name":"x","adversaries":{"fraction":0.2,"behaviors":[]},"events":[{"at":"0s","attack":{"cushion":0}}]}`},
+		{"unknown behavior", `{"name":"x","adversaries":{"fraction":0.2,"behaviors":["psychic"]},"events":[{"at":"0s","attack":{"cushion":0}}]}`},
+		{"adversary event without block", `{"name":"x","events":[{"at":"0s","adversary":{"active":true}}]}`},
+		{"bias probe without block", `{"name":"x","events":[{"at":"0s","bias_probe":{}}]}`},
+		{"bad audit tolerance", `{"name":"x","fleet":{"audit":{"claim_tolerance":2}},"events":[{"at":"0s","attack":{"cushion":0}}]}`},
+		{"bad drop rate", `{"name":"x","adversaries":{"fraction":0.2,"behaviors":["selective-forward"],"drop_rate":1.5},"events":[{"at":"0s","attack":{"cushion":0}}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Load(strings.NewReader(tc.json)); err == nil {
+				t.Errorf("accepted malformed scenario: %s", tc.json)
+			}
+		})
+	}
+}
+
+// TestProblemsCollectsEverything asserts the all-errors mode: a spec
+// with several independent mistakes reports each one, not just the
+// first.
+func TestProblemsCollectsEverything(t *testing.T) {
+	spec := &Spec{
+		Name: "",
+		Fleet: Fleet{
+			Hosts: 4,
+			Days:  -1,
+		},
+		Adversaries: &AdversariesSpec{Fraction: 0.9, Behaviors: []string{"psychic"}},
+		Events: []Event{
+			{At: dur("0s"), ChurnBurst: &ChurnBurst{Fraction: 2, Duration: dur("5m")}},
+		},
+		Assertions: []Assertion{{Metric: "vibes"}},
+	}
+	ps := spec.Problems()
+	if len(ps) < 5 {
+		t.Fatalf("Problems() = %d entries, want at least 5: %v", len(ps), ps)
+	}
+	wantPaths := []string{"name", "fleet.hosts", "fleet.days", "adversaries.fraction",
+		"adversaries.behaviors[0]", "events[0].churn_burst.fraction", "assertions[0].metric"}
+	have := map[string]bool{}
+	for _, p := range ps {
+		have[p.Path] = true
+	}
+	for _, w := range wantPaths {
+		if !have[w] {
+			t.Errorf("missing problem for %s in %v", w, ps)
+		}
+	}
+	// Validate surfaces the first problem as the error.
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "name") {
+		t.Errorf("Validate() = %v, want first problem (name)", err)
+	}
+}

@@ -155,6 +155,13 @@ func buildDeployment(spec *Spec, backend string) (exp.Deployment, error) {
 		MonitorErr:         spec.Fleet.MonitorError,
 		MonitorStaleness:   spec.Fleet.MonitorStaleness.D(),
 		DistributedMonitor: spec.Fleet.DistributedMonitor,
+		Audit:              spec.Fleet.Audit.params(),
+		Adversary:          spec.Adversaries.config(),
+	}
+	if cfg.Adversary != nil {
+		// Select the cohort by what the monitor reports when the attack
+		// runs (post-warmup), not by end-of-trace availability.
+		cfg.Adversary.SelectAt = spec.Warmup.D()
 	}
 	d, err := exp.NewDeployment(backend, cfg)
 	if err != nil {
@@ -184,6 +191,13 @@ type runState struct {
 	attackProbes int
 	attackAccept float64
 	legitReject  float64
+
+	// onset is the virtual time the adversaries were first armed
+	// (detection latency baseline); bias holds the last bias probe.
+	onsetSet   bool
+	onset      time.Duration
+	biasProbed bool
+	bias       exp.BiasResult
 }
 
 func (r *runState) logf(format string, args ...any) {
@@ -210,8 +224,40 @@ func (r *runState) fire(i int, e *Event) error {
 		return r.anycastBatch(e.AnycastBatch)
 	case e.MulticastBatch != nil:
 		return r.multicastBatch(e.MulticastBatch)
+	case e.Adversary != nil:
+		return r.adversaryEvent(e.Adversary)
+	case e.BiasProbe != nil:
+		return r.biasProbe()
 	}
 	return fmt.Errorf("scenario: event %d has no action", i)
+}
+
+// adversaryEvent arms (onset) or disarms (offset) the Byzantine cohort.
+func (r *runState) adversaryEvent(a *AdversaryEvent) error {
+	cohort := r.w.Adversaries()
+	if len(cohort) == 0 {
+		return fmt.Errorf("scenario: adversary event without an adversary cohort")
+	}
+	r.w.SetAdversariesActive(a.Active)
+	if a.Active && !r.onsetSet {
+		r.onsetSet = true
+		r.onset = r.w.Now()
+	}
+	verb := "offset (behaviors disarmed)"
+	if a.Active {
+		verb = "onset (behaviors armed)"
+	}
+	r.logf("adversary %s: %d misbehaving nodes", verb, len(cohort))
+	return nil
+}
+
+// biasProbe snapshots adversary over-representation in honest state.
+func (r *runState) biasProbe() error {
+	r.bias = exp.OverlayBias(r.w)
+	r.biasProbed = true
+	r.logf("bias probe: coarse-view share %.3f (population %.3f, bias %.2f), membership share %.3f",
+		r.bias.CoarseShare, r.bias.PopulationShare, r.bias.Bias, r.bias.MembershipShare)
+	return nil
 }
 
 func (r *runState) churnBurst(b *ChurnBurst) error {
@@ -325,6 +371,23 @@ func (r *runState) metrics() map[string]float64 {
 	if r.attackProbes > 0 {
 		m["attack_accept_rate"] = r.attackAccept
 		m["legit_reject_rate"] = r.legitReject
+	}
+	if n := len(r.w.Adversaries()); n > 0 {
+		if hosts := len(r.w.Hosts()); hosts > 0 {
+			m["adversary_fraction"] = float64(n) / float64(hosts)
+		}
+		if r.w.AuditTrail() != nil {
+			stats := exp.EvictionReport(r.w, r.onset)
+			m["audit_eviction_rate"] = stats.DetectionRate()
+			m["audit_false_positive_rate"] = stats.FalsePositiveRate()
+			if stats.Detected > 0 {
+				m["audit_mean_detection_s"] = stats.MeanDetection.Seconds()
+			}
+		}
+	}
+	if r.biasProbed {
+		m["overlay_bias"] = r.bias.Bias
+		m["overlay_adversary_share"] = r.bias.CoarseShare
 	}
 	online := r.w.OnlineHosts()
 	var total, max int

@@ -23,7 +23,10 @@ import (
 	"strings"
 	"time"
 
+	"avmem/internal/adversary"
+	"avmem/internal/audit"
 	"avmem/internal/core"
+	"avmem/internal/exp"
 	"avmem/internal/ops"
 )
 
@@ -63,6 +66,9 @@ type Spec struct {
 	Seed int64 `json:"seed"`
 	// Fleet describes the deployment under test.
 	Fleet Fleet `json:"fleet"`
+	// Adversaries optionally makes a fraction of the fleet misbehave
+	// (Byzantine behaviors injected under the Runtime/Env contract).
+	Adversaries *AdversariesSpec `json:"adversaries,omitempty"`
 	// Warmup runs before the first event (the paper warms up 24h).
 	Warmup Duration `json:"warmup"`
 	// Events fire in order at virtual times relative to warmup end.
@@ -101,6 +107,114 @@ type Fleet struct {
 	MonitorStaleness Duration `json:"monitor_staleness,omitempty"`
 	// DistributedMonitor swaps the oracle for the AVMON-style overlay.
 	DistributedMonitor bool `json:"distributed_monitor,omitempty"`
+	// Audit enables the receiving-side audit layer on every node
+	// (suspicion scores, hysteresis, blacklist/eviction). An empty
+	// object takes the defaults.
+	Audit *AuditSpec `json:"audit,omitempty"`
+}
+
+// AuditSpec tunes the audit layer (internal/audit). Zero fields take
+// the audit defaults.
+type AuditSpec struct {
+	// ClaimTolerance is the allowed claimed-over-monitored availability
+	// excess (default 0.25).
+	ClaimTolerance float64 `json:"claim_tolerance,omitempty"`
+	// ClaimWarmup suppresses claim evidence before this virtual time
+	// (default 1h).
+	ClaimWarmup Duration `json:"claim_warmup,omitempty"`
+	// EvictThreshold is the suspicion score that evicts (default 3).
+	EvictThreshold float64 `json:"evict_threshold,omitempty"`
+	// HardWeight scores a provable violation (default: EvictThreshold —
+	// hard evidence evicts at once).
+	HardWeight float64 `json:"hard_weight,omitempty"`
+	// SoftWeight scores a failed predicate recheck (default 0.2).
+	SoftWeight float64 `json:"soft_weight,omitempty"`
+	// Decay is subtracted per clean observation (default 0.05).
+	Decay float64 `json:"decay,omitempty"`
+	// RecheckCushion widens the predicate recheck (default 0.1).
+	RecheckCushion float64 `json:"recheck_cushion,omitempty"`
+}
+
+// params maps the spec block to audit parameters.
+func (a *AuditSpec) params() *audit.Params {
+	if a == nil {
+		return nil
+	}
+	return &audit.Params{
+		ClaimTolerance: a.ClaimTolerance,
+		ClaimWarmup:    a.ClaimWarmup.D(),
+		EvictThreshold: a.EvictThreshold,
+		HardWeight:     a.HardWeight,
+		SoftWeight:     a.SoftWeight,
+		Decay:          a.Decay,
+		RecheckCushion: a.RecheckCushion,
+	}
+}
+
+// AdversaryBehaviors enumerates the behavior names an adversaries block
+// may mix, with a short description of each.
+var AdversaryBehaviors = map[string]string{
+	"inflate":           "lie about own availability in every membership/operation exchange (inflate_to)",
+	"eclipse":           "poison coarse-view exchanges with the adversary cohort and self-entries",
+	"selective-forward": "black-hole relayed operations with probability drop_rate, acknowledging receipt",
+	"free-ride":         "ignore inbound shuffle requests (shirk membership duties)",
+}
+
+// AdversariesSpec describes the Byzantine cohort: how much of the
+// population misbehaves, which availability band it is drawn from, and
+// the behavior mix every member runs. Onset/offset are driven by
+// adversary events.
+type AdversariesSpec struct {
+	// Fraction of the population that misbehaves, (0, 0.5].
+	Fraction float64 `json:"fraction"`
+	// BandLo/BandHi restrict cohort selection by long-term availability
+	// (zero band_hi = no upper bound).
+	BandLo float64 `json:"band_lo,omitempty"`
+	BandHi float64 `json:"band_hi,omitempty"`
+	// Behaviors is the mix (see AdversaryBehaviors).
+	Behaviors []string `json:"behaviors"`
+	// InflateTo is the claimed availability of the inflate behavior
+	// (default 0.98).
+	InflateTo float64 `json:"inflate_to,omitempty"`
+	// DropRate is the selective-forward drop probability (default 0.5).
+	DropRate float64 `json:"drop_rate,omitempty"`
+	// ActiveAtStart arms the behaviors from the beginning (including
+	// warmup); otherwise an adversary onset event activates them.
+	ActiveAtStart bool `json:"active_at_start,omitempty"`
+}
+
+// config maps the spec block to the deployment engines' adversary
+// configuration.
+func (a *AdversariesSpec) config() *exp.AdversaryConfig {
+	if a == nil {
+		return nil
+	}
+	prof := adversary.Profile{}
+	for _, b := range a.Behaviors {
+		switch b {
+		case "inflate":
+			prof.InflateTo = a.InflateTo
+			if prof.InflateTo == 0 {
+				prof.InflateTo = 0.98
+			}
+		case "eclipse":
+			prof.Eclipse = true
+		case "selective-forward":
+			prof.DropRate = a.DropRate
+			if prof.DropRate == 0 {
+				prof.DropRate = 0.5
+			}
+		case "free-ride":
+			prof.FreeRide = true
+		}
+	}
+	return &exp.AdversaryConfig{
+		Fraction:      a.Fraction,
+		BandLo:        a.BandLo,
+		BandHi:        a.BandHi,
+		Profile:       prof,
+		ActiveAtStart: a.ActiveAtStart,
+	}
 }
 
 // Event is one timed action. Exactly one of the action fields is set.
@@ -114,7 +228,21 @@ type Event struct {
 	MonitorNoise   *MonitorNoise   `json:"monitor_noise,omitempty"`
 	AnycastBatch   *AnycastBatch   `json:"anycast_batch,omitempty"`
 	MulticastBatch *MulticastBatch `json:"multicast_batch,omitempty"`
+	Adversary      *AdversaryEvent `json:"adversary,omitempty"`
+	BiasProbe      *BiasProbe      `json:"bias_probe,omitempty"`
 }
+
+// AdversaryEvent arms (onset) or disarms (offset) the Byzantine
+// cohort's behaviors; requires an adversaries block.
+type AdversaryEvent struct {
+	Active bool `json:"active"`
+}
+
+// BiasProbe snapshots the adversary cohort's over-representation in
+// honest nodes' coarse views and membership lists (the eclipse-success
+// measure); the last probe's values become the overlay_bias and
+// overlay_adversary_share metrics.
+type BiasProbe struct{}
 
 // ChurnBurst forces a fraction of the online population offline for a
 // fixed duration — a correlated failure (power event, partition) on top
@@ -214,6 +342,13 @@ var Metrics = map[string]string{
 	"max_sliver_size":       "largest total membership-list size across online nodes at run end",
 	"mean_degree":           "alias of mean_sliver_size (kept for symmetry with the figure harness)",
 	"online_fraction":       "fraction of the population online at run end",
+
+	"adversary_fraction":        "configured adversary cohort as a fraction of the population",
+	"audit_eviction_rate":       "fraction of engaged adversaries (sent traffic while armed) evicted by at least one honest node",
+	"audit_false_positive_rate": "fraction of honest nodes evicted by at least one honest node at run end",
+	"audit_mean_detection_s":    "mean seconds from adversary onset to first honest eviction, over detected adversaries",
+	"overlay_bias":              "last bias probe: adversary coarse-view share over population share (1 = unbiased)",
+	"overlay_adversary_share":   "last bias probe: adversary share of honest nodes' coarse views",
 }
 
 // Load parses and validates a scenario spec from r. Unknown fields are
@@ -318,6 +453,133 @@ func unknownFieldKey(err error) (string, bool) {
 	return rest[:j], true
 }
 
+// LoadFileAll parses the scenario at path and returns every validation
+// problem at once, each annotated with the source line of its key —
+// the all-errors mode behind `avmemsim validate`. A file that cannot
+// be read or decoded yields a single problem (decoding stops at the
+// first malformed construct by nature); the spec is non-nil only when
+// the file decoded.
+func LoadFileAll(path string) (*Spec, []Problem) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, []Problem{{Msg: err.Error()}}
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, []Problem{{Msg: fmt.Sprintf("parsing spec: %v", locate(data, dec, err))}}
+	}
+	ps := s.Problems()
+	lines := keyLines(data)
+	for i := range ps {
+		ps[i].Line = lineForPath(lines, ps[i].Path)
+	}
+	return &s, ps
+}
+
+// lineForPath resolves a problem path to a source line, walking up the
+// path (dropping trailing segments) until a key that exists in the
+// file is found — a problem about a *missing* key is pinned to its
+// nearest present ancestor.
+func lineForPath(lines map[string]int, path string) int {
+	for path != "" {
+		if l, ok := lines[path]; ok {
+			return l
+		}
+		i := strings.LastIndexAny(path, ".[")
+		if i < 0 {
+			return 0
+		}
+		path = path[:i]
+	}
+	return 0
+}
+
+// keyLines maps every object key's dotted path — and every array
+// element's bracketed path — to its 1-based source line, by streaming
+// the tokens once. Malformed input yields whatever prefix decoded.
+func keyLines(data []byte) map[string]int {
+	type frame struct {
+		array     bool
+		prefix    string
+		index     int
+		expectKey bool
+		keyPath   string
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	offsets := make(map[string]int64, 64)
+	var stack []frame
+	childPrefix := func(t json.Delim) {
+		stack = append(stack, frame{array: t == '[', expectKey: t == '{'})
+	}
+	complete := func() {
+		if len(stack) == 0 {
+			return
+		}
+		top := &stack[len(stack)-1]
+		if top.array {
+			top.index++
+		} else {
+			top.expectKey = true
+		}
+	}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		if len(stack) == 0 {
+			if t, ok := tok.(json.Delim); ok && (t == '{' || t == '[') {
+				childPrefix(t)
+			}
+			continue
+		}
+		top := &stack[len(stack)-1]
+		if t, ok := tok.(json.Delim); ok {
+			if t == '}' || t == ']' {
+				stack = stack[:len(stack)-1]
+				complete()
+				continue
+			}
+			// A nested container begins: name it after its slot.
+			prefix := top.keyPath
+			if top.array {
+				prefix = fmt.Sprintf("%s[%d]", top.prefix, top.index)
+				offsets[prefix] = dec.InputOffset()
+			}
+			childPrefix(t)
+			stack[len(stack)-1].prefix = prefix
+			stack[len(stack)-1].keyPath = prefix
+			continue
+		}
+		if top.array {
+			complete()
+			continue
+		}
+		if top.expectKey {
+			key, _ := tok.(string)
+			path := key
+			if top.prefix != "" {
+				path = top.prefix + "." + key
+			}
+			offsets[path] = dec.InputOffset()
+			top.keyPath = path
+			top.expectKey = false
+			continue
+		}
+		complete()
+	}
+	lines := make(map[string]int, len(offsets))
+	for path, off := range offsets {
+		if off > int64(len(data)) {
+			off = int64(len(data))
+		}
+		lines[path] = 1 + bytes.Count(data[:off], []byte{'\n'})
+	}
+	return lines
+}
+
 // LoadFile parses and validates the scenario spec at path.
 func LoadFile(path string) (*Spec, error) {
 	f, err := os.Open(path)
@@ -332,94 +594,198 @@ func LoadFile(path string) (*Spec, error) {
 	return s, nil
 }
 
+// Problem is one validation failure, pinned to the offending key.
+type Problem struct {
+	// Path is the dotted key path, e.g. "events[2].churn_burst.fraction".
+	Path string
+	// Msg describes the failure.
+	Msg string
+	// Line is the key's 1-based source line when known (LoadFileAll),
+	// zero otherwise (e.g. a missing required key).
+	Line int
+}
+
+// String renders "path: msg", with a leading "line N: " when located.
+func (p Problem) String() string {
+	s := p.Msg
+	if p.Path != "" {
+		s = p.Path + ": " + s
+	}
+	if p.Line > 0 {
+		s = fmt.Sprintf("line %d: %s", p.Line, s)
+	}
+	return s
+}
+
+// problems accumulates validation failures.
+type problems struct{ list []Problem }
+
+func (ps *problems) add(path, format string, args ...any) {
+	ps.list = append(ps.list, Problem{Path: path, Msg: fmt.Sprintf(format, args...)})
+}
+
 // Validate checks the spec is well formed and every referenced enum,
-// target, and metric exists. It does not build the world.
+// target, and metric exists; the first failure is returned as an error.
+// It does not build the world. Problems returns all failures at once.
 func (s *Spec) Validate() error {
-	if s.Name == "" {
-		return fmt.Errorf("scenario: name is required")
-	}
-	if s.Fleet.Hosts < 0 || (s.Fleet.Trace == "" && s.Fleet.Hosts > 0 && s.Fleet.Hosts < 10) {
-		return fmt.Errorf("scenario: fleet.hosts must be 0 (default) or >= 10, got %d", s.Fleet.Hosts)
-	}
-	if s.Fleet.Days < 0 {
-		return fmt.Errorf("scenario: fleet.days must be non-negative, got %v", s.Fleet.Days)
-	}
-	if s.Warmup < 0 {
-		return fmt.Errorf("scenario: warmup must be non-negative, got %v", s.Warmup.D())
-	}
-	if len(s.Events) == 0 {
-		return fmt.Errorf("scenario: at least one event is required")
-	}
-	prev := Duration(0)
-	for i := range s.Events {
-		if err := s.Events[i].validate(); err != nil {
-			return fmt.Errorf("scenario: event %d: %w", i, err)
-		}
-		if s.Events[i].At < prev {
-			return fmt.Errorf("scenario: event %d: at %v is before event %d's %v (events must be time-ordered)",
-				i, s.Events[i].At.D(), i-1, prev.D())
-		}
-		prev = s.Events[i].At
-	}
-	for i, a := range s.Assertions {
-		if _, ok := Metrics[a.Metric]; !ok {
-			return fmt.Errorf("scenario: assertion %d: unknown metric %q", i, a.Metric)
-		}
-		if a.Min == nil && a.Max == nil {
-			return fmt.Errorf("scenario: assertion %d (%s): needs min and/or max", i, a.Metric)
-		}
-		if a.Min != nil && a.Max != nil && *a.Min > *a.Max {
-			return fmt.Errorf("scenario: assertion %d (%s): min %v > max %v", i, a.Metric, *a.Min, *a.Max)
-		}
+	if ps := s.Problems(); len(ps) > 0 {
+		return fmt.Errorf("scenario: %s", ps[0])
 	}
 	return nil
 }
 
-func (e *Event) validate() error {
+// Problems checks the whole spec and returns every validation failure,
+// each pinned to its key path — `avmemsim validate` reports them all
+// instead of stopping at the first.
+func (s *Spec) Problems() []Problem {
+	ps := &problems{}
+	if s.Name == "" {
+		ps.add("name", "name is required")
+	}
+	if s.Fleet.Hosts < 0 || (s.Fleet.Trace == "" && s.Fleet.Hosts > 0 && s.Fleet.Hosts < 10) {
+		ps.add("fleet.hosts", "must be 0 (default) or >= 10, got %d", s.Fleet.Hosts)
+	}
+	if s.Fleet.Days < 0 {
+		ps.add("fleet.days", "must be non-negative, got %v", s.Fleet.Days)
+	}
+	s.Fleet.Audit.problems(ps)
+	s.Adversaries.problems(ps)
+	if s.Warmup < 0 {
+		ps.add("warmup", "must be non-negative, got %v", s.Warmup.D())
+	}
+	if len(s.Events) == 0 {
+		ps.add("events", "at least one event is required")
+	}
+	prev := Duration(0)
+	for i := range s.Events {
+		path := fmt.Sprintf("events[%d]", i)
+		s.Events[i].problems(ps, path, s.Adversaries != nil)
+		if s.Events[i].At < prev {
+			ps.add(path+".at", "%v is before event %d's %v (events must be time-ordered)",
+				s.Events[i].At.D(), i-1, prev.D())
+		}
+		prev = s.Events[i].At
+	}
+	for i, a := range s.Assertions {
+		path := fmt.Sprintf("assertions[%d]", i)
+		if _, ok := Metrics[a.Metric]; !ok {
+			ps.add(path+".metric", "unknown metric %q", a.Metric)
+			continue
+		}
+		if a.Min == nil && a.Max == nil {
+			ps.add(path, "%s: needs min and/or max", a.Metric)
+		}
+		if a.Min != nil && a.Max != nil && *a.Min > *a.Max {
+			ps.add(path, "%s: min %v > max %v", a.Metric, *a.Min, *a.Max)
+		}
+	}
+	return ps.list
+}
+
+func (a *AuditSpec) problems(ps *problems) {
+	if a == nil {
+		return
+	}
+	const path = "fleet.audit"
+	if a.ClaimTolerance < 0 || a.ClaimTolerance > 1 {
+		ps.add(path+".claim_tolerance", "must be in [0,1], got %v", a.ClaimTolerance)
+	}
+	if a.EvictThreshold < 0 {
+		ps.add(path+".evict_threshold", "must be non-negative, got %v", a.EvictThreshold)
+	}
+	if a.HardWeight < 0 || a.SoftWeight < 0 || a.Decay < 0 {
+		ps.add(path, "weights must be non-negative, got hard %v soft %v decay %v",
+			a.HardWeight, a.SoftWeight, a.Decay)
+	}
+	if a.RecheckCushion < 0 || a.RecheckCushion > 1 {
+		ps.add(path+".recheck_cushion", "must be in [0,1], got %v", a.RecheckCushion)
+	}
+}
+
+func (a *AdversariesSpec) problems(ps *problems) {
+	if a == nil {
+		return
+	}
+	const path = "adversaries"
+	if a.Fraction <= 0 || a.Fraction > 0.5 {
+		ps.add(path+".fraction", "must be in (0,0.5], got %v", a.Fraction)
+	}
+	if err := validateBand(a.BandLo, a.BandHi); err != nil {
+		ps.add(path, "%v", err)
+	}
+	if len(a.Behaviors) == 0 {
+		ps.add(path+".behaviors", "at least one behavior is required (inflate, eclipse, selective-forward, free-ride)")
+	}
+	for i, b := range a.Behaviors {
+		if _, ok := AdversaryBehaviors[b]; !ok {
+			ps.add(fmt.Sprintf("%s.behaviors[%d]", path, i),
+				"unknown behavior %q (inflate, eclipse, selective-forward, free-ride)", b)
+		}
+	}
+	if a.InflateTo < 0 || a.InflateTo > 1 {
+		ps.add(path+".inflate_to", "must be in [0,1], got %v", a.InflateTo)
+	}
+	if a.DropRate < 0 || a.DropRate > 1 {
+		ps.add(path+".drop_rate", "must be in [0,1], got %v", a.DropRate)
+	}
+}
+
+func (e *Event) problems(ps *problems, path string, haveAdversaries bool) {
 	if e.At < 0 {
-		return fmt.Errorf("at must be non-negative, got %v", e.At.D())
+		ps.add(path+".at", "must be non-negative, got %v", e.At.D())
 	}
 	n := 0
 	if e.ChurnBurst != nil {
 		n++
 		if e.ChurnBurst.Fraction <= 0 || e.ChurnBurst.Fraction > 1 {
-			return fmt.Errorf("churn_burst.fraction must be in (0,1], got %v", e.ChurnBurst.Fraction)
+			ps.add(path+".churn_burst.fraction", "must be in (0,1], got %v", e.ChurnBurst.Fraction)
 		}
 		if e.ChurnBurst.Duration <= 0 {
-			return fmt.Errorf("churn_burst.duration must be positive, got %v", e.ChurnBurst.Duration.D())
+			ps.add(path+".churn_burst.duration", "must be positive, got %v", e.ChurnBurst.Duration.D())
 		}
 	}
 	if e.Attack != nil {
 		n++
 		if e.Attack.Cushion < 0 || e.Attack.Cushion > 1 {
-			return fmt.Errorf("attack.cushion must be in [0,1], got %v", e.Attack.Cushion)
+			ps.add(path+".attack.cushion", "must be in [0,1], got %v", e.Attack.Cushion)
 		}
 	}
 	if e.MonitorNoise != nil {
 		n++
 		if e.MonitorNoise.Error < 0 || e.MonitorNoise.Error > 1 {
-			return fmt.Errorf("monitor_noise.error must be in [0,1], got %v", e.MonitorNoise.Error)
+			ps.add(path+".monitor_noise.error", "must be in [0,1], got %v", e.MonitorNoise.Error)
 		}
 		if e.MonitorNoise.Staleness < 0 {
-			return fmt.Errorf("monitor_noise.staleness must be non-negative")
+			ps.add(path+".monitor_noise.staleness", "must be non-negative")
 		}
 	}
 	if e.AnycastBatch != nil {
 		n++
 		if err := e.AnycastBatch.validate(); err != nil {
-			return fmt.Errorf("anycast_batch: %w", err)
+			ps.add(path+".anycast_batch", "%v", err)
 		}
 	}
 	if e.MulticastBatch != nil {
 		n++
 		if err := e.MulticastBatch.validate(); err != nil {
-			return fmt.Errorf("multicast_batch: %w", err)
+			ps.add(path+".multicast_batch", "%v", err)
+		}
+	}
+	if e.Adversary != nil {
+		n++
+		if !haveAdversaries {
+			ps.add(path+".adversary", "requires an adversaries block")
+		}
+	}
+	if e.BiasProbe != nil {
+		n++
+		if !haveAdversaries {
+			ps.add(path+".bias_probe", "requires an adversaries block")
 		}
 	}
 	if n != 1 {
-		return fmt.Errorf("exactly one action per event (churn_burst, attack, monitor_noise, anycast_batch, multicast_batch), got %d", n)
+		ps.add(path, "exactly one action per event (churn_burst, attack, monitor_noise, anycast_batch, multicast_batch, adversary, bias_probe), got %d", n)
 	}
-	return nil
 }
 
 func (b *AnycastBatch) validate() error {

@@ -12,11 +12,21 @@ import (
 // initiator offers (including a fresh self-entry).
 type Request struct {
 	Entries []Entry
+	// SenderAvail is the initiator's claimed availability, stamped by
+	// the owning node. Receivers' audit layers cross-check it against
+	// the monitoring service; the agent itself ignores it.
+	SenderAvail float64
 }
 
 // Reply is the responder half: the entries the responder offers back.
+// An honest responder samples only from its view, which never contains
+// itself — a reply advertising its own sender is therefore standalone
+// evidence of view poisoning, and the audit layer treats it as such.
 type Reply struct {
 	Entries []Entry
+	// SenderAvail is the responder's claimed availability (see
+	// Request.SenderAvail).
+	SenderAvail float64
 }
 
 // Agent is the live, message-based counterpart of Cyclon: one Agent

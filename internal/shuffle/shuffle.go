@@ -115,6 +115,37 @@ type Cyclon struct {
 	// merge copies entries out, so nothing retains these between calls.
 	permScratch []int
 	outX, outQ  []Entry
+	// tap, when set, intercepts every exchange (adversary injection and
+	// audit observation); nil is the zero-cost honest path.
+	tap *Tap
+}
+
+// Tap intercepts the centrally simulated CYCLON exchanges, giving the
+// simulation engine the same adversary-injection and audit seams the
+// live runtime gets from real shuffle messages: Outbound is where a
+// misbehaving owner rewrites its offer (and lies about its
+// availability), Inbound is where the receiving party audits what it
+// got, and Refuse models a free-rider ignoring exchange requests. All
+// fields are optional; a nil Tap (the default) leaves exchanges
+// untouched.
+type Tap struct {
+	// Outbound lets owner rewrite the entries it contributes to an
+	// exchange and attach its availability claim, or drop its half of
+	// the exchange entirely (a dropped request aborts the exchange like
+	// an unanswered live request; a dropped reply leaves the initiator
+	// empty-handed); reply marks the responder side. The returned slice
+	// may alias the input. Delaying is not expressible here — the
+	// central exchange is instantaneous; behaviors that delay live
+	// traffic degrade to passthrough on this engine.
+	Outbound func(owner ids.NodeID, reply bool, entries []Entry) (out []Entry, claim float64, drop bool)
+	// Inbound observes the entries receiver obtained from its exchange
+	// partner; returning false drops them (the receiver has audited the
+	// sender out), which also cancels the rest of the exchange.
+	Inbound func(receiver, sender ids.NodeID, reply bool, entries []Entry, claim float64) bool
+	// Refuse reports whether owner ignores inbound exchange requests (a
+	// free-rider); the initiator's offer then goes unanswered, exactly
+	// like an ignored live request.
+	Refuse func(owner ids.NodeID) bool
 }
 
 var _ Service = (*Cyclon)(nil)
@@ -412,6 +443,9 @@ func (c *Cyclon) tick(vx *view) {
 	}
 }
 
+// SetTap installs (or, with nil, removes) the exchange interceptor.
+func (c *Cyclon) SetTap(t *Tap) { c.tap = t }
+
 // exchange swaps subsets between initiator vx (whose oldest entry sits
 // at index qIdx and belongs to responder vq).
 func (c *Cyclon) exchange(vx, vq *view, qIdx int) {
@@ -423,8 +457,51 @@ func (c *Cyclon) exchange(vx, vq *view, qIdx int) {
 
 	c.outQ = c.sampleEntries(c.outQ[:0], vq, c.shuffleLen)
 
-	c.merge(vq, c.outX)
-	c.merge(vx, c.outQ)
+	if c.tap == nil {
+		c.merge(vq, c.outX)
+		c.merge(vx, c.outQ)
+		return
+	}
+	// Request half: the initiator's offer crosses the tap; a dropping
+	// initiator, a refusing responder, or a rejecting responder ends
+	// the exchange with the initiator's entry for it already spent —
+	// the cost an unanswered live request has.
+	offerX, claimX, dropX := c.tapOutbound(vx.self, false, c.outX)
+	if dropX {
+		return
+	}
+	if c.tap.Refuse != nil && c.tap.Refuse(vq.self) {
+		return
+	}
+	if !c.tapInbound(vq.self, vx.self, false, offerX, claimX) {
+		return
+	}
+	c.merge(vq, offerX)
+	// Reply half: a dropped reply leaves the initiator empty-handed.
+	offerQ, claimQ, dropQ := c.tapOutbound(vq.self, true, c.outQ)
+	if dropQ {
+		return
+	}
+	if !c.tapInbound(vx.self, vq.self, true, offerQ, claimQ) {
+		return
+	}
+	c.merge(vx, offerQ)
+}
+
+// tapOutbound runs the Outbound hook, defaulting to the honest offer.
+func (c *Cyclon) tapOutbound(owner ids.NodeID, reply bool, entries []Entry) ([]Entry, float64, bool) {
+	if c.tap.Outbound == nil {
+		return entries, 0, false
+	}
+	return c.tap.Outbound(owner, reply, entries)
+}
+
+// tapInbound runs the Inbound hook, defaulting to acceptance.
+func (c *Cyclon) tapInbound(receiver, sender ids.NodeID, reply bool, entries []Entry, claim float64) bool {
+	if c.tap.Inbound == nil {
+		return true
+	}
+	return c.tap.Inbound(receiver, sender, reply, entries, claim)
 }
 
 // sampleEntries appends up to n distinct random entries from v to dst
