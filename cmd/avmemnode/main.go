@@ -14,6 +14,8 @@
 //	10.0.0.5:4000 0.82
 //	10.0.0.6:4000 0.31
 //	10.0.0.7:4000 0.95
+//
+// Architecture: DESIGN.md §11 (live runtime).
 package main
 
 import (

@@ -19,7 +19,13 @@
 // Full scale means the paper's setting: a 1442-host, 7-day Overnet-like
 // churn trace, 24-hour warmup, 5 runs × 50 messages per point.
 // `avmemsim run` exits non-zero when a scenario assertion fails; see
-// internal/scenario for the spec format and scenarios/ for examples.
+// internal/scenario for the spec format and scenarios/ for examples —
+// scenario events cover the whole operation catalogue: anycast and
+// multicast batches, range-casts, in-overlay aggregations, churn
+// bursts, attack probes, monitor-noise ramps, and adversary onsets.
+//
+// Architecture: DESIGN.md §9 (deployment engines and the scenario
+// layer).
 package main
 
 import (

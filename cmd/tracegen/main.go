@@ -6,6 +6,9 @@
 //	tracegen -hosts 1442 -days 7 -seed 1 -o overnet.trace
 //	tracegen -pdf uniform -hosts 500 -o uniform.trace
 //	tracegen -stats -o /dev/null          # print summary only
+//
+// Architecture: DESIGN.md §5 (deterministic simulation — churn traces)
+// and §8 (parameter defaults).
 package main
 
 import (

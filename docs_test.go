@@ -1,0 +1,104 @@
+package avmem
+
+// Documentation checks, run by the CI docs job (and ordinary go test):
+// markdown links in the top-level documents must resolve, and every
+// package must carry a godoc package comment. They live at the repo
+// root so the repository layout is in reach without configuration.
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdFiles are the documents the link check covers.
+var mdFiles = []string{
+	"README.md",
+	"DESIGN.md",
+	"EXPERIMENTS.md",
+	"ROADMAP.md",
+	"PAPER.md",
+	"CHANGES.md",
+}
+
+// mdLink matches inline markdown links [text](target); images share
+// the same shape with a leading bang, which the pattern tolerates.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks verifies every relative link in the top-level
+// documents points at a file or directory that exists. External
+// schemes are skipped — CI must not depend on the network — and pure
+// fragment links are out of scope (section anchors move with
+// headings; file existence is the bit-rot that actually happens).
+func TestMarkdownLinks(t *testing.T) {
+	for _, file := range mdFiles {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Errorf("%s: %v", file, err)
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			rel := filepath.FromSlash(target)
+			if _, err := os.Stat(filepath.Join(filepath.Dir(file), rel)); err != nil {
+				t.Errorf("%s: broken link %q: %v", file, m[1], err)
+			}
+		}
+	}
+}
+
+// TestPackageComments enforces the documentation bar: every package in
+// the module — internal, cmd, examples, and the root — carries a godoc
+// package comment. New packages fail here until they say what they are
+// for.
+func TestPackageComments(t *testing.T) {
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if name := d.Name(); path != "." && (strings.HasPrefix(name, ".") || name == "scripts" || name == "scenarios") {
+			return filepath.SkipDir
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, path, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			return nil
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				t.Errorf("package %s (%s) has no godoc package comment", name, path)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,6 +16,8 @@
 // (poisoning coarse-view exchanges with the adversary cohort), selective
 // forwarding (black-holing relayed management operations while
 // acknowledging receipt), and free-riding (ignoring shuffle duties).
+//
+// Architecture: DESIGN.md §10 (adversary & audit subsystem).
 package adversary
 
 import (
@@ -171,6 +173,18 @@ func (i Inflate) Outbound(_ ids.NodeID, msg any) Decision {
 	case ops.MulticastMsg:
 		m.SenderAvail = i.To
 		return Decision{Msg: m}
+	case ops.RangecastMsg:
+		m.SenderAvail = i.To
+		return Decision{Msg: m}
+	case ops.AggMsg:
+		m.SenderAvail = i.To
+		return Decision{Msg: m}
+	case ops.AggReplyMsg:
+		m.SenderAvail = i.To
+		return Decision{Msg: m}
+	case ops.AggResultMsg:
+		m.SenderAvail = i.To
+		return Decision{Msg: m}
 	case shuffle.Request:
 		m.SenderAvail = i.To
 		return Decision{Msg: m}
@@ -282,6 +296,10 @@ func (s *SelectiveForward) Outbound(_ ids.NodeID, msg any) Decision {
 	case ops.AnycastMsg:
 		origin = m.ID.Origin
 	case ops.MulticastMsg:
+		origin = m.ID.Origin
+	case ops.RangecastMsg:
+		origin = m.ID.Origin
+	case ops.AggMsg:
 		origin = m.ID.Origin
 	default:
 		return Decision{Msg: msg}

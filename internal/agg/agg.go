@@ -1,0 +1,356 @@
+// Package agg implements in-overlay partial aggregation — the third
+// management-operation family next to anycast and multicast (DESIGN.md
+// §13). An aggregation operation computes count/sum/min/max/avg of a
+// node-local value over every node whose availability lies in a
+// half-open band, without any central collection point: the request
+// disseminates through the availability-filtered sliver lists, forming
+// an implicit spanning tree (each node's parent is the peer it first
+// heard the request from), and partial aggregates flow back up the tree
+// with per-hop combining, so no node ever sees more than its children's
+// partials.
+//
+// The package is transport-agnostic: Partial is the pure combining
+// algebra, and Station is the per-node state machine — duplicate
+// suppression by operation id, child-partial absorption, and
+// convergence detection (a pending aggregation finalizes as soon as
+// every forwarded-to child is accounted for by a partial, a decline, or
+// a delivery failure, with a depth-staggered wave deadline as the hard
+// backstop for children lost mid-operation). ops.Router owns a Station
+// and binds it to the wire messages; internal/exp supplies ground truth
+// and accuracy accounting.
+package agg
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Op selects the aggregate an operation computes.
+type Op int
+
+// Aggregation operators.
+const (
+	// Count counts the contributing nodes.
+	Count Op = iota + 1
+	// Sum adds the node-local values.
+	Sum
+	// Min takes the smallest node-local value.
+	Min
+	// Max takes the largest node-local value.
+	Max
+	// Avg divides Sum by Count.
+	Avg
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Avg:
+		return "avg"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Validate checks the operator is known.
+func (o Op) Validate() error {
+	switch o {
+	case Count, Sum, Min, Max, Avg:
+		return nil
+	default:
+		return fmt.Errorf("agg: invalid op %v", o)
+	}
+}
+
+// Partial is a combinable partial aggregate. It carries every moment
+// the supported operators need, so one wire struct serves all five and
+// merging is associative and commutative — the order children report
+// in cannot change the result (Sum up to floating-point rounding; the
+// discrete moments exactly). Within one engine run the report order is
+// itself deterministic, so scenario results stay bit-reproducible.
+type Partial struct {
+	// N counts contributing nodes.
+	N int
+	// Sum, Min, Max fold the contributed values (Min/Max are only
+	// meaningful when N > 0).
+	Sum float64
+	Min float64
+	Max float64
+	// Depth is the maximum tree depth over all contributors — the
+	// operation's hop radius, reported for the agg_mean_hops metric.
+	Depth int
+}
+
+// Observe folds one node-local value contributed at the given tree
+// depth into the partial.
+func (p *Partial) Observe(v float64, depth int) {
+	if p.N == 0 || v < p.Min {
+		p.Min = v
+	}
+	if p.N == 0 || v > p.Max {
+		p.Max = v
+	}
+	p.N++
+	p.Sum += v
+	if depth > p.Depth {
+		p.Depth = depth
+	}
+}
+
+// Merge folds a child partial into this one.
+func (p *Partial) Merge(q Partial) {
+	if q.N == 0 {
+		return
+	}
+	if p.N == 0 || q.Min < p.Min {
+		p.Min = q.Min
+	}
+	if p.N == 0 || q.Max > p.Max {
+		p.Max = q.Max
+	}
+	p.N += q.N
+	p.Sum += q.Sum
+	if q.Depth > p.Depth {
+		p.Depth = q.Depth
+	}
+}
+
+// Value extracts the aggregate for op. An empty partial (no
+// contributors) yields NaN for the value operators and 0 for Count.
+func (p Partial) Value(op Op) float64 {
+	switch op {
+	case Count:
+		return float64(p.N)
+	case Sum:
+		return p.Sum
+	case Min:
+		if p.N == 0 {
+			return math.NaN()
+		}
+		return p.Min
+	case Max:
+		if p.N == 0 {
+			return math.NaN()
+		}
+		return p.Max
+	case Avg:
+		if p.N == 0 {
+			return math.NaN()
+		}
+		return p.Sum / float64(p.N)
+	default:
+		return math.NaN()
+	}
+}
+
+// Params tunes the aggregation wave timing. The zero value takes the
+// defaults.
+type Params struct {
+	// Wave is the per-level hold quantum of the deadline backstop: a
+	// node at depth d finalizes no later than Wave×(MaxDepth−d+1) after
+	// it joined the tree, so children (deeper, hence shorter budgets)
+	// hit their deadlines before their parents do. Default 1s —
+	// comfortably above the per-hop latency model, so a child's partial
+	// beats its parent's deadline even on the slowest link.
+	Wave time.Duration
+	// MaxDepth bounds the dissemination tree; nodes at MaxDepth stop
+	// forwarding (default 8, ≈ overlay diameter at paper scale).
+	MaxDepth int
+}
+
+// withDefaults resolves zero fields.
+func (p Params) withDefaults() Params {
+	if p.Wave == 0 {
+		p.Wave = time.Second
+	}
+	if p.MaxDepth == 0 {
+		p.MaxDepth = 8
+	}
+	return p
+}
+
+// Validate rejects nonsensical timing.
+func (p Params) Validate() error {
+	if p.Wave < 0 || p.MaxDepth < 0 {
+		return fmt.Errorf("agg: negative params %+v", p)
+	}
+	return nil
+}
+
+// maxDone bounds the finished-operation suppression set; like the
+// router's seen set, aggregations are short-lived so a full reset on
+// overflow is harmless.
+const maxDone = 1 << 14
+
+// pending is one in-flight aggregation at this node.
+type pending struct {
+	acc      Partial
+	finalize func(Partial)
+	// outstanding counts forwarded-to children not yet accounted for;
+	// expected flips once Expect ran, so an aggregation cannot converge
+	// before the caller even forwarded the request.
+	outstanding int
+	expected    bool
+	// waves counts deadline ticks so far; deadline is the tick budget
+	// (depth-staggered hard stop for children lost mid-operation).
+	waves    int
+	deadline int
+}
+
+// Station is the per-node aggregation state machine. It owns no wire
+// format and no locks: the caller (ops.Router under the simulator's
+// single thread, or node.Node under its gate) serializes access and
+// supplies the clockwork through After.
+type Station[K comparable] struct {
+	params Params
+	after  func(d time.Duration, fn func())
+
+	open map[K]*pending
+	done map[K]bool
+}
+
+// NewStation builds a Station; after schedules the deadline waves (the
+// host Env's timer).
+func NewStation[K comparable](params Params, after func(d time.Duration, fn func())) (*Station[K], error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if after == nil {
+		return nil, fmt.Errorf("agg: after scheduler is required")
+	}
+	return &Station[K]{
+		params: params.withDefaults(),
+		after:  after,
+		open:   make(map[K]*pending, 8),
+		done:   make(map[K]bool, 64),
+	}, nil
+}
+
+// Params returns the station's resolved timing parameters.
+func (s *Station[K]) Params() Params { return s.params }
+
+// Seen reports whether the station already holds (or held) operation
+// id — the duplicate-suppression test a receiver consults before
+// joining the tree (a duplicate receiver declines instead).
+func (s *Station[K]) Seen(id K) bool {
+	if s.done[id] {
+		return true
+	}
+	_, ok := s.open[id]
+	return ok
+}
+
+// Open starts a pending aggregation for id at the given tree depth.
+// When contribute is true, local is folded in as this node's own value
+// (an out-of-band tree root relays without contributing). finalize is
+// called exactly once — at convergence or the deadline — with the
+// combined partial; the caller sends it to the parent, or to the
+// origin at the tree root. Open returns false for a duplicate id, in
+// which case nothing was started and the caller must decline rather
+// than forward again.
+func (s *Station[K]) Open(id K, depth int, local float64, contribute bool, finalize func(Partial)) bool {
+	if s.Seen(id) {
+		return false
+	}
+	levels := s.params.MaxDepth - depth
+	if levels < 0 {
+		levels = 0
+	}
+	p := &pending{finalize: finalize, deadline: levels + 1}
+	if contribute {
+		p.acc.Observe(local, depth)
+	}
+	s.open[id] = p
+	s.tick(id, p)
+	return true
+}
+
+// Expect records how many children the caller forwarded the request
+// to, arming convergence detection: once every child is accounted for
+// by Absorb or Decline, the aggregation finalizes without waiting for
+// the deadline. A leaf (children == 0) finalizes immediately. The
+// count is added, not assigned, so a delivery failure that nacked
+// synchronously during forwarding (before Expect ran) stays accounted.
+func (s *Station[K]) Expect(id K, children int) {
+	p, ok := s.open[id]
+	if !ok || p.expected {
+		return
+	}
+	p.expected = true
+	p.outstanding += children
+	s.maybeConverge(id, p)
+}
+
+// Absorb folds a child partial into a pending aggregation and marks
+// one child accounted for. Partials for unknown or finished operations
+// are dropped — late stragglers after the deadline, or duplicates
+// after an overflow reset.
+func (s *Station[K]) Absorb(id K, q Partial) {
+	p, ok := s.open[id]
+	if !ok {
+		return
+	}
+	p.acc.Merge(q)
+	p.outstanding--
+	s.maybeConverge(id, p)
+}
+
+// Decline marks one child accounted for without a contribution: the
+// child was already in the tree through another parent, lies outside
+// the band, or was unreachable (the forwarding SendCall nacked).
+func (s *Station[K]) Decline(id K) {
+	p, ok := s.open[id]
+	if !ok {
+		return
+	}
+	p.outstanding--
+	s.maybeConverge(id, p)
+}
+
+// Pending returns the number of in-flight aggregations (tests and
+// debugging).
+func (s *Station[K]) Pending() int { return len(s.open) }
+
+// maybeConverge finalizes once every forwarded-to child is accounted
+// for.
+func (s *Station[K]) maybeConverge(id K, p *pending) {
+	if !p.expected || p.outstanding > 0 {
+		return
+	}
+	s.conclude(id, p)
+}
+
+// conclude retires the aggregation and reports its combined partial.
+func (s *Station[K]) conclude(id K, p *pending) {
+	delete(s.open, id)
+	if len(s.done) >= maxDone {
+		s.done = make(map[K]bool, 64)
+	}
+	s.done[id] = true
+	p.finalize(p.acc)
+}
+
+// tick arms the next deadline wave for id.
+func (s *Station[K]) tick(id K, p *pending) {
+	s.after(s.params.Wave, func() {
+		cur, ok := s.open[id]
+		if !ok || cur != p {
+			return
+		}
+		p.waves++
+		if p.waves >= p.deadline {
+			s.conclude(id, p)
+			return
+		}
+		s.tick(id, p)
+	})
+}

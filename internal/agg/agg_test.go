@@ -1,0 +1,309 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// fakeClock is a minimal deterministic scheduler: After queues, Fire
+// runs everything due at the next timestamp.
+type fakeClock struct {
+	now    time.Duration
+	queue  []timer
+	serial int
+}
+
+type timer struct {
+	at     time.Duration
+	serial int
+	fn     func()
+}
+
+func (c *fakeClock) After(d time.Duration, fn func()) {
+	c.serial++
+	c.queue = append(c.queue, timer{at: c.now + d, serial: c.serial, fn: fn})
+}
+
+// advance runs all timers due within d, in (at, serial) order.
+func (c *fakeClock) advance(d time.Duration) {
+	end := c.now + d
+	for {
+		best := -1
+		for i, t := range c.queue {
+			if t.at > end {
+				continue
+			}
+			if best < 0 || t.at < c.queue[best].at ||
+				(t.at == c.queue[best].at && t.serial < c.queue[best].serial) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		t := c.queue[best]
+		c.queue = append(c.queue[:best], c.queue[best+1:]...)
+		c.now = t.at
+		t.fn()
+	}
+	c.now = end
+}
+
+func TestPartialObserveAndValue(t *testing.T) {
+	var p Partial
+	for op, want := range map[Op]float64{Sum: 0, Count: 0} {
+		if got := p.Value(op); got != want {
+			t.Errorf("empty %v = %v, want %v", op, got, want)
+		}
+	}
+	for _, op := range []Op{Min, Max, Avg} {
+		if got := p.Value(op); !math.IsNaN(got) {
+			t.Errorf("empty %v = %v, want NaN", op, got)
+		}
+	}
+	p.Observe(0.5, 0)
+	p.Observe(0.2, 1)
+	p.Observe(0.8, 2)
+	cases := map[Op]float64{Count: 3, Sum: 1.5, Min: 0.2, Max: 0.8, Avg: 0.5}
+	for op, want := range cases {
+		if got := p.Value(op); math.Abs(got-want) > 1e-12 {
+			t.Errorf("%v = %v, want %v", op, got, want)
+		}
+	}
+	if p.Depth != 2 {
+		t.Errorf("Depth = %d, want 2", p.Depth)
+	}
+}
+
+// TestPartialMergeOrderIndependent is the algebra contract: merging in
+// any order yields the same combined partial, so tree shape cannot
+// change the result.
+func TestPartialMergeOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	parts := make([]Partial, 8)
+	for i := range parts {
+		for j := 0; j < rng.Intn(4); j++ {
+			parts[i].Observe(rng.Float64(), rng.Intn(5))
+		}
+	}
+	var ref Partial
+	for _, q := range parts {
+		ref.Merge(q)
+	}
+	for trial := 0; trial < 20; trial++ {
+		var got Partial
+		for _, i := range rng.Perm(len(parts)) {
+			got.Merge(parts[i])
+		}
+		// Sum is order-independent only up to floating-point rounding;
+		// the discrete moments must match exactly.
+		if got.N != ref.N || got.Min != ref.Min || got.Max != ref.Max || got.Depth != ref.Depth {
+			t.Fatalf("merge order changed the result: %+v vs %+v", got, ref)
+		}
+		if math.Abs(got.Sum-ref.Sum) > 1e-9 {
+			t.Fatalf("merge order moved Sum beyond rounding: %v vs %v", got.Sum, ref.Sum)
+		}
+	}
+}
+
+func TestPartialMergeEmpty(t *testing.T) {
+	var p, q Partial
+	p.Observe(0.4, 1)
+	before := p
+	p.Merge(q) // empty right operand
+	if p != before {
+		t.Errorf("merging empty changed %+v to %+v", before, p)
+	}
+	q.Merge(before) // empty left operand
+	if q != before {
+		t.Errorf("merge into empty = %+v, want %+v", q, before)
+	}
+}
+
+func TestOpValidateAndString(t *testing.T) {
+	for _, op := range []Op{Count, Sum, Min, Max, Avg} {
+		if err := op.Validate(); err != nil {
+			t.Errorf("%v: %v", op, err)
+		}
+	}
+	if err := Op(0).Validate(); err == nil {
+		t.Error("want error for zero op")
+	}
+	if Count.String() != "count" || Avg.String() != "avg" {
+		t.Errorf("unexpected strings %q %q", Count, Avg)
+	}
+}
+
+func newTestStation(t *testing.T, clk *fakeClock) *Station[int] {
+	t.Helper()
+	s, err := NewStation[int](Params{Wave: time.Second, MaxDepth: 4}, clk.After)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestStationConvergesOnAccounting: once every forwarded-to child is
+// accounted for (partial or decline), the aggregation finalizes
+// without waiting for the wave deadline.
+func TestStationConvergesOnAccounting(t *testing.T) {
+	clk := &fakeClock{}
+	s := newTestStation(t, clk)
+	var got *Partial
+	if !s.Open(1, 0, 0.5, true, func(p Partial) { got = &p }) {
+		t.Fatal("Open returned false for a fresh id")
+	}
+	s.Expect(1, 2)
+	var child Partial
+	child.Observe(0.7, 1)
+	s.Absorb(1, child)
+	if got != nil {
+		t.Fatal("finalized before all children accounted")
+	}
+	s.Decline(1)
+	if got == nil {
+		t.Fatal("did not finalize once all children accounted")
+	}
+	if got.N != 2 || math.Abs(got.Sum-1.2) > 1e-12 {
+		t.Errorf("combined = %+v, want N=2 Sum=1.2", *got)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d after convergence", s.Pending())
+	}
+}
+
+// TestStationLeafFinalizesImmediately: a node with no in-band
+// neighbors reports its own value without any wave delay.
+func TestStationLeafFinalizesImmediately(t *testing.T) {
+	clk := &fakeClock{}
+	s := newTestStation(t, clk)
+	var got *Partial
+	s.Open(7, 3, 0.9, true, func(p Partial) { got = &p })
+	s.Expect(7, 0)
+	if got == nil {
+		t.Fatal("leaf did not finalize on Expect")
+	}
+	if got.N != 1 || got.Depth != 3 {
+		t.Errorf("leaf partial = %+v", *got)
+	}
+}
+
+// TestStationDeadlineBackstop: a child that never answers (crashed
+// after delivery) cannot hold the aggregation open past the
+// depth-staggered deadline.
+func TestStationDeadlineBackstop(t *testing.T) {
+	clk := &fakeClock{}
+	s := newTestStation(t, clk)
+	var got *Partial
+	s.Open(1, 0, 0.5, true, func(p Partial) { got = &p })
+	s.Expect(1, 1) // the child never responds
+	// Depth 0 with MaxDepth 4 → deadline 5 waves.
+	clk.advance(4 * time.Second)
+	if got != nil {
+		t.Fatal("finalized before the deadline")
+	}
+	clk.advance(time.Second)
+	if got == nil {
+		t.Fatal("deadline did not fire")
+	}
+	if got.N != 1 {
+		t.Errorf("partial = %+v, want own value only", *got)
+	}
+	// A straggler partial after the deadline is dropped silently.
+	var late Partial
+	late.Observe(0.9, 1)
+	s.Absorb(1, late)
+	if got.N != 1 {
+		t.Error("straggler mutated a finalized result")
+	}
+}
+
+// TestStationDeeperNodesHaveShorterDeadlines pins the stagger: a
+// deeper node's deadline fires before its parent's, so the partial
+// still climbs the whole tree even when accounting never converges.
+func TestStationDeeperNodesHaveShorterDeadlines(t *testing.T) {
+	clk := &fakeClock{}
+	s := newTestStation(t, clk)
+	var order []int
+	s.Open(1, 0, 0.1, true, func(Partial) { order = append(order, 0) })
+	s.Expect(1, 1)
+	s.Open(2, 3, 0.2, true, func(Partial) { order = append(order, 3) })
+	s.Expect(2, 1)
+	clk.advance(10 * time.Second)
+	if len(order) != 2 || order[0] != 3 || order[1] != 0 {
+		t.Fatalf("finalize order = %v, want deeper (3) before root (0)", order)
+	}
+}
+
+// TestStationDuplicateSuppression: an id can be opened once; later
+// opens — even after completion — report duplicate.
+func TestStationDuplicateSuppression(t *testing.T) {
+	clk := &fakeClock{}
+	s := newTestStation(t, clk)
+	s.Open(1, 0, 0.5, true, func(Partial) {})
+	if s.Open(1, 1, 0.6, true, func(Partial) {}) {
+		t.Error("reopened an in-flight id")
+	}
+	if !s.Seen(1) {
+		t.Error("open id not seen")
+	}
+	s.Expect(1, 0) // finalize
+	if s.Open(1, 1, 0.6, true, func(Partial) {}) {
+		t.Error("reopened a finished id")
+	}
+	if !s.Seen(1) {
+		t.Error("finished id not seen")
+	}
+}
+
+// TestStationNonContributingRoot: an out-of-band relay root combines
+// children without adding its own value.
+func TestStationNonContributingRoot(t *testing.T) {
+	clk := &fakeClock{}
+	s := newTestStation(t, clk)
+	var got *Partial
+	s.Open(1, 0, 0.95, false, func(p Partial) { got = &p })
+	s.Expect(1, 1)
+	var child Partial
+	child.Observe(0.3, 1)
+	s.Absorb(1, child)
+	if got == nil {
+		t.Fatal("did not finalize")
+	}
+	if got.N != 1 || got.Sum != 0.3 {
+		t.Errorf("relay root contributed its own value: %+v", *got)
+	}
+}
+
+// TestStationDoneSetBounded: the suppression set resets rather than
+// growing without bound.
+func TestStationDoneSetBounded(t *testing.T) {
+	clk := &fakeClock{}
+	s := newTestStation(t, clk)
+	for i := 0; i < maxDone+10; i++ {
+		s.Open(i, 0, 0.5, true, func(Partial) {})
+		s.Expect(i, 0)
+	}
+	if len(s.done) > maxDone {
+		t.Errorf("done set grew to %d (bound %d)", len(s.done), maxDone)
+	}
+}
+
+func TestNewStationValidation(t *testing.T) {
+	clk := &fakeClock{}
+	if _, err := NewStation[int](Params{Wave: -1}, clk.After); err == nil {
+		t.Error("want error for negative wave")
+	}
+	if _, err := NewStation[int](Params{}, nil); err == nil {
+		t.Error("want error for nil scheduler")
+	}
+	s, err := NewStation[int](Params{}, clk.After)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := s.Params(); p.Wave != time.Second || p.MaxDepth != 8 {
+		t.Errorf("defaults = %+v", p)
+	}
+}

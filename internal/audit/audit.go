@@ -26,6 +26,9 @@
 // exchanges — audited-out nodes stop receiving management traffic.
 // Deployment harnesses share one Trail across all auditors to measure
 // detection latency and false-positive rates.
+//
+// Architecture: DESIGN.md §10 (adversary & audit subsystem); §13 for
+// how the range-cast/aggregation family is audited.
 package audit
 
 import (
@@ -266,6 +269,29 @@ func (a *Auditor) ObserveInbound(from ids.NodeID, msg any) bool {
 		a.observeOp(from, m.SenderAvail)
 	case ops.MulticastMsg:
 		a.observeOp(from, m.SenderAvail)
+	// The range-cast/aggregation family gets the claim cross-check but
+	// not the §4.1 predicate recheck: its traffic is band-filtered, not
+	// predicate-greedy, and flows repeatedly between the same
+	// vertical-sliver pairs — rechecking those pairs on every tree
+	// message turns ordinary estimate drift into accumulated soft
+	// evidence against honest peers (observed as false evictions in the
+	// census regression). Claims remain hard evidence everywhere.
+	case ops.RangecastMsg:
+		a.observeClaim(from, m.SenderAvail)
+	case ops.AggMsg:
+		a.observeClaim(from, m.SenderAvail)
+	case ops.AggReplyMsg:
+		a.observeClaim(from, m.SenderAvail)
+	// ops.AggResultMsg is deliberately not audited: like DeliveredMsg
+	// it travels root→origin, and the root is rarely the origin's
+	// predicate neighbor — any recheck would score honest roots as
+	// suspects, and the carried aggregate is unverifiable by
+	// construction (no third party can re-derive a subtree's combined
+	// partial). Note this is a trust statement, not a safety one: a
+	// Byzantine tree participant that races a fabricated result to the
+	// origin wins the collector's first-wins slot. See DESIGN.md §13
+	// ("trust model") — detecting that requires redundant trees or
+	// statistical cross-checks, not per-message auditing.
 	case shuffle.Request:
 		a.observeShuffle(from, m.SenderAvail, m.Entries, false)
 	case shuffle.Reply:
@@ -290,6 +316,21 @@ func (a *Auditor) observeOp(from ids.NodeID, claim float64) {
 	}
 	if !a.recheck(from, est) {
 		a.hit(from, a.cfg.Params.SoftWeight, "predicate-recheck")
+		return
+	}
+	a.clean(from)
+}
+
+// observeClaim audits only the availability claim of one message —
+// the hard AVMON cross-check, with no predicate recheck (see the
+// range-cast/aggregation cases in ObserveInbound for why).
+func (a *Auditor) observeClaim(from ids.NodeID, claim float64) {
+	est, known := a.cfg.Monitor.Availability(from)
+	if !known {
+		return
+	}
+	if a.claimLie(claim, est) {
+		a.hit(from, a.cfg.Params.HardWeight, "availability-claim")
 		return
 	}
 	a.clean(from)

@@ -18,6 +18,9 @@
 // paper's evaluation (≈50% of hosts with availability below 0.3), a
 // uniform model, and a bimodal model. Arbitrary empirical PDFs can be
 // estimated from sample sets.
+//
+// Architecture: DESIGN.md §7 (monitoring and shuffling services) and
+// §8 (parameter defaults).
 package avdist
 
 import (

@@ -15,6 +15,8 @@
 //     ping it periodically; queries aggregate the monitors' empirical
 //     estimates. This is the deployable story (Morales & Gupta,
 //     ICDCS 2007) and converges to the oracle as pings accumulate.
+//
+// Architecture: DESIGN.md §7 (monitoring and shuffling services).
 package avmon
 
 import (

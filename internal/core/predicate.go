@@ -7,6 +7,9 @@
 // paper §2.1, and the Discovery/Refresh membership-maintenance
 // sub-protocols from §3.1 with cached availabilities and cushioned
 // in-neighbor verification (§4.1).
+//
+// Architecture: DESIGN.md §3 (membership core: allocation-lean sliver
+// indexes).
 package core
 
 import (

@@ -1,0 +1,175 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"avmem/internal/agg"
+	"avmem/internal/core"
+	"avmem/internal/ops"
+	"avmem/internal/stats"
+)
+
+// AggregateSpec describes one aggregation experiment series: op over
+// the node-local values (availability claims by default) of every node
+// in a half-open band.
+type AggregateSpec struct {
+	Name string
+	// BandLo/BandHi bound the initiator's true availability.
+	BandLo, BandHi float64
+	// Band is the half-open availability interval aggregated over.
+	Band ops.Band
+	// Op is the aggregate computed (count/sum/min/max/avg).
+	Op agg.Op
+	// Flavor selects the sliver lists the tree grows along.
+	Flavor core.Flavor
+	Runs   int
+	PerRun int
+	Gap    time.Duration
+	Settle time.Duration
+}
+
+func (s *AggregateSpec) applyDefaults() {
+	if s.Op == 0 {
+		s.Op = agg.Count
+	}
+	if s.Flavor == 0 {
+		s.Flavor = core.HSVS
+	}
+	if s.Runs == 0 {
+		s.Runs = 5
+	}
+	if s.PerRun == 0 {
+		s.PerRun = 50
+	}
+	if s.Gap == 0 {
+		// An aggregation converges within MaxDepth+1 waves; default Gap
+		// spaces initiations past that so trees do not stack up.
+		s.Gap = 10 * time.Second
+	}
+	if s.Settle == 0 {
+		s.Settle = 30 * time.Second
+	}
+}
+
+// AggregateResult aggregates one series' outcomes.
+type AggregateResult struct {
+	Name string
+	Sent int
+	// Done counts aggregations whose combined result reached the
+	// origin.
+	Done int
+	// Accuracies holds per-operation result-vs-ground-truth scores
+	// (ops.AggregateRecord.Accuracy); Coverages the contributor
+	// fraction of the eligible population.
+	Accuracies []float64
+	Coverages  []float64
+	// Depths holds each completed tree's hop radius; Latencies the
+	// initiation-to-result times.
+	Depths    []int
+	Latencies []time.Duration
+}
+
+// CompletionRate returns Done/Sent (0 when nothing was sent).
+func (r AggregateResult) CompletionRate() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Done) / float64(r.Sent)
+}
+
+// MeanAccuracy averages the per-operation accuracies.
+func (r AggregateResult) MeanAccuracy() float64 { return stats.Mean(r.Accuracies) }
+
+// MeanCoverage averages the per-operation contributor fractions.
+func (r AggregateResult) MeanCoverage() float64 { return stats.Mean(r.Coverages) }
+
+// MeanDepth averages the completed trees' hop radii.
+func (r AggregateResult) MeanDepth() float64 {
+	if len(r.Depths) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, d := range r.Depths {
+		sum += d
+	}
+	return float64(sum) / float64(len(r.Depths))
+}
+
+// MeanLatency averages the initiation-to-result times.
+func (r AggregateResult) MeanLatency() time.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range r.Latencies {
+		sum += l
+	}
+	return sum / time.Duration(len(r.Latencies))
+}
+
+// groundTruth computes the true aggregate over the online in-band
+// population at the current instant — what a perfect census would
+// report. The returned eligible count doubles as the coverage
+// denominator.
+func groundTruth(w Deployment, op agg.Op, b ops.Band) (eligible int, truth float64) {
+	var p agg.Partial
+	for _, id := range bandEligible(w, b) {
+		p.Observe(w.TrueAvailability(id), 0)
+	}
+	return p.N, p.Value(op)
+}
+
+// RunAggregates executes one aggregation series on a deployment
+// (either engine): each operation's ground truth is frozen at its
+// initiation instant, so accuracy measures what the overlay lost —
+// not what churn changed underneath it.
+func RunAggregates(w Deployment, spec AggregateSpec) (AggregateResult, error) {
+	spec.applyDefaults()
+	if err := spec.Band.Validate(); err != nil {
+		return AggregateResult{}, err
+	}
+	if err := spec.Op.Validate(); err != nil {
+		return AggregateResult{}, err
+	}
+	res := AggregateResult{Name: spec.Name}
+	sent := make([]ops.MsgID, 0, spec.Runs*spec.PerRun)
+	for run := 0; run < spec.Runs; run++ {
+		for i := 0; i < spec.PerRun; i++ {
+			initiator, ok := w.PickInitiator(spec.BandLo, spec.BandHi)
+			if !ok {
+				continue
+			}
+			eligible, truth := groundTruth(w, spec.Op, spec.Band)
+			opts := ops.AggregateOptions{
+				Anycast:  ops.DefaultAnycastOptions(),
+				Flavor:   spec.Flavor,
+				Eligible: eligible,
+				Truth:    truth,
+			}
+			id, err := w.Aggregate(initiator, spec.Op, spec.Band.Lo, spec.Band.Hi, opts)
+			if err != nil {
+				return AggregateResult{}, fmt.Errorf("exp: initiating aggregate: %w", err)
+			}
+			sent = append(sent, id)
+			w.RunFor(spec.Gap)
+		}
+		w.RunFor(spec.Settle)
+	}
+	col := w.Collector()
+	for _, id := range sent {
+		rec, ok := col.Aggregate(id)
+		if !ok {
+			continue
+		}
+		res.Sent++
+		res.Accuracies = append(res.Accuracies, rec.Accuracy())
+		res.Coverages = append(res.Coverages, rec.Coverage())
+		if rec.Done {
+			res.Done++
+			res.Depths = append(res.Depths, rec.TreeDepth())
+			res.Latencies = append(res.Latencies, rec.Latency())
+		}
+	}
+	return res, nil
+}

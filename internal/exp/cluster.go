@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"avmem/internal/agg"
 	"avmem/internal/audit"
 	"avmem/internal/avdist"
 	"avmem/internal/avmon"
@@ -335,6 +336,24 @@ func (c *Cluster) Multicast(from ids.NodeID, target ops.Target, opts ops.Multica
 		return ops.MsgID{}, unknownNode(from)
 	}
 	return n.Multicast(target, opts)
+}
+
+// Rangecast implements Deployment.
+func (c *Cluster) Rangecast(from ids.NodeID, lo, hi float64, payload string, opts ops.RangecastOptions) (ops.MsgID, error) {
+	n := c.Node(from)
+	if n == nil {
+		return ops.MsgID{}, unknownNode(from)
+	}
+	return n.Rangecast(lo, hi, payload, opts)
+}
+
+// Aggregate implements Deployment.
+func (c *Cluster) Aggregate(from ids.NodeID, op agg.Op, lo, hi float64, opts ops.AggregateOptions) (ops.MsgID, error) {
+	n := c.Node(from)
+	if n == nil {
+		return ops.MsgID{}, unknownNode(from)
+	}
+	return n.Aggregate(op, lo, hi, opts)
 }
 
 // ForceOffline implements Deployment: id drops off the memnet and out

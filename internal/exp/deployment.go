@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"avmem/internal/agg"
 	"avmem/internal/audit"
 	"avmem/internal/avmon"
 	"avmem/internal/core"
@@ -68,6 +69,12 @@ type Deployment interface {
 	Anycast(from ids.NodeID, target ops.Target, opts ops.AnycastOptions) (ops.MsgID, error)
 	// Multicast initiates a multicast at node from.
 	Multicast(from ids.NodeID, target ops.Target, opts ops.MulticastOptions) (ops.MsgID, error)
+	// Rangecast initiates a range-cast at node from: payload delivery
+	// to every node with availability in [lo, hi).
+	Rangecast(from ids.NodeID, lo, hi float64, payload string, opts ops.RangecastOptions) (ops.MsgID, error)
+	// Aggregate initiates an in-overlay aggregation at node from: op
+	// over the local values of every node in [lo, hi).
+	Aggregate(from ids.NodeID, op agg.Op, lo, hi float64, opts ops.AggregateOptions) (ops.MsgID, error)
 	// ForceOffline injects an outage for id until the given virtual time.
 	ForceOffline(id ids.NodeID, until time.Duration)
 	// SetMonitorNoise swaps the monitor-noise layer mid-run.
@@ -157,4 +164,22 @@ func (w *World) Multicast(from ids.NodeID, target ops.Target, opts ops.Multicast
 		return ops.MsgID{}, unknownNode(from)
 	}
 	return r.Multicast(target, opts)
+}
+
+// Rangecast implements Deployment.
+func (w *World) Rangecast(from ids.NodeID, lo, hi float64, payload string, opts ops.RangecastOptions) (ops.MsgID, error) {
+	r := w.Router(from)
+	if r == nil {
+		return ops.MsgID{}, unknownNode(from)
+	}
+	return r.Rangecast(lo, hi, payload, opts)
+}
+
+// Aggregate implements Deployment.
+func (w *World) Aggregate(from ids.NodeID, op agg.Op, lo, hi float64, opts ops.AggregateOptions) (ops.MsgID, error) {
+	r := w.Router(from)
+	if r == nil {
+		return ops.MsgID{}, unknownNode(from)
+	}
+	return r.Aggregate(op, lo, hi, opts)
 }

@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"avmem/internal/core"
+	"avmem/internal/ids"
+	"avmem/internal/ops"
+	"avmem/internal/stats"
+)
+
+// RangecastSpec describes one range-cast experiment series: initiators
+// drawn from an availability band deliver a payload to every node in a
+// half-open target band.
+type RangecastSpec struct {
+	Name string
+	// BandLo/BandHi bound the initiator's true availability.
+	BandLo, BandHi float64
+	// Band is the half-open availability interval addressed.
+	Band ops.Band
+	// Payload is the management payload delivered to every band member.
+	Payload string
+	// Flavor selects the sliver lists used for dissemination.
+	Flavor core.Flavor
+	Runs   int
+	PerRun int
+	Gap    time.Duration
+	Settle time.Duration
+}
+
+func (s *RangecastSpec) applyDefaults() {
+	if s.Flavor == 0 {
+		s.Flavor = core.HSVS
+	}
+	if s.Runs == 0 {
+		s.Runs = 5
+	}
+	if s.PerRun == 0 {
+		s.PerRun = 50
+	}
+	if s.Gap == 0 {
+		s.Gap = 5 * time.Second
+	}
+	if s.Settle == 0 {
+		s.Settle = 30 * time.Second
+	}
+}
+
+// RangecastResult aggregates one series' outcomes.
+type RangecastResult struct {
+	Name string
+	Sent int
+	// Entered counts range-casts whose entry anycast reached the band.
+	Entered int
+	// Coverages holds delivered/eligible per range-cast; SpamRatios the
+	// out-of-band receptions per eligible node.
+	Coverages  []float64
+	SpamRatios []float64
+	// WorstLatencies holds the last-delivery latency of each range-cast
+	// that delivered at least once.
+	WorstLatencies []time.Duration
+	// MaxDepth is the deepest dissemination hop count across the series.
+	MaxDepth int
+}
+
+// MeanCoverage averages the per-operation coverages.
+func (r RangecastResult) MeanCoverage() float64 { return stats.Mean(r.Coverages) }
+
+// MeanSpamRatio averages the per-operation spam ratios.
+func (r RangecastResult) MeanSpamRatio() float64 { return stats.Mean(r.SpamRatios) }
+
+// MaxWorstLatency returns the largest last-delivery latency observed.
+func (r RangecastResult) MaxWorstLatency() time.Duration {
+	var max time.Duration
+	for _, l := range r.WorstLatencies {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// bandEligible returns the online nodes whose true availability lies
+// in the half-open band — the ground-truth population range-cast
+// coverage and aggregation accuracy are measured against.
+func bandEligible(w Deployment, b ops.Band) []ids.NodeID {
+	hi := b.Hi
+	if hi >= 1 {
+		// The band closes its top end at 1; OnlineInBand is half-open,
+		// so stretch past every capped estimate.
+		hi = 1.01
+	}
+	return w.OnlineInBand(b.Lo, hi)
+}
+
+// RunRangecasts executes one range-cast series on a deployment (either
+// engine) and aggregates its outcomes.
+func RunRangecasts(w Deployment, spec RangecastSpec) (RangecastResult, error) {
+	spec.applyDefaults()
+	if err := spec.Band.Validate(); err != nil {
+		return RangecastResult{}, err
+	}
+	res := RangecastResult{Name: spec.Name}
+	sent := make([]ops.MsgID, 0, spec.Runs*spec.PerRun)
+	for run := 0; run < spec.Runs; run++ {
+		for i := 0; i < spec.PerRun; i++ {
+			initiator, ok := w.PickInitiator(spec.BandLo, spec.BandHi)
+			if !ok {
+				continue
+			}
+			opts := ops.RangecastOptions{
+				Anycast:  ops.DefaultAnycastOptions(),
+				Flavor:   spec.Flavor,
+				Eligible: len(bandEligible(w, spec.Band)),
+			}
+			id, err := w.Rangecast(initiator, spec.Band.Lo, spec.Band.Hi, spec.Payload, opts)
+			if err != nil {
+				return RangecastResult{}, fmt.Errorf("exp: initiating rangecast: %w", err)
+			}
+			sent = append(sent, id)
+			w.RunFor(spec.Gap)
+		}
+		w.RunFor(spec.Settle)
+	}
+	col := w.Collector()
+	for _, id := range sent {
+		rec, ok := col.Rangecast(id)
+		if !ok {
+			continue
+		}
+		res.Sent++
+		if rec.EnteredRange {
+			res.Entered++
+		}
+		res.Coverages = append(res.Coverages, rec.Coverage())
+		res.SpamRatios = append(res.SpamRatios, rec.SpamRatio())
+		if len(rec.Delivered) > 0 {
+			res.WorstLatencies = append(res.WorstLatencies, rec.WorstLatency())
+		}
+		if rec.MaxDepth > res.MaxDepth {
+			res.MaxDepth = rec.MaxDepth
+		}
+	}
+	return res, nil
+}

@@ -10,6 +10,9 @@
 // line, internal/scenario drives arbitrary declarative scenarios on
 // either engine, and bench_test.go wraps it all in testing.B
 // benchmarks.
+//
+// Architecture: DESIGN.md §9 (deployment engines and the scenario
+// layer).
 package exp
 
 import (

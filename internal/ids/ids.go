@@ -7,6 +7,9 @@
 // value, with no dependence on system size, churn, or any other external
 // state. We realize H as a SHA-256 digest of the ordered concatenation of
 // the two identifiers, truncated to 64 bits and scaled into [0,1).
+//
+// Architecture: DESIGN.md §3 (predicate evaluation) and §4
+// (hash-ordered dissemination).
 package ids
 
 import (

@@ -6,6 +6,9 @@
 // the wall-clock Env over a real transport (TCP or in-process), and the
 // scenario engine injects virtual-time Envs to run whole clusters of
 // real nodes deterministically inside the simulator's clock.
+//
+// Architecture: DESIGN.md §11 (live runtime) and §6 (the Runtime/Env
+// contract).
 package node
 
 import (
@@ -15,6 +18,7 @@ import (
 	"time"
 
 	"avmem/internal/adversary"
+	"avmem/internal/agg"
 	"avmem/internal/audit"
 	"avmem/internal/avmon"
 	"avmem/internal/core"
@@ -487,6 +491,24 @@ func (n *Node) Multicast(target ops.Target, opts ops.MulticastOptions) (ops.MsgI
 	return n.router.Multicast(target, opts)
 }
 
+// Rangecast initiates a range-cast: payload delivery to every node
+// whose availability lies in the half-open band [lo, hi).
+func (n *Node) Rangecast(lo, hi float64, payload string, opts ops.RangecastOptions) (ops.MsgID, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.router.Rangecast(lo, hi, payload, opts)
+}
+
+// Aggregate initiates an in-overlay aggregation of op over the local
+// values of every node in [lo, hi) and returns its operation ID; the
+// combined result materializes in this node's AggregateResult once the
+// tree converges.
+func (n *Node) Aggregate(op agg.Op, lo, hi float64, opts ops.AggregateOptions) (ops.MsgID, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.router.Aggregate(op, lo, hi, opts)
+}
+
 // AnycastResult returns the current record of an anycast this node
 // initiated.
 func (n *Node) AnycastResult(id ops.MsgID) (ops.AnycastRecord, bool) {
@@ -509,6 +531,31 @@ func (n *Node) MulticastResult(id ops.MsgID) (ops.MulticastRecord, bool) {
 	r, ok := n.col.Multicast(id)
 	if !ok {
 		return ops.MulticastRecord{}, false
+	}
+	return *r, true
+}
+
+// RangecastResult returns the current record of a range-cast this node
+// initiated (see MulticastResult for collector-sharing semantics).
+func (n *Node) RangecastResult(id ops.MsgID) (ops.RangecastRecord, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r, ok := n.col.Rangecast(id)
+	if !ok {
+		return ops.RangecastRecord{}, false
+	}
+	return *r, true
+}
+
+// AggregateResult returns the current record of an aggregation this
+// node initiated; Done flips once the tree's combined partial came
+// back from the root.
+func (n *Node) AggregateResult(id ops.MsgID) (ops.AggregateRecord, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r, ok := n.col.Aggregate(id)
+	if !ok {
+		return ops.AggregateRecord{}, false
 	}
 	return *r, true
 }

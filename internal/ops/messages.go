@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"avmem/internal/agg"
 	"avmem/internal/core"
 	"avmem/internal/ids"
 )
@@ -100,6 +101,14 @@ type AnycastMsg struct {
 	// Multicast carries stage-two parameters when this anycast fronts a
 	// multicast operation.
 	Multicast *MulticastSpec
+	// Rangecast carries stage-two parameters when this anycast fronts a
+	// range-cast: a node inside the band switches to band-filtered
+	// payload dissemination.
+	Rangecast *RangecastSpec
+	// Aggregate carries stage-two parameters when this anycast fronts
+	// an aggregation: the first node inside the band becomes the root
+	// of the partial-combining tree.
+	Aggregate *AggregateSpec
 }
 
 // MulticastSpec carries the dissemination parameters of a multicast.
@@ -122,6 +131,86 @@ type MulticastMsg struct {
 	SentAt time.Duration
 	// SenderAvail is the disseminating node's claimed availability (see
 	// AnycastMsg.SenderAvail).
+	SenderAvail float64
+}
+
+// RangecastSpec carries the dissemination parameters of a range-cast.
+type RangecastSpec struct {
+	// Band is the half-open availability interval the payload
+	// addresses; dissemination forwards only to neighbors whose cached
+	// availability lies inside it (no flooding outside the band).
+	Band Band
+	// Flavor selects the sliver lists used for dissemination.
+	Flavor core.Flavor
+	// Payload is the management payload delivered to every band member.
+	Payload string
+}
+
+// RangecastMsg is the wire message of the range-cast dissemination
+// stage: a band-filtered flood with per-node duplicate suppression.
+type RangecastMsg struct {
+	ID   MsgID
+	Spec RangecastSpec
+	// Depth counts dissemination hops from the entry node (the entry
+	// delivery is depth 0).
+	Depth  int
+	SentAt time.Duration
+	// SenderAvail is the forwarding node's claimed availability (see
+	// AnycastMsg.SenderAvail).
+	SenderAvail float64
+}
+
+// AggregateSpec carries the tree-building parameters of an in-overlay
+// aggregation.
+type AggregateSpec struct {
+	// Op is the aggregate to compute over the band members' values.
+	Op agg.Op
+	// Band is the half-open availability interval aggregated over.
+	Band Band
+	// Flavor selects the sliver lists the tree grows along.
+	Flavor core.Flavor
+}
+
+// AggMsg is the aggregation request: it disseminates through the band
+// like a range-cast, and the sender of a node's first copy becomes
+// that node's parent in the implicit spanning tree.
+type AggMsg struct {
+	ID   MsgID
+	Spec AggregateSpec
+	// Depth is the receiver's tree depth (the root opens at depth 0 and
+	// forwards at depth 1).
+	Depth  int
+	SentAt time.Duration
+	// SenderAvail is the forwarding node's claimed availability.
+	SenderAvail float64
+}
+
+// AggReplyMsg flows one hop up the tree, from a child to the parent it
+// first heard the request from. Either a combined partial (the child's
+// whole subtree) or a decline: the receiver was already in the tree
+// through another parent, or lies outside the band.
+type AggReplyMsg struct {
+	ID MsgID
+	// Partial is the child subtree's combined aggregate (zero when
+	// Decline is set).
+	Partial agg.Partial
+	// Decline marks a contribution-free accounting reply.
+	Decline bool
+	// SenderAvail is the replying node's claimed availability.
+	SenderAvail float64
+}
+
+// AggResultMsg returns the root's combined aggregate to the operation
+// origin. Like DeliveredMsg it is origin-addressed rather than
+// neighbor-addressed, and first-wins collector semantics keep it
+// idempotent.
+type AggResultMsg struct {
+	ID MsgID
+	// Result is the tree-wide combined partial.
+	Result agg.Partial
+	// SentAt echoes the operation's start time on the origin's clock.
+	SentAt time.Duration
+	// SenderAvail is the root's claimed availability.
 	SenderAvail float64
 }
 

@@ -1,7 +1,10 @@
 package ops
 
 import (
+	"math"
 	"time"
+
+	"avmem/internal/agg"
 )
 
 // AnycastOutcome is the terminal state of one anycast operation.
@@ -90,6 +93,150 @@ func (r *MulticastRecord) WorstLatency() time.Duration {
 	return r.LastDelivery - r.SentAt
 }
 
+// RangecastRecord accumulates the result of one range-cast.
+type RangecastRecord struct {
+	ID   MsgID
+	Band Band
+	// Eligible is the number of online in-band nodes at initiation
+	// (set by the experiment; the coverage denominator).
+	Eligible int
+	// Delivered maps in-band receivers to their first delivery time.
+	Delivered map[string]time.Duration
+	// Spam counts first deliveries to nodes outside the band.
+	Spam int
+	// EnteredRange reports whether stage one (the anycast) reached the
+	// band.
+	EnteredRange bool
+	// SentAt is the initiation time; LastDelivery the latest first
+	// delivery observed.
+	SentAt       time.Duration
+	LastDelivery time.Duration
+	// MaxDepth is the deepest dissemination hop count observed.
+	MaxDepth int
+}
+
+// Coverage returns delivered/eligible in [0,1].
+func (r *RangecastRecord) Coverage() float64 {
+	if r.Eligible == 0 {
+		return 0
+	}
+	return float64(len(r.Delivered)) / float64(r.Eligible)
+}
+
+// SpamRatio returns out-of-band receptions per eligible node.
+func (r *RangecastRecord) SpamRatio() float64 {
+	if r.Eligible == 0 {
+		return 0
+	}
+	return float64(r.Spam) / float64(r.Eligible)
+}
+
+// WorstLatency returns the time from initiation to the last first
+// delivery (zero if nothing was delivered).
+func (r *RangecastRecord) WorstLatency() time.Duration {
+	if len(r.Delivered) == 0 {
+		return 0
+	}
+	return r.LastDelivery - r.SentAt
+}
+
+// AggregateRecord accumulates the result of one in-overlay
+// aggregation.
+type AggregateRecord struct {
+	ID   MsgID
+	Op   agg.Op
+	Band Band
+	// Eligible is the online in-band population at initiation (the
+	// coverage denominator, experiment-supplied).
+	Eligible int
+	// Truth is the ground-truth aggregate at initiation
+	// (experiment-supplied; NaN when no ground truth exists, e.g. a
+	// live node initiating outside a harness).
+	Truth float64
+	// EnteredRange reports whether the entry anycast reached the band.
+	EnteredRange bool
+	// Done reports whether the origin received the root's result;
+	// Result and CompletedAt are meaningful only when set.
+	Done        bool
+	Result      agg.Partial
+	SentAt      time.Duration
+	CompletedAt time.Duration
+}
+
+// Value extracts the computed aggregate (NaN while pending or when no
+// node contributed to a value operator).
+func (r *AggregateRecord) Value() float64 {
+	if !r.Done {
+		return math.NaN()
+	}
+	return r.Result.Value(r.Op)
+}
+
+// Coverage returns contributors/eligible in [0,1].
+func (r *AggregateRecord) Coverage() float64 {
+	if r.Eligible == 0 {
+		return 0
+	}
+	return float64(r.Result.N) / float64(r.Eligible)
+}
+
+// TreeDepth returns the aggregation tree's hop radius (the deepest
+// contributor).
+func (r *AggregateRecord) TreeDepth() int { return r.Result.Depth }
+
+// Latency returns initiation-to-result time (zero while pending).
+func (r *AggregateRecord) Latency() time.Duration {
+	if !r.Done {
+		return 0
+	}
+	return r.CompletedAt - r.SentAt
+}
+
+// Accuracy compares the computed aggregate against the ground truth in
+// [0,1]: 1 is exact. Count and Sum compare as a min/max ratio (scale-
+// free); Min, Max, and Avg — values in [0,1] — as 1−|Δ|, floored at 0.
+// An undelivered result scores 0; an operation whose ground truth and
+// result are both empty scores 1 (an empty band aggregated exactly).
+// Meaningful only when the initiator recorded ground truth
+// (AggregateOptions.Truth/Eligible — RunAggregates always does).
+func (r *AggregateRecord) Accuracy() float64 {
+	if !r.Done {
+		return 0
+	}
+	v := r.Result.Value(r.Op)
+	switch r.Op {
+	case agg.Count, agg.Sum:
+		return ratioAccuracy(v, r.Truth)
+	default:
+		if math.IsNaN(r.Truth) != math.IsNaN(v) {
+			return 0
+		}
+		if math.IsNaN(v) {
+			return 1
+		}
+		d := math.Abs(v - r.Truth)
+		if d > 1 {
+			return 0
+		}
+		return 1 - d
+	}
+}
+
+// ratioAccuracy scores two non-negative magnitudes as min/max, with
+// the both-zero case exact.
+func ratioAccuracy(a, b float64) float64 {
+	if a == b {
+		return 1
+	}
+	if a <= 0 || b <= 0 || math.IsNaN(a) || math.IsNaN(b) {
+		return 0
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return a / b
+}
+
 // Collector aggregates operation outcomes across an experiment run.
 // The Router reports into it; experiments read it after the run.
 // Collector is not safe for concurrent use (the simulator is
@@ -97,6 +244,8 @@ func (r *MulticastRecord) WorstLatency() time.Duration {
 type Collector struct {
 	anycasts   map[MsgID]*AnycastRecord
 	multicasts map[MsgID]*MulticastRecord
+	rangecasts map[MsgID]*RangecastRecord
+	aggregates map[MsgID]*AggregateRecord
 }
 
 // NewCollector creates an empty collector.
@@ -104,6 +253,8 @@ func NewCollector() *Collector {
 	return &Collector{
 		anycasts:   make(map[MsgID]*AnycastRecord, 256),
 		multicasts: make(map[MsgID]*MulticastRecord, 64),
+		rangecasts: make(map[MsgID]*RangecastRecord, 64),
+		aggregates: make(map[MsgID]*AggregateRecord, 64),
 	}
 }
 
@@ -182,6 +333,110 @@ func (c *Collector) multicastEntered(id MsgID) {
 	if r, ok := c.multicasts[id]; ok {
 		r.EnteredRange = true
 	}
+}
+
+// StartRangecast registers a range-cast before initiation. eligible is
+// the online in-band population at initiation.
+func (c *Collector) StartRangecast(id MsgID, band Band, eligible int, sentAt time.Duration) {
+	c.rangecasts[id] = &RangecastRecord{
+		ID:        id,
+		Band:      band,
+		Eligible:  eligible,
+		Delivered: make(map[string]time.Duration, eligible),
+		SentAt:    sentAt,
+	}
+}
+
+// StartAggregate registers an aggregation before initiation. eligible
+// and truth are the experiment-supplied ground truth (truth may be
+// NaN).
+func (c *Collector) StartAggregate(id MsgID, op agg.Op, band Band, eligible int, truth float64, sentAt time.Duration) {
+	c.aggregates[id] = &AggregateRecord{
+		ID:       id,
+		Op:       op,
+		Band:     band,
+		Eligible: eligible,
+		Truth:    truth,
+		SentAt:   sentAt,
+	}
+}
+
+// Rangecast returns the record for id, if registered.
+func (c *Collector) Rangecast(id MsgID) (*RangecastRecord, bool) {
+	r, ok := c.rangecasts[id]
+	return r, ok
+}
+
+// Aggregate returns the record for id, if registered.
+func (c *Collector) Aggregate(id MsgID) (*AggregateRecord, bool) {
+	r, ok := c.aggregates[id]
+	return r, ok
+}
+
+// Rangecasts returns all range-cast records.
+func (c *Collector) Rangecasts() []*RangecastRecord {
+	out := make([]*RangecastRecord, 0, len(c.rangecasts))
+	for _, r := range c.rangecasts {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Aggregates returns all aggregation records.
+func (c *Collector) Aggregates() []*AggregateRecord {
+	out := make([]*AggregateRecord, 0, len(c.aggregates))
+	for _, r := range c.aggregates {
+		out = append(out, r)
+	}
+	return out
+}
+
+// rangecastEntered flags stage-one success.
+func (c *Collector) rangecastEntered(id MsgID) {
+	if r, ok := c.rangecasts[id]; ok {
+		r.EnteredRange = true
+	}
+}
+
+// rangecastDelivered records a first delivery at node, in band or
+// spam, at dissemination depth.
+func (c *Collector) rangecastDelivered(id MsgID, node string, at time.Duration, inBand bool, depth int) {
+	r, ok := c.rangecasts[id]
+	if !ok {
+		return
+	}
+	if !inBand {
+		r.Spam++
+		return
+	}
+	if _, seen := r.Delivered[node]; seen {
+		return
+	}
+	r.Delivered[node] = at
+	if at > r.LastDelivery {
+		r.LastDelivery = at
+	}
+	if depth > r.MaxDepth {
+		r.MaxDepth = depth
+	}
+}
+
+// aggregateEntered flags stage-one success.
+func (c *Collector) aggregateEntered(id MsgID) {
+	if r, ok := c.aggregates[id]; ok {
+		r.EnteredRange = true
+	}
+}
+
+// aggregateDone records the root's combined result (first wins).
+func (c *Collector) aggregateDone(id MsgID, p agg.Partial, at time.Duration) {
+	r, ok := c.aggregates[id]
+	if !ok || r.Done {
+		return
+	}
+	r.Done = true
+	r.Result = p
+	r.CompletedAt = at
 }
 
 // multicastDelivered records a first delivery at node, inRange or spam.

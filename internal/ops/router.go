@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"avmem/internal/agg"
 	"avmem/internal/core"
 	"avmem/internal/ids"
 )
@@ -87,6 +88,11 @@ type Router struct {
 	claimVal float64
 	claimAt  time.Duration
 	claimSet bool
+	// station is the in-overlay aggregation state machine (per-hop
+	// partial combining, duplicate suppression, convergence detection);
+	// aggValue supplies this node's contribution to aggregations.
+	station  *agg.Station[MsgID]
+	aggValue func() float64
 }
 
 // claimCache bounds the claim memo's staleness.
@@ -171,6 +177,14 @@ type RouterConfig struct {
 	// Auditor optionally audits inbound messages and blacklists
 	// misbehaving peers (internal/audit).
 	Auditor Auditor
+	// Agg tunes the aggregation wave timing (zero fields take the agg
+	// defaults: 1s waves, depth 8).
+	Agg agg.Params
+	// AggValue supplies this node's contribution to aggregation
+	// operations. Nil aggregates the node's own availability claim —
+	// the availability-census workload; deployments can bind any local
+	// gauge (queue depth, free disk, version number) instead.
+	AggValue func() float64
 }
 
 // NewRouter validates and builds a Router.
@@ -184,16 +198,26 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.Collector == nil {
 		return nil, fmt.Errorf("ops: RouterConfig.Collector is required")
 	}
-	return &Router{
+	station, err := agg.NewStation[MsgID](cfg.Agg, cfg.Env.After)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
 		mem:           cfg.Membership,
 		env:           cfg.Env,
 		col:           cfg.Collector,
 		verifyInbound: cfg.VerifyInbound,
 		hashes:        cfg.Hashes,
 		auditor:       cfg.Auditor,
+		station:       station,
+		aggValue:      cfg.AggValue,
 		seen:          make(map[MsgID]bool, 256),
 		gossipSent:    make(map[MsgID]map[ids.NodeID]bool, 16),
-	}, nil
+	}
+	if r.aggValue == nil {
+		r.aggValue = r.selfClaim
+	}
+	return r, nil
 }
 
 // Self returns the owning node's identifier.
@@ -354,6 +378,144 @@ func (r *Router) Multicast(target Target, opts MulticastOptions) (MsgID, error) 
 	return id, nil
 }
 
+// RangecastOptions parameterizes a range-cast initiation.
+type RangecastOptions struct {
+	// Anycast configures stage one (entering the band).
+	Anycast AnycastOptions
+	// Flavor selects the sliver lists used for dissemination.
+	Flavor core.Flavor
+	// Eligible is the online in-band population at initiation (the
+	// coverage denominator, supplied by the experiment harness).
+	Eligible int
+}
+
+// DefaultRangecastOptions returns greedy HS+VS entry and HS+VS
+// dissemination.
+func DefaultRangecastOptions() RangecastOptions {
+	return RangecastOptions{Anycast: DefaultAnycastOptions(), Flavor: core.HSVS}
+}
+
+func (o RangecastOptions) validate() error {
+	if err := o.Anycast.validate(); err != nil {
+		return err
+	}
+	switch o.Flavor {
+	case core.HSOnly, core.VSOnly, core.HSVS:
+		return nil
+	default:
+		return fmt.Errorf("ops: invalid rangecast flavor %v", o.Flavor)
+	}
+}
+
+// Rangecast initiates a range-cast: payload delivery to every node
+// whose availability lies in the half-open band [lo, hi). Stage one is
+// a plain anycast toward the band's closed hull; stage two floods the
+// payload along band-filtered sliver lists with per-node duplicate
+// suppression, so no message ever leaves the band's neighborhood.
+func (r *Router) Rangecast(lo, hi float64, payload string, opts RangecastOptions) (MsgID, error) {
+	band := Band{Lo: lo, Hi: hi}
+	if err := band.Validate(); err != nil {
+		return MsgID{}, err
+	}
+	if err := opts.validate(); err != nil {
+		return MsgID{}, err
+	}
+	id := r.nextID()
+	now := r.env.Now()
+	r.col.StartRangecast(id, band, opts.Eligible, now)
+	if band.Empty() {
+		// Nothing is addressable: complete vacuously instead of walking
+		// the overlay until the TTL dies.
+		return id, nil
+	}
+	spec := RangecastSpec{Band: band, Flavor: opts.Flavor, Payload: payload}
+	msg := AnycastMsg{
+		ID:          id,
+		Target:      band.Target(),
+		Policy:      opts.Anycast.Policy,
+		Flavor:      opts.Anycast.Flavor,
+		TTL:         opts.Anycast.TTL,
+		Retry:       opts.Anycast.Retry,
+		SentAt:      now,
+		SenderAvail: r.selfClaim(),
+		Rangecast:   &spec,
+	}
+	r.handleAnycast(ids.Nil, msg)
+	return id, nil
+}
+
+// AggregateOptions parameterizes an aggregation initiation.
+type AggregateOptions struct {
+	// Anycast configures stage one (entering the band).
+	Anycast AnycastOptions
+	// Flavor selects the sliver lists the tree grows along.
+	Flavor core.Flavor
+	// Eligible and Truth are the experiment-supplied ground truth: the
+	// online in-band population and the true aggregate at initiation
+	// (Truth may be NaN outside a harness).
+	Eligible int
+	Truth    float64
+}
+
+// DefaultAggregateOptions returns greedy HS+VS entry and an HS+VS
+// tree, with no ground truth recorded.
+func DefaultAggregateOptions() AggregateOptions {
+	return AggregateOptions{Anycast: DefaultAnycastOptions(), Flavor: core.HSVS, Truth: math.NaN()}
+}
+
+func (o AggregateOptions) validate() error {
+	if err := o.Anycast.validate(); err != nil {
+		return err
+	}
+	switch o.Flavor {
+	case core.HSOnly, core.VSOnly, core.HSVS:
+		return nil
+	default:
+		return fmt.Errorf("ops: invalid aggregate flavor %v", o.Flavor)
+	}
+}
+
+// Aggregate initiates an in-overlay aggregation: op over the local
+// values of every node whose availability lies in [lo, hi). The first
+// in-band node becomes the root of an implicit spanning tree grown
+// along band-filtered sliver lists; partials combine per hop on the
+// way back up, and the root returns the result to this node. The
+// outcome materializes in the Collector's AggregateRecord.
+func (r *Router) Aggregate(op agg.Op, lo, hi float64, opts AggregateOptions) (MsgID, error) {
+	band := Band{Lo: lo, Hi: hi}
+	if err := band.Validate(); err != nil {
+		return MsgID{}, err
+	}
+	if err := op.Validate(); err != nil {
+		return MsgID{}, err
+	}
+	if err := opts.validate(); err != nil {
+		return MsgID{}, err
+	}
+	id := r.nextID()
+	now := r.env.Now()
+	r.col.StartAggregate(id, op, band, opts.Eligible, opts.Truth, now)
+	if band.Empty() {
+		// The empty band aggregates to the empty aggregate, exactly.
+		r.col.aggregateDone(id, agg.Partial{}, now)
+		return id, nil
+	}
+	spec := AggregateSpec{Op: op, Band: band, Flavor: opts.Flavor}
+	msg := AnycastMsg{
+		ID:          id,
+		Target:      band.Target(),
+		Policy:      opts.Anycast.Policy,
+		Flavor:      opts.Anycast.Flavor,
+		TTL:         opts.Anycast.TTL,
+		Retry:       opts.Anycast.Retry,
+		SentAt:      now,
+		SenderAvail: r.selfClaim(),
+		Aggregate:   &spec,
+	}
+	r.handleAnycast(ids.Nil, msg)
+	return id, nil
+}
+
 // HandleMessage is the network entry point: the simulator and live
 // runtime register it as the node's message handler.
 func (r *Router) HandleMessage(from ids.NodeID, msg any) {
@@ -371,6 +533,17 @@ func (r *Router) HandleMessage(from ids.NodeID, msg any) {
 		r.col.anycastDelivered(m.ID, m.Hops, r.env.Now()-m.SentAt)
 		return
 	}
+	// AggResultMsg is origin-addressed like DeliveredMsg and bypasses
+	// the in-neighbor check for the same reason: the tree root is
+	// rarely the origin's neighbor. Only an operation this node
+	// registered and that is still pending can be resolved (first
+	// wins), but the value itself is taken on trust — in-network
+	// aggregation inherently trusts its in-band participants (DESIGN.md
+	// §13, "trust model").
+	if m, ok := msg.(AggResultMsg); ok {
+		r.col.aggregateDone(m.ID, m.Result, r.env.Now())
+		return
+	}
 	if r.verifyInbound && !from.IsNil() && !r.mem.VerifyInbound(from) {
 		r.rejected++
 		return
@@ -380,6 +553,12 @@ func (r *Router) HandleMessage(from ids.NodeID, msg any) {
 		r.handleAnycast(from, m)
 	case MulticastMsg:
 		r.handleMulticast(m)
+	case RangecastMsg:
+		r.spreadRangecast(m)
+	case AggMsg:
+		r.handleAggRequest(from, m)
+	case AggReplyMsg:
+		r.handleAggReply(m)
 	default:
 		// Unknown payloads are dropped; the overlay carries only
 		// operation traffic.
@@ -391,10 +570,16 @@ func (r *Router) HandleMessage(from ids.NodeID, msg any) {
 func (r *Router) handleAnycast(from ids.NodeID, m AnycastMsg) {
 	self := r.mem.SelfInfo()
 	if m.Target.Contains(self.Availability) {
-		if m.Multicast != nil {
+		switch {
+		case m.Multicast != nil:
 			r.col.multicastEntered(m.ID)
 			r.disseminate(MulticastMsg{ID: m.ID, Target: m.Target, Spec: *m.Multicast, SentAt: m.SentAt})
-		} else {
+		case m.Rangecast != nil:
+			r.col.rangecastEntered(m.ID)
+			r.spreadRangecast(RangecastMsg{ID: m.ID, Spec: *m.Rangecast, SentAt: m.SentAt})
+		case m.Aggregate != nil:
+			r.rootAggregate(m)
+		default:
 			r.col.anycastDelivered(m.ID, m.Hops, r.env.Now()-m.SentAt)
 			if m.ID.Origin != self.ID {
 				r.env.Send(m.ID.Origin, DeliveredMsg{ID: m.ID, Hops: m.Hops, SentAt: m.SentAt})
@@ -605,7 +790,17 @@ func (r *Router) gossipRounds(m MulticastMsg, remaining int) {
 // valid until the next inRangeNeighbors call, which is fine because
 // flooding and gossip consume it synchronously.
 func (r *Router) inRangeNeighbors(m MulticastMsg) []core.Neighbor {
-	all := r.mem.Neighbors(m.Spec.Flavor)
+	return r.scratchNeighbors(m.Spec.Flavor, m.Target.Contains)
+}
+
+// scratchNeighbors fills the dissemination scratch with this node's
+// unblocked neighbors (given flavor) whose cached availability passes
+// contains, hash-ordered (see inRangeNeighbors for why the order must
+// be deterministic per node but uncorrelated across nodes). All three
+// dissemination families — multicast, range-cast, aggregation — share
+// it; the result is valid until the next scratchNeighbors call.
+func (r *Router) scratchNeighbors(flavor core.Flavor, contains func(float64) bool) []core.Neighbor {
+	all := r.mem.Neighbors(flavor)
 	r.rangeNbs = r.rangeNbs[:0]
 	r.rangeKeys = r.rangeKeys[:0]
 	self := r.mem.Self()
@@ -613,7 +808,7 @@ func (r *Router) inRangeNeighbors(m MulticastMsg) []core.Neighbor {
 		if r.auditor != nil && r.auditor.Blocked(nb.ID) {
 			continue
 		}
-		if m.Target.Contains(nb.Availability) {
+		if contains(nb.Availability) {
 			r.rangeNbs = append(r.rangeNbs, nb)
 			var key float64
 			if r.hashes != nil {
@@ -630,4 +825,116 @@ func (r *Router) inRangeNeighbors(m MulticastMsg) []core.Neighbor {
 	r.byHash.keys = nil
 	r.byHash.nbs = nil
 	return r.rangeNbs
+}
+
+// spreadRangecast is the range-cast stage-two entry: record the local
+// delivery once (duplicate-suppressed by operation id), then flood
+// onward to in-band neighbors if this node itself lies inside the
+// band. Like multicast flooding, an out-of-band receiver — reachable
+// only through a stale cached availability — consumes spam and does
+// not forward, so the payload never propagates outside the band's
+// overlay neighborhood.
+func (r *Router) spreadRangecast(m RangecastMsg) {
+	if r.seen[m.ID] {
+		return
+	}
+	if len(r.seen) >= maxSeen {
+		r.seen = make(map[MsgID]bool, 256)
+		r.gossipSent = make(map[MsgID]map[ids.NodeID]bool, 16)
+	}
+	r.seen[m.ID] = true
+
+	self := r.mem.SelfInfo()
+	inBand := m.Spec.Band.Contains(self.Availability)
+	r.col.rangecastDelivered(m.ID, string(self.ID), r.env.Now(), inBand, m.Depth)
+	if !inBand && m.Depth > 0 {
+		return
+	}
+	// The depth-0 exception: the entry node can sit exactly on the
+	// band's closed hull (the anycast attractor), in which case it
+	// relays into the band without being a member itself.
+	next := m
+	next.Depth++
+	next.SenderAvail = r.selfClaim()
+	var boxed any = next
+	for _, nb := range r.scratchNeighbors(m.Spec.Flavor, m.Spec.Band.Contains) {
+		r.env.Send(nb.ID, boxed)
+	}
+}
+
+// rootAggregate turns the entry node of an aggregation's anycast stage
+// into the root of the partial-combining tree. The root contributes
+// its own value only when it actually lies inside the half-open band
+// (the anycast terminates on the band's closed hull, so a node exactly
+// at Hi can become a contribution-free relay root); its finalized
+// partial goes straight back to the origin.
+func (r *Router) rootAggregate(m AnycastMsg) {
+	spec := *m.Aggregate
+	self := r.mem.SelfInfo()
+	r.col.aggregateEntered(m.ID)
+	id, sentAt := m.ID, m.SentAt
+	opened := r.station.Open(id, 0, r.aggValue(), spec.Band.Contains(self.Availability), func(p agg.Partial) {
+		if id.Origin == self.ID {
+			r.col.aggregateDone(id, p, r.env.Now())
+			return
+		}
+		r.env.Send(id.Origin, AggResultMsg{ID: id, Result: p, SentAt: sentAt, SenderAvail: r.selfClaim()})
+	})
+	if !opened {
+		// A retried entry stage can deliver the same anycast to a second
+		// in-band node after the first already rooted the tree.
+		return
+	}
+	r.station.Expect(id, r.forwardAgg(id, spec, 0, sentAt, ids.Nil))
+}
+
+// handleAggRequest processes an aggregation request at this node: join
+// the tree under the sender (first copy), or send an accounting
+// decline (duplicate copy, or this node lies outside the band).
+func (r *Router) handleAggRequest(from ids.NodeID, m AggMsg) {
+	self := r.mem.SelfInfo()
+	if r.station.Seen(m.ID) || !m.Spec.Band.Contains(self.Availability) {
+		r.env.Send(from, AggReplyMsg{ID: m.ID, Decline: true, SenderAvail: r.selfClaim()})
+		return
+	}
+	id, parent := m.ID, from
+	r.station.Open(id, m.Depth, r.aggValue(), true, func(p agg.Partial) {
+		r.env.Send(parent, AggReplyMsg{ID: id, Partial: p, SenderAvail: r.selfClaim()})
+	})
+	r.station.Expect(id, r.forwardAgg(id, m.Spec, m.Depth, m.SentAt, from))
+}
+
+// forwardAgg grows the tree one level: the request goes to every
+// in-band neighbor except the parent, with delivery failures feeding
+// straight into convergence accounting (an unreachable child declines
+// by transport nack). Returns how many children were addressed.
+func (r *Router) forwardAgg(id MsgID, spec AggregateSpec, depth int, sentAt time.Duration, parent ids.NodeID) int {
+	if depth >= r.station.Params().MaxDepth {
+		return 0
+	}
+	next := AggMsg{ID: id, Spec: spec, Depth: depth + 1, SentAt: sentAt, SenderAvail: r.selfClaim()}
+	kids := 0
+	for _, nb := range r.scratchNeighbors(spec.Flavor, spec.Band.Contains) {
+		if nb.ID == parent {
+			continue
+		}
+		r.env.SendCall(nb.ID, next, func(ok bool) {
+			if !ok {
+				r.station.Decline(id)
+			}
+		})
+		kids++
+	}
+	return kids
+}
+
+// handleAggReply folds a child's accounting reply into the pending
+// aggregation: a partial carries the child's whole subtree, a decline
+// carries nothing but still counts toward convergence.
+func (r *Router) handleAggReply(m AggReplyMsg) {
+	if m.Decline {
+		r.station.Decline(m.ID)
+		return
+	}
+	r.station.Absorb(m.ID, m.Partial)
 }

@@ -17,6 +17,8 @@
 // contract; internal/node runs on any Env, and internal/exp binds the
 // same node code to either engine. ops.Env is the structural subset the
 // operation router consumes — every runtime Env satisfies it.
+//
+// Architecture: DESIGN.md §6 (the Runtime/Env layer).
 package runtime
 
 import (

@@ -188,6 +188,16 @@ type runState struct {
 	mcReliability float64
 	mcSpam        float64
 
+	rcCount    int
+	rcCoverage float64
+	rcSpam     float64
+
+	agSent     int
+	agDone     int
+	agAccuracy float64
+	agCoverage float64
+	agHops     float64
+
 	attackProbes int
 	attackAccept float64
 	legitReject  float64
@@ -224,6 +234,10 @@ func (r *runState) fire(i int, e *Event) error {
 		return r.anycastBatch(e.AnycastBatch)
 	case e.MulticastBatch != nil:
 		return r.multicastBatch(e.MulticastBatch)
+	case e.Rangecast != nil:
+		return r.rangecastBatch(e.Rangecast)
+	case e.Aggregate != nil:
+		return r.aggregateBatch(e.Aggregate)
 	case e.Adversary != nil:
 		return r.adversaryEvent(e.Adversary)
 	case e.BiasProbe != nil:
@@ -353,6 +367,55 @@ func (r *runState) multicastBatch(b *MulticastBatch) error {
 	return nil
 }
 
+func (r *runState) rangecastBatch(b *RangecastBatch) error {
+	flavor, _ := parseFlavor(b.Flavor)
+	spec := exp.RangecastSpec{
+		Name:   "scenario",
+		BandLo: b.BandLo, BandHi: bandHi(b.BandHi),
+		Band:    b.band(),
+		Payload: b.Payload,
+		Flavor:  flavor,
+		Runs:    1, PerRun: b.Count,
+		Gap: b.Gap.D(), Settle: b.Settle.D(),
+	}
+	res, err := exp.RunRangecasts(r.w, spec)
+	if err != nil {
+		return fmt.Errorf("scenario: rangecast: %w", err)
+	}
+	r.rcCount += res.Sent
+	r.rcCoverage += res.MeanCoverage() * float64(res.Sent)
+	r.rcSpam += res.MeanSpamRatio() * float64(res.Sent)
+	r.logf("rangecast batch: %d sent to %v, coverage %.2f, spam %.2f",
+		res.Sent, spec.Band, res.MeanCoverage(), res.MeanSpamRatio())
+	return nil
+}
+
+func (r *runState) aggregateBatch(b *AggregateBatch) error {
+	op, _ := parseOp(b.Op)
+	flavor, _ := parseFlavor(b.Flavor)
+	spec := exp.AggregateSpec{
+		Name:   "scenario",
+		BandLo: b.BandLo, BandHi: bandHi(b.BandHi),
+		Band:   b.band(),
+		Op:     op,
+		Flavor: flavor,
+		Runs:   1, PerRun: b.Count,
+		Gap: b.Gap.D(), Settle: b.Settle.D(),
+	}
+	res, err := exp.RunAggregates(r.w, spec)
+	if err != nil {
+		return fmt.Errorf("scenario: aggregate: %w", err)
+	}
+	r.agSent += res.Sent
+	r.agDone += res.Done
+	r.agAccuracy += res.MeanAccuracy() * float64(res.Sent)
+	r.agCoverage += res.MeanCoverage() * float64(res.Sent)
+	r.agHops += res.MeanDepth() * float64(res.Done)
+	r.logf("aggregate batch: %d %v over %v, accuracy %.3f, coverage %.2f, done %d",
+		res.Sent, op, spec.Band, res.MeanAccuracy(), res.MeanCoverage(), res.Done)
+	return nil
+}
+
 // metrics computes the final metric map: workload aggregates plus an
 // end-of-run overlay snapshot.
 func (r *runState) metrics() map[string]float64 {
@@ -367,6 +430,18 @@ func (r *runState) metrics() map[string]float64 {
 	if r.mcCount > 0 {
 		m["multicast_reliability"] = r.mcReliability / float64(r.mcCount)
 		m["multicast_spam_ratio"] = r.mcSpam / float64(r.mcCount)
+	}
+	if r.rcCount > 0 {
+		m["rangecast_coverage"] = r.rcCoverage / float64(r.rcCount)
+		m["rangecast_spam_ratio"] = r.rcSpam / float64(r.rcCount)
+	}
+	if r.agSent > 0 {
+		m["agg_accuracy"] = r.agAccuracy / float64(r.agSent)
+		m["agg_coverage"] = r.agCoverage / float64(r.agSent)
+		m["agg_completion_rate"] = float64(r.agDone) / float64(r.agSent)
+	}
+	if r.agDone > 0 {
+		m["agg_mean_hops"] = r.agHops / float64(r.agDone)
 	}
 	if r.attackProbes > 0 {
 		m["attack_accept_rate"] = r.attackAccept

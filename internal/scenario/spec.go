@@ -11,6 +11,9 @@
 // cmd/avmemsim exposes it as `avmemsim run <scenario.json>` and
 // `avmemsim validate <scenario.json>`; checked-in examples live under
 // scenarios/.
+//
+// Architecture: DESIGN.md §9 (deployment engines and the scenario
+// layer); the README carries a spec cheat sheet.
 package scenario
 
 import (
@@ -24,6 +27,7 @@ import (
 	"time"
 
 	"avmem/internal/adversary"
+	"avmem/internal/agg"
 	"avmem/internal/audit"
 	"avmem/internal/core"
 	"avmem/internal/exp"
@@ -228,6 +232,8 @@ type Event struct {
 	MonitorNoise   *MonitorNoise   `json:"monitor_noise,omitempty"`
 	AnycastBatch   *AnycastBatch   `json:"anycast_batch,omitempty"`
 	MulticastBatch *MulticastBatch `json:"multicast_batch,omitempty"`
+	Rangecast      *RangecastBatch `json:"rangecast,omitempty"`
+	Aggregate      *AggregateBatch `json:"aggregate,omitempty"`
 	Adversary      *AdversaryEvent `json:"adversary,omitempty"`
 	BiasProbe      *BiasProbe      `json:"bias_probe,omitempty"`
 }
@@ -319,6 +325,52 @@ type MulticastBatch struct {
 	Settle Duration `json:"settle,omitempty"`
 }
 
+// RangecastBatch initiates Count range-casts from initiators in an
+// availability band: each delivers Payload to every node whose
+// availability lies in the half-open band [target_lo, target_hi) — a
+// target_hi of 1 closes the top end. An empty band (target_lo ==
+// target_hi below 1) is legal and completes with zero coverage.
+type RangecastBatch struct {
+	Count int `json:"count"`
+	// BandLo/BandHi bound the initiator's true availability.
+	BandLo float64 `json:"band_lo"`
+	BandHi float64 `json:"band_hi"`
+	// TargetLo/TargetHi is the addressed half-open availability band.
+	TargetLo float64 `json:"target_lo"`
+	TargetHi float64 `json:"target_hi"`
+	// Payload is the management payload delivered to every band member.
+	Payload string `json:"payload,omitempty"`
+	// Flavor is hsvs (default), hs, or vs.
+	Flavor string `json:"flavor,omitempty"`
+	// Gap spaces initiations (default 5s); Settle drains in-flight
+	// messages after the batch (default 30s).
+	Gap    Duration `json:"gap,omitempty"`
+	Settle Duration `json:"settle,omitempty"`
+}
+
+// AggregateBatch initiates Count in-overlay aggregations from
+// initiators in an availability band: each computes Op over the
+// node-local values (availability claims) of every node in the
+// half-open band [target_lo, target_hi), with per-hop partial
+// combining on the way back to the initiator.
+type AggregateBatch struct {
+	Count int `json:"count"`
+	// Op is count (default), sum, min, max, or avg.
+	Op string `json:"op,omitempty"`
+	// BandLo/BandHi bound the initiator's true availability.
+	BandLo float64 `json:"band_lo"`
+	BandHi float64 `json:"band_hi"`
+	// TargetLo/TargetHi is the aggregated half-open availability band.
+	TargetLo float64 `json:"target_lo"`
+	TargetHi float64 `json:"target_hi"`
+	// Flavor is hsvs (default), hs, or vs.
+	Flavor string `json:"flavor,omitempty"`
+	// Gap spaces initiations (default 10s — past tree convergence);
+	// Settle drains stragglers after the batch (default 30s).
+	Gap    Duration `json:"gap,omitempty"`
+	Settle Duration `json:"settle,omitempty"`
+}
+
 // Assertion bounds one metric of the finished run. At least one of
 // Min/Max is set.
 type Assertion struct {
@@ -342,6 +394,13 @@ var Metrics = map[string]string{
 	"max_sliver_size":       "largest total membership-list size across online nodes at run end",
 	"mean_degree":           "alias of mean_sliver_size (kept for symmetry with the figure harness)",
 	"online_fraction":       "fraction of the population online at run end",
+
+	"rangecast_coverage":   "mean delivered/eligible across all range-casts",
+	"rangecast_spam_ratio": "mean out-of-band receptions per eligible node across all range-casts",
+	"agg_accuracy":         "mean result-vs-ground-truth accuracy across all aggregations (1 = exact)",
+	"agg_coverage":         "mean contributing fraction of the eligible in-band population",
+	"agg_completion_rate":  "fraction of aggregations whose result reached the initiator",
+	"agg_mean_hops":        "mean tree depth (hop radius) of completed aggregations",
 
 	"adversary_fraction":        "configured adversary cohort as a fraction of the population",
 	"audit_eviction_rate":       "fraction of engaged adversaries (sent traffic while armed) evicted by at least one honest node",
@@ -771,6 +830,18 @@ func (e *Event) problems(ps *problems, path string, haveAdversaries bool) {
 			ps.add(path+".multicast_batch", "%v", err)
 		}
 	}
+	if e.Rangecast != nil {
+		n++
+		if err := e.Rangecast.validate(); err != nil {
+			ps.add(path+".rangecast", "%v", err)
+		}
+	}
+	if e.Aggregate != nil {
+		n++
+		if err := e.Aggregate.validate(); err != nil {
+			ps.add(path+".aggregate", "%v", err)
+		}
+	}
 	if e.Adversary != nil {
 		n++
 		if !haveAdversaries {
@@ -784,7 +855,7 @@ func (e *Event) problems(ps *problems, path string, haveAdversaries bool) {
 		}
 	}
 	if n != 1 {
-		ps.add(path, "exactly one action per event (churn_burst, attack, monitor_noise, anycast_batch, multicast_batch, adversary, bias_probe), got %d", n)
+		ps.add(path, "exactly one action per event (churn_burst, attack, monitor_noise, anycast_batch, multicast_batch, rangecast, aggregate, adversary, bias_probe), got %d", n)
 	}
 }
 
@@ -835,6 +906,49 @@ func (b *MulticastBatch) validate() error {
 
 func (b *MulticastBatch) target() ops.Target {
 	return ops.Target{Lo: b.TargetLo, Hi: b.TargetHi}
+}
+
+func (b *RangecastBatch) validate() error {
+	if b.Count <= 0 {
+		return fmt.Errorf("count must be positive, got %d", b.Count)
+	}
+	if err := validateBand(b.BandLo, b.BandHi); err != nil {
+		return err
+	}
+	if err := b.band().Validate(); err != nil {
+		return err
+	}
+	if _, err := parseFlavor(b.Flavor); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (b *RangecastBatch) band() ops.Band {
+	return ops.Band{Lo: b.TargetLo, Hi: b.TargetHi}
+}
+
+func (b *AggregateBatch) validate() error {
+	if b.Count <= 0 {
+		return fmt.Errorf("count must be positive, got %d", b.Count)
+	}
+	if _, err := parseOp(b.Op); err != nil {
+		return err
+	}
+	if err := validateBand(b.BandLo, b.BandHi); err != nil {
+		return err
+	}
+	if err := b.band().Validate(); err != nil {
+		return err
+	}
+	if _, err := parseFlavor(b.Flavor); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (b *AggregateBatch) band() ops.Band {
+	return ops.Band{Lo: b.TargetLo, Hi: b.TargetHi}
 }
 
 // validateBand checks an initiator availability band. A zero hi means
@@ -889,6 +1003,23 @@ func parseFlavor(s string) (core.Flavor, error) {
 		return core.VSOnly, nil
 	default:
 		return 0, fmt.Errorf("unknown flavor %q (hs, vs, hsvs)", s)
+	}
+}
+
+func parseOp(s string) (agg.Op, error) {
+	switch s {
+	case "", "count":
+		return agg.Count, nil
+	case "sum":
+		return agg.Sum, nil
+	case "min":
+		return agg.Min, nil
+	case "max":
+		return agg.Max, nil
+	case "avg":
+		return agg.Avg, nil
+	default:
+		return 0, fmt.Errorf("unknown op %q (count, sum, min, max, avg)", s)
 	}
 }
 

@@ -12,6 +12,8 @@
 //   - UniformSampler: an idealized service that returns a fresh uniform
 //     sample of online nodes on every query — an upper bound useful for
 //     tests and ablations.
+//
+// Architecture: DESIGN.md §7 (monitoring and shuffling services).
 package shuffle
 
 import (

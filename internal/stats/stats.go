@@ -2,6 +2,9 @@
 // harness uses to turn raw simulation measurements into exactly the
 // series the paper's figures plot: empirical CDFs, availability-bucketed
 // means, scatter series, histograms, and summary statistics.
+//
+// Architecture: DESIGN.md §9 (deployment engines and the scenario
+// layer — reporting).
 package stats
 
 import (

@@ -6,6 +6,10 @@
 // The simulation path (internal/sim) does not use this package; it has
 // its own virtual-time network. Both expose the same send semantics so
 // internal/ops runs unchanged on either.
+//
+// Architecture: DESIGN.md §11 (live runtime) and §6 (the Runtime/Env
+// contract — Memnet is the deterministic fabric behind the memnet
+// engine).
 package transport
 
 import (
