@@ -442,6 +442,78 @@ func BenchmarkScenarioMemnet600Hosts(b *testing.B) {
 	b.ReportMetric(delivered, "delivered")
 }
 
+// scaleSpec builds the scaling-series scenario (EXPERIMENTS.md §"Scaling"):
+// the mixed churn + anycast + multicast workload of BenchmarkScenario2000Hosts,
+// parameterized by population. Trace length and warmup shrink as the
+// population grows so the series probes per-event engine cost, not just
+// total virtual time; view_size is pinned at the 10k value past 10k
+// hosts because the default √N view makes per-tick discovery itself
+// grow with N and would conflate protocol scaling with engine scaling.
+func scaleSpec(hosts int, days float64, warmup time.Duration, shards int) (*scenario.Spec, scenario.Options) {
+	spec := &scenario.Spec{
+		Name: "bench-scale",
+		Seed: 1,
+		Fleet: scenario.Fleet{
+			Hosts:          hosts,
+			Days:           days,
+			ProtocolPeriod: scenario.Duration(2 * time.Minute),
+		},
+		Warmup: scenario.Duration(warmup),
+		Events: []scenario.Event{
+			{At: 0, ChurnBurst: &scenario.ChurnBurst{
+				Fraction: 0.25, Duration: scenario.Duration(30 * time.Minute)}},
+			{At: scenario.Duration(2 * time.Minute), AnycastBatch: &scenario.AnycastBatch{
+				Count: 30, BandLo: 0, BandHi: 1.01, TargetLo: 0.85, TargetHi: 0.95}},
+			{At: scenario.Duration(5 * time.Minute), MulticastBatch: &scenario.MulticastBatch{
+				Count: 10, BandLo: 0.66, BandHi: 1.01, TargetLo: 0.7, TargetHi: 1}},
+		},
+	}
+	if hosts > 10000 {
+		spec.Fleet.ViewSize = 100
+	}
+	return spec, scenario.Options{Shards: shards}
+}
+
+func benchScale(b *testing.B, hosts int, days float64, warmup time.Duration, shards int) {
+	spec, opts := scaleSpec(hosts, days, warmup, shards)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var delivered float64
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.Run(spec, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delivered = res.Metrics["anycast_delivery_rate"]
+	}
+	b.ReportMetric(delivered, "delivered")
+}
+
+// BenchmarkScenario10kHosts is the mid rung of the scaling series.
+func BenchmarkScenario10kHosts(b *testing.B) {
+	benchScale(b, 10000, 0.5, 2*time.Hour, 8)
+}
+
+// BenchmarkScenario50kHosts is the third rung of the scaling series.
+// Skipped under -short like the 100k run.
+func BenchmarkScenario50kHosts(b *testing.B) {
+	if testing.Short() {
+		b.Skip("50k-host scale run; use scripts/bench.sh or run without -short")
+	}
+	benchScale(b, 50000, 0.25, 90*time.Minute, 16)
+}
+
+// BenchmarkScenario100kHosts is the tentpole scale target: a 100k-host
+// fleet through churn and a mixed workload on the sharded engine.
+// Skipped under -short (the CI bench smoke); run it explicitly or via
+// scripts/bench.sh.
+func BenchmarkScenario100kHosts(b *testing.B) {
+	if testing.Short() {
+		b.Skip("100k-host scale run; use scripts/bench.sh or run without -short")
+	}
+	benchScale(b, 100000, 0.25, 90*time.Minute, 16)
+}
+
 // BenchmarkScenarioEclipse600Hosts runs a full adversary-and-audit
 // scenario — 600 hosts, a 22% eclipse + selective-forwarding cohort,
 // every node auditing — end to end on the simulator engine: the cost

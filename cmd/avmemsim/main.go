@@ -64,12 +64,21 @@ func runScenario(args []string, out io.Writer) error {
 	parallel := fs.Int("parallel", 0, "worlds in flight at once for a multi-seed sweep (0 = GOMAXPROCS)")
 	backend := fs.String("backend", scenario.BackendSim,
 		"execution engine: 'sim' (virtual-time simulator) or 'memnet' (real nodes on a deterministic in-process network)")
+	shards := fs.Int("shards", 0, "event-queue shards for the sim backend (0/1 = single heap; output is bit-identical for any value)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write an end-of-run heap profile to this file")
+	tracefile := fs.String("trace", "", "write a runtime execution trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: avmemsim run [-q] [-backend sim|memnet] [-seeds N] [-parallel P] <scenario.json>")
+		return fmt.Errorf("usage: avmemsim run [-q] [-backend sim|memnet] [-seeds N] [-parallel P] [-shards S] [-cpuprofile f] [-memprofile f] [-trace f] <scenario.json>")
 	}
+	stopProf, err := startProfiles(*cpuprofile, *memprofile, *tracefile)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	if *seeds < 1 {
 		return fmt.Errorf("avmemsim run: -seeds must be >= 1, got %d", *seeds)
 	}
@@ -83,7 +92,7 @@ func runScenario(args []string, out io.Writer) error {
 	}
 	if *seeds > 1 {
 		multi, err := scenario.RunMany(spec, scenario.SeedRange(spec.Seed, *seeds), *parallel,
-			scenario.Options{Log: log, Backend: *backend})
+			scenario.Options{Log: log, Backend: *backend, Shards: *shards})
 		if err != nil {
 			return err
 		}
@@ -94,7 +103,7 @@ func runScenario(args []string, out io.Writer) error {
 		}
 		return nil
 	}
-	res, err := scenario.Run(spec, scenario.Options{Log: log, Backend: *backend})
+	res, err := scenario.Run(spec, scenario.Options{Log: log, Backend: *backend, Shards: *shards})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+)
+
+// startProfiles turns on the requested profilers and returns the
+// teardown that flushes them; any empty path is skipped. The CPU
+// profile and execution trace record the whole run; the heap profile is
+// a single end-of-run snapshot taken after a forced GC, which is the
+// view that matters for a simulator whose live set is the world itself.
+func startProfiles(cpu, mem, trace string) (stop func(), err error) {
+	var stops []func()
+	fail := func(err error) (func(), error) {
+		for _, s := range stops {
+			s()
+		}
+		return nil, err
+	}
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return fail(fmt.Errorf("cpuprofile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("cpuprofile: %w", err))
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if trace != "" {
+		f, err := os.Create(trace)
+		if err != nil {
+			return fail(fmt.Errorf("trace: %w", err))
+		}
+		if err := rtrace.Start(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("trace: %w", err))
+		}
+		stops = append(stops, func() {
+			rtrace.Stop()
+			f.Close()
+		})
+	}
+	if mem != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "avmemsim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "avmemsim: memprofile:", err)
+			}
+		})
+	}
+	return func() {
+		// Unwind in reverse so the CPU profile covers the trace stop.
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}, nil
+}

@@ -227,11 +227,11 @@ func NewStation[K comparable](params Params, after func(d time.Duration, fn func
 	if after == nil {
 		return nil, fmt.Errorf("agg: after scheduler is required")
 	}
+	// open/done are allocated lazily: most stations in a large world
+	// never participate in an aggregation.
 	return &Station[K]{
 		params: params.withDefaults(),
 		after:  after,
-		open:   make(map[K]*pending, 8),
-		done:   make(map[K]bool, 64),
 	}, nil
 }
 
@@ -268,6 +268,9 @@ func (s *Station[K]) Open(id K, depth int, local float64, contribute bool, final
 	p := &pending{finalize: finalize, deadline: levels + 1}
 	if contribute {
 		p.acc.Observe(local, depth)
+	}
+	if s.open == nil {
+		s.open = make(map[K]*pending, 8)
 	}
 	s.open[id] = p
 	s.tick(id, p)
@@ -332,7 +335,7 @@ func (s *Station[K]) maybeConverge(id K, p *pending) {
 // conclude retires the aggregation and reports its combined partial.
 func (s *Station[K]) conclude(id K, p *pending) {
 	delete(s.open, id)
-	if len(s.done) >= maxDone {
+	if s.done == nil || len(s.done) >= maxDone {
 		s.done = make(map[K]bool, 64)
 	}
 	s.done[id] = true

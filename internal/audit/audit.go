@@ -218,8 +218,11 @@ type suspect struct {
 // is not safe for concurrent use; the owning node serializes calls
 // (exactly like core.Membership).
 type Auditor struct {
-	cfg   Config
-	peers map[ids.NodeID]*suspect
+	cfg Config
+	// peers holds value entries (not pointers): suspicion state is two
+	// words, so boxing every suspect behind its own allocation bought
+	// nothing but allocator traffic on the audit hot path.
+	peers map[ids.NodeID]suspect
 	// evicted counts local evictions (cheap accessor for probes).
 	evictions int
 }
@@ -232,7 +235,7 @@ func New(cfg Config) (*Auditor, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Auditor{cfg: cfg, peers: make(map[ids.NodeID]*suspect, 64)}, nil
+	return &Auditor{cfg: cfg, peers: make(map[ids.NodeID]suspect, 64)}, nil
 }
 
 // Blocked implements ops.Auditor: whether id has been audited out.
@@ -387,18 +390,16 @@ func (a *Auditor) recheck(from ids.NodeID, est float64) bool {
 // hit raises a peer's suspicion and evicts it at the threshold.
 func (a *Auditor) hit(from ids.NodeID, weight float64, reason string) {
 	s := a.peers[from]
-	if s == nil {
-		s = &suspect{}
-		a.peers[from] = s
-	}
 	if s.evicted {
 		return
 	}
 	s.score += weight
+	a.peers[from] = s
 	if s.score < a.cfg.Params.EvictThreshold {
 		return
 	}
 	s.evicted = true
+	a.peers[from] = s
 	a.evictions++
 	if a.cfg.Trail != nil {
 		a.cfg.Trail.record(Eviction{
@@ -422,4 +423,5 @@ func (a *Auditor) clean(from ids.NodeID) {
 	if s.score < 0 {
 		s.score = 0
 	}
+	a.peers[from] = s
 }

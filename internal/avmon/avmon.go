@@ -38,6 +38,16 @@ type Service interface {
 	Availability(target ids.NodeID) (float64, bool)
 }
 
+// IndexedService is a Service that additionally answers by dense host
+// index, skipping the identifier lookup — the fast path discovery uses
+// when candidates already carry their index.
+type IndexedService interface {
+	Service
+	// AvailabilityIdx is Availability for the host at index h in the
+	// service's universe (the churn trace's host order).
+	AvailabilityIdx(h int) (float64, bool)
+}
+
 // Oracle reports long-term availability computed from the churn trace
 // at the current virtual time, using the add-one smoothed estimator
 // (up+1)/(n+2): the value an ideal monitoring service would report. It
@@ -78,6 +88,15 @@ func (o *Oracle) Availability(target ids.NodeID) (float64, bool) {
 	if h < 0 {
 		return 0, false
 	}
+	return o.AvailabilityIdx(h)
+}
+
+// AvailabilityIdx implements IndexedService: the oracle answer for the
+// host at trace index h, with no identifier lookup.
+func (o *Oracle) AvailabilityIdx(h int) (float64, bool) {
+	if h < 0 || h >= len(o.valid) {
+		return 0, false
+	}
 	e := o.tr.EpochAt(o.now())
 	if e != o.epoch {
 		o.epoch = e
@@ -91,6 +110,8 @@ func (o *Oracle) Availability(target ids.NodeID) (float64, bool) {
 	}
 	return o.memo[h], true
 }
+
+var _ IndexedService = (*Oracle)(nil)
 
 // Noisy wraps a Service with bounded symmetric error and snapshot
 // staleness: a queried value is sampled from the inner service at most

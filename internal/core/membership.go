@@ -44,6 +44,10 @@ type Neighbor struct {
 	Sliver       Sliver
 	// FetchedAt records when the cached availability was obtained.
 	FetchedAt time.Duration
+	// idx1 is the neighbor's dense host index plus one when known
+	// (zero = unknown), carried so Refresh and the indexed discovery
+	// path never resolve identifiers.
+	idx1 int32
 }
 
 // Config wires a Membership to its dependencies.
@@ -65,6 +69,25 @@ type Config struct {
 	// evicted: Discover never admits them and Refresh drops them, so an
 	// audited-out node falls out of both slivers for good.
 	Blocked func(ids.NodeID) bool
+
+	// PairIdx, when non-nil, enables the index-keyed fast path: pair
+	// hashes are memoized in this (deployment-shared) cache keyed by
+	// dense host index, and candidates fed through DiscoverIdx skip all
+	// identifier-keyed lookups. SelfIdx must then be this node's index
+	// in the cache's universe.
+	PairIdx *ids.PairIndexCache
+	SelfIdx int32
+	// MonitorIdx optionally answers availability queries by host index
+	// (the same service as Monitor, minus the identifier lookup).
+	MonitorIdx avmon.IndexedService
+	// MonitorEpoch, when set, reports the monitor's current epoch and
+	// whether its availability answers are pure, epoch-constant reads
+	// (true for a noiseless oracle; false when queries draw noise RNG
+	// or reflect live ping rounds). While stable, discovery caches
+	// predicate rejections for the epoch: the protocol period is much
+	// shorter than an epoch, so most ticks re-evaluate identical
+	// (hash, selfAvail, avY) triples.
+	MonitorEpoch func() (epoch int, stable bool)
 }
 
 func (c Config) validate() error {
@@ -112,8 +135,27 @@ type Membership struct {
 	// every protocol period, so a single-id-keyed memo beats both
 	// recomputing SHA-256 and the shared two-id-keyed cache on this
 	// path. Bounded by pairMemoMax with full reset (the SHA recompute
-	// after a reset is cheap and allocation-free).
+	// after a reset is cheap and allocation-free). Unused (and never
+	// allocated) when the index-keyed fast path is configured.
 	pairMemo map[ids.NodeID]float64
+	// sliverIdx mirrors sliver keyed by dense host index, so the
+	// indexed discovery path's duplicate check never hashes a string.
+	// Populated only when cfg.PairIdx is set.
+	sliverIdx map[int32]Sliver
+	// hasUnindexed records that at least one neighbor was admitted
+	// without a known index; the indexed duplicate check then falls
+	// back to the identifier map (correctness net, not a hot path).
+	hasUnindexed bool
+
+	// rej caches predicate-rejected candidate indexes (biased +1, 0 =
+	// empty slot) for one (epoch, self-claim) regime — see
+	// Config.MonitorEpoch. rejVer pairs with selfVer, bumped whenever
+	// the self claim is refreshed.
+	rej      []int32
+	rejUsed  int
+	rejEpoch int
+	rejVer   uint64
+	selfVer  uint64
 }
 
 // pairMemoMax bounds the per-membership hash memo; enough for every
@@ -126,11 +168,22 @@ func (m *Membership) pairHash(y ids.NodeID) float64 {
 		return h
 	}
 	h := ids.PairHash(m.self, y)
-	if len(m.pairMemo) >= pairMemoMax {
+	if m.pairMemo == nil {
+		m.pairMemo = make(map[ids.NodeID]float64, 64)
+	} else if len(m.pairMemo) >= pairMemoMax {
 		m.pairMemo = make(map[ids.NodeID]float64, 64)
 	}
 	m.pairMemo[y] = h
 	return h
+}
+
+// availability queries the monitor, preferring the indexed service when
+// the peer's index is known (yi >= 0).
+func (m *Membership) availability(y ids.NodeID, yi int32) (float64, bool) {
+	if m.cfg.MonitorIdx != nil && yi >= 0 {
+		return m.cfg.MonitorIdx.AvailabilityIdx(int(yi))
+	}
+	return m.cfg.Monitor.Availability(y)
 }
 
 // NewMembership creates the membership state for node self.
@@ -142,10 +195,20 @@ func NewMembership(self ids.NodeID, cfg Config) (*Membership, error) {
 		return nil, err
 	}
 	m := &Membership{
-		cfg:      cfg,
-		self:     self,
-		sliver:   make(map[ids.NodeID]Sliver, 64),
-		pairMemo: make(map[ids.NodeID]float64, 64),
+		cfg:    cfg,
+		self:   self,
+		sliver: make(map[ids.NodeID]Sliver, 8),
+	}
+	if cfg.PairIdx != nil {
+		if cfg.SelfIdx < 0 || int(cfg.SelfIdx) >= cfg.PairIdx.Hosts() {
+			return nil, fmt.Errorf("core: SelfIdx %d outside pair-cache universe (%d hosts)",
+				cfg.SelfIdx, cfg.PairIdx.Hosts())
+		}
+		if cfg.PairIdx.ID(cfg.SelfIdx) != self {
+			return nil, fmt.Errorf("core: SelfIdx %d names %q, not self %q",
+				cfg.SelfIdx, cfg.PairIdx.ID(cfg.SelfIdx), self)
+		}
+		m.sliverIdx = make(map[int32]Sliver, 8)
 	}
 	m.RefreshSelf()
 	return m, nil
@@ -211,7 +274,14 @@ func (m *Membership) SelfClaim() float64 {
 // RefreshSelf re-queries the monitoring service for this node's own
 // availability. Returns the cached value.
 func (m *Membership) RefreshSelf() float64 {
-	if v, ok := m.cfg.Monitor.Availability(m.self); ok {
+	yi := int32(-1)
+	if m.cfg.PairIdx != nil {
+		yi = m.cfg.SelfIdx
+	}
+	if v, ok := m.availability(m.self, yi); ok {
+		if v != m.selfAvail || !m.selfKnown {
+			m.selfVer++
+		}
 		m.selfAvail = v
 		m.selfKnown = true
 	}
@@ -248,13 +318,174 @@ func (m *Membership) Discover(candidates []ids.NodeID) int {
 			continue
 		}
 		nb := Neighbor{ID: y, Availability: avY, Sliver: kind, FetchedAt: now}
-		m.sliver[y] = kind
-		m.all = insertNeighbor(m.all, nb)
-		view := m.sliverView(kind)
-		*view = insertNeighbor(*view, nb)
+		m.admit(nb, kind)
 		added++
 	}
 	return added
+}
+
+// admit inserts a new neighbor into all views and both duplicate maps.
+func (m *Membership) admit(nb Neighbor, kind Sliver) {
+	m.sliver[nb.ID] = kind
+	if m.sliverIdx != nil {
+		if nb.idx1 > 0 {
+			m.sliverIdx[nb.idx1-1] = kind
+		} else {
+			m.hasUnindexed = true
+		}
+	}
+	m.all = insertNeighbor(m.all, nb)
+	view := m.sliverView(kind)
+	*view = insertNeighbor(*view, nb)
+}
+
+// DiscoverIdx is Discover for candidates that carry their dense host
+// index (idxs parallel to candidates; a negative index means unknown).
+// With Config.PairIdx and MonitorIdx configured, the per-candidate cost
+// is two integer-keyed map probes and two array reads — no identifier
+// is hashed anywhere on the admit-nothing path, which is the common
+// case once the overlay has converged.
+func (m *Membership) DiscoverIdx(candidates []ids.NodeID, idxs []int32) int {
+	if len(idxs) != len(candidates) {
+		return m.Discover(candidates)
+	}
+	if !m.selfKnown {
+		m.RefreshSelf()
+	}
+	selfIdx := int32(-1)
+	if m.cfg.PairIdx != nil {
+		selfIdx = m.cfg.SelfIdx
+	}
+	caching := false
+	if m.cfg.MonitorEpoch != nil && m.sliverIdx != nil {
+		if ep, stable := m.cfg.MonitorEpoch(); stable {
+			caching = true
+			m.prepRejCache(ep)
+		}
+	}
+	now := m.cfg.Clock()
+	added := 0
+	for j, y := range candidates {
+		yi := idxs[j]
+		if yi < 0 || m.sliverIdx == nil {
+			// Unknown index (or unindexed membership): identifier path.
+			if m.discoverOne(y, now) {
+				added++
+			}
+			continue
+		}
+		if yi == selfIdx || y.IsNil() {
+			continue
+		}
+		if _, exists := m.sliverIdx[yi]; exists {
+			continue
+		}
+		if m.hasUnindexed {
+			if _, exists := m.sliver[y]; exists {
+				continue
+			}
+		}
+		if m.cfg.Blocked != nil && m.cfg.Blocked(y) {
+			continue
+		}
+		if caching && m.rejHas(yi) {
+			continue
+		}
+		avY, ok := m.availability(y, yi)
+		if !ok {
+			continue
+		}
+		// The pair hash is computed directly: the rejection cache already
+		// absorbs within-epoch repeats, so most candidates reaching this
+		// point are first-time pairs a memo could not have served — and a
+		// deployment-wide memo table outgrows the CPU cache, making the
+		// probe cost more than one short SHA-256.
+		h := ids.PairHash(m.self, y)
+		match, kind := m.cfg.Predicate.Eval(h, m.selfAvail, avY, 0)
+		if !match {
+			if caching {
+				m.rejAdd(yi)
+			}
+			continue
+		}
+		m.admit(Neighbor{ID: y, Availability: avY, Sliver: kind, FetchedAt: now, idx1: yi + 1}, kind)
+		added++
+	}
+	return added
+}
+
+// prepRejCache readies the rejection cache for the given monitor epoch,
+// clearing it when the (epoch, self-claim) regime moved on.
+func (m *Membership) prepRejCache(epoch int) {
+	if m.rej == nil {
+		m.rej = make([]int32, 512)
+		m.rejEpoch = epoch - 1 // force the clear below to set versions
+	}
+	if epoch != m.rejEpoch || m.rejVer != m.selfVer {
+		clear(m.rej)
+		m.rejUsed = 0
+		m.rejEpoch = epoch
+		m.rejVer = m.selfVer
+	}
+}
+
+// rejHas reports whether candidate index yi was predicate-rejected this
+// regime.
+func (m *Membership) rejHas(yi int32) bool {
+	mask := uint32(len(m.rej)) - 1
+	k := yi + 1
+	for i := (uint32(yi) * 2654435761) & mask; ; i = (i + 1) & mask {
+		switch m.rej[i] {
+		case k:
+			return true
+		case 0:
+			return false
+		}
+	}
+}
+
+// rejAdd records a predicate rejection. A full table is cleared rather
+// than grown — the cache is advisory, and the per-epoch candidate set
+// is normally far smaller than the table.
+func (m *Membership) rejAdd(yi int32) {
+	if (m.rejUsed+1)*4 >= len(m.rej)*3 {
+		clear(m.rej)
+		m.rejUsed = 0
+	}
+	mask := uint32(len(m.rej)) - 1
+	i := (uint32(yi) * 2654435761) & mask
+	for m.rej[i] != 0 {
+		if m.rej[i] == yi+1 {
+			return
+		}
+		i = (i + 1) & mask
+	}
+	m.rej[i] = yi + 1
+	m.rejUsed++
+}
+
+// discoverOne runs the identifier-keyed discovery test for a single
+// candidate, reporting whether it was admitted.
+func (m *Membership) discoverOne(y ids.NodeID, now time.Duration) bool {
+	if y == m.self || y.IsNil() {
+		return false
+	}
+	if _, exists := m.sliver[y]; exists {
+		return false
+	}
+	if m.cfg.Blocked != nil && m.cfg.Blocked(y) {
+		return false
+	}
+	avY, ok := m.cfg.Monitor.Availability(y)
+	if !ok {
+		return false
+	}
+	match, kind := m.cfg.Predicate.Eval(m.pairHash(y), m.selfAvail, avY, 0)
+	if !match {
+		return false
+	}
+	m.admit(Neighbor{ID: y, Availability: avY, Sliver: kind, FetchedAt: now}, kind)
+	return true
 }
 
 // Refresh runs one round of the refresh sub-protocol (paper §3.1.II):
@@ -273,19 +504,25 @@ func (m *Membership) Refresh() int {
 	for i := range m.all {
 		nb := m.all[i]
 		if m.cfg.Blocked != nil && m.cfg.Blocked(nb.ID) {
-			delete(m.sliver, nb.ID)
+			m.drop(&nb)
 			evicted++
 			continue
 		}
-		avY, ok := m.cfg.Monitor.Availability(nb.ID)
+		avY, ok := m.availability(nb.ID, nb.idx1-1)
 		if !ok {
-			delete(m.sliver, nb.ID)
+			m.drop(&nb)
 			evicted++
 			continue
 		}
-		match, kind := m.cfg.Predicate.Eval(m.pairHash(nb.ID), m.selfAvail, avY, 0)
+		var h float64
+		if m.cfg.PairIdx != nil && nb.idx1 > 0 {
+			h = m.cfg.PairIdx.Pair(m.cfg.SelfIdx, nb.idx1-1)
+		} else {
+			h = m.pairHash(nb.ID)
+		}
+		match, kind := m.cfg.Predicate.Eval(h, m.selfAvail, avY, 0)
 		if !match {
-			delete(m.sliver, nb.ID)
+			m.drop(&nb)
 			evicted++
 			continue
 		}
@@ -293,6 +530,9 @@ func (m *Membership) Refresh() int {
 		nb.Sliver = kind
 		nb.FetchedAt = now
 		m.sliver[nb.ID] = kind
+		if m.sliverIdx != nil && nb.idx1 > 0 {
+			m.sliverIdx[nb.idx1-1] = kind
+		}
 		keep = append(keep, nb)
 	}
 	for i := len(keep); i < len(m.all); i++ {
@@ -306,6 +546,14 @@ func (m *Membership) Refresh() int {
 		*view = append(*view, m.all[i])
 	}
 	return evicted
+}
+
+// drop removes a neighbor from both duplicate maps.
+func (m *Membership) drop(nb *Neighbor) {
+	delete(m.sliver, nb.ID)
+	if m.sliverIdx != nil && nb.idx1 > 0 {
+		delete(m.sliverIdx, nb.idx1-1)
+	}
 }
 
 // Contains reports whether id is currently a neighbor (either sliver).

@@ -84,13 +84,42 @@ func buildPredicate(cfg WorldConfig, pdf *avdist.PDF, nStar float64) (*core.Pred
 // switchMonitor is the monitoring service every node actually holds: a
 // stable indirection whose inner service the scenario layer can swap at
 // run time (monitor-degradation ramps) without rewiring memberships.
-type switchMonitor struct{ inner avmon.Service }
+// It forwards the indexed fast path when the inner service supports it
+// (innerIdx is refreshed on every swap), falling back to an identifier
+// lookup through the host table otherwise.
+type switchMonitor struct {
+	inner    avmon.Service
+	innerIdx avmon.IndexedService // nil when inner is not indexed
+	hosts    []ids.NodeID
+	// stable reports that the current inner service answers queries as
+	// pure, epoch-constant reads (the noiseless oracle) — the gate for
+	// discovery's per-epoch rejection cache. Noise wraps and live ping
+	// overlays clear it.
+	stable bool
+}
 
-var _ avmon.Service = (*switchMonitor)(nil)
+var _ avmon.IndexedService = (*switchMonitor)(nil)
+
+// swap replaces the inner service, re-deriving the indexed fast path.
+func (s *switchMonitor) swap(svc avmon.Service) {
+	s.inner = svc
+	s.innerIdx, _ = svc.(avmon.IndexedService)
+}
 
 // Availability implements avmon.Service.
 func (s *switchMonitor) Availability(id ids.NodeID) (float64, bool) {
 	return s.inner.Availability(id)
+}
+
+// AvailabilityIdx implements avmon.IndexedService.
+func (s *switchMonitor) AvailabilityIdx(h int) (float64, bool) {
+	if s.innerIdx != nil {
+		return s.innerIdx.AvailabilityIdx(h)
+	}
+	if h < 0 || h >= len(s.hosts) {
+		return 0, false
+	}
+	return s.inner.Availability(s.hosts[h])
 }
 
 // monitorStack is the monitoring plumbing both deployment engines (the
@@ -98,10 +127,11 @@ func (s *switchMonitor) Availability(id ids.NodeID) (float64, bool) {
 // handed to every node, the noiseless base service underneath, and the
 // clock/randomness a noise layer needs.
 type monitorStack struct {
-	monitor *switchMonitor
-	base    avmon.Service
-	now     func() time.Duration
-	rng     *rand.Rand
+	monitor    *switchMonitor
+	base       avmon.Service
+	baseStable bool // base answers pure epoch-constant reads (oracle)
+	now        func() time.Duration
+	rng        *rand.Rand
 }
 
 // buildMonitorStack wires the monitoring service: oracle by default,
@@ -138,11 +168,14 @@ func buildMonitorStack(cfg WorldConfig, tr *trace.Trace, hosts []ids.NodeID, sch
 		base = oracle
 	}
 	s := &monitorStack{
-		monitor: &switchMonitor{inner: base},
-		base:    base,
-		now:     sched.Now,
-		rng:     sched.Rand(),
+		monitor:    &switchMonitor{hosts: hosts},
+		base:       base,
+		baseStable: !cfg.DistributedMonitor,
+		now:        sched.Now,
+		rng:        sched.Rand(),
 	}
+	s.monitor.swap(base)
+	s.monitor.stable = s.baseStable
 	if cfg.MonitorErr > 0 || cfg.MonitorStaleness > 0 {
 		if err := s.setNoise(cfg.MonitorErr, cfg.MonitorStaleness); err != nil {
 			return nil, err
@@ -157,14 +190,16 @@ func buildMonitorStack(cfg WorldConfig, tr *trace.Trace, hosts []ids.NodeID, sch
 // noiseless base service.
 func (s *monitorStack) setNoise(maxErr float64, staleness time.Duration) error {
 	if maxErr == 0 && staleness == 0 {
-		s.monitor.inner = s.base
+		s.monitor.swap(s.base)
+		s.monitor.stable = s.baseStable
 		return nil
 	}
 	noisy, err := avmon.NewNoisy(s.base, maxErr, staleness, s.now, s.rng)
 	if err != nil {
 		return err
 	}
-	s.monitor.inner = noisy
+	s.monitor.swap(noisy)
+	s.monitor.stable = false
 	return nil
 }
 
@@ -228,6 +263,10 @@ func (w *World) installNodes(pred *core.Predicate) error {
 			Hashes:        w.Hashes,
 			Clock:         w.Sim.Now,
 			VerifyCushion: w.Cfg.Cushion,
+			PairIdx:       w.PairIdx,
+			SelfIdx:       int32(h),
+			MonitorIdx:    w.mon.monitor,
+			MonitorEpoch:  w.monitorEpoch,
 		}
 		var auditor *audit.Auditor
 		if w.auditors != nil {
@@ -363,8 +402,9 @@ func (w *World) discoverCohort(cohort []int32) {
 			w.Shuffle.Join(id, w.randomSeeds(id, 4))
 		}
 		w.Shuffle.TickIdx(int(h))
-		w.viewScratch = w.Shuffle.AppendViewIdx(w.viewScratch[:0], int(h))
-		w.members[h].Discover(w.viewScratch)
+		w.viewScratch, w.idxScratch =
+			w.Shuffle.AppendViewCand(w.viewScratch[:0], w.idxScratch[:0], int(h))
+		w.members[h].DiscoverIdx(w.viewScratch, w.idxScratch)
 	}
 }
 

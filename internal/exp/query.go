@@ -56,15 +56,36 @@ func (w *World) TrueAvailability(id ids.NodeID) float64 {
 	if h < 0 {
 		return 0
 	}
-	return w.Trace.SmoothedAvailability(h, w.Trace.EpochAt(w.Sim.Now()))
+	return w.trueAvailabilityIdx(h)
+}
+
+// trueAvailabilityIdx is TrueAvailability keyed by host index, memoized
+// per epoch: the trace fold behind it is O(epochs) per call and probe
+// helpers issue it O(hosts) times per query.
+func (w *World) trueAvailabilityIdx(h int) float64 {
+	e := w.Trace.EpochAt(w.Sim.Now())
+	if e != w.avEpoch {
+		for i := range w.avValid {
+			w.avValid[i] = false
+		}
+		w.avEpoch = e
+	}
+	if !w.avValid[h] {
+		w.avMemo[h] = w.Trace.SmoothedAvailability(h, e)
+		w.avValid[h] = true
+	}
+	return w.avMemo[h]
 }
 
 // OnlineInBand returns online nodes whose true availability lies in
 // [lo, hi).
 func (w *World) OnlineInBand(lo, hi float64) []ids.NodeID {
 	out := make([]ids.NodeID, 0, 64)
-	for _, id := range w.OnlineHosts() {
-		av := w.TrueAvailability(id)
+	for h, id := range w.hosts {
+		if !w.onlineAt(h) {
+			continue
+		}
+		av := w.trueAvailabilityIdx(h)
 		if av >= lo && av < hi {
 			out = append(out, id)
 		}
@@ -76,8 +97,8 @@ func (w *World) OnlineInBand(lo, hi float64) []ids.NodeID {
 // the operation target — the reliability/spam denominator.
 func (w *World) EligibleFor(t ops.Target) int {
 	n := 0
-	for _, id := range w.OnlineHosts() {
-		if t.Contains(w.TrueAvailability(id)) {
+	for h := range w.hosts {
+		if w.onlineAt(h) && t.Contains(w.trueAvailabilityIdx(h)) {
 			n++
 		}
 	}
@@ -120,13 +141,16 @@ func (w *World) Auditor(id ids.NodeID) *audit.Auditor {
 // MeanDegree returns the mean AVMEM neighbor count across online nodes
 // (used to match the random-overlay baseline's degree in Figure 10).
 func (w *World) MeanDegree() float64 {
-	online := w.OnlineHosts()
-	if len(online) == 0 {
+	total, online := 0, 0
+	for h := range w.hosts {
+		if !w.onlineAt(h) {
+			continue
+		}
+		online++
+		total += w.members[h].Size()
+	}
+	if online == 0 {
 		return 0
 	}
-	total := 0
-	for _, id := range online {
-		total += w.Membership(id).Size()
-	}
-	return float64(total) / float64(len(online))
+	return float64(total) / float64(online)
 }

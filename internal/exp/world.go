@@ -73,6 +73,11 @@ type WorldConfig struct {
 	Cushion float64
 	// Latency is the per-hop latency model (default U[20ms, 80ms]).
 	Latency sim.LatencyModel
+	// Shards partitions the simulator's event queue across this many
+	// per-shard heaps merged in deterministic (at, seq) order; 0 or 1
+	// keeps the single global heap. Any value produces bit-identical
+	// output for a given (trace, seed) — see DESIGN.md §14.
+	Shards int
 	// Audit, when non-nil, gives every node the receiving-side audit
 	// layer (suspicion scores, blacklist, eviction).
 	Audit *audit.Params
@@ -169,8 +174,21 @@ type World struct {
 	// entries are swept by an event ForceOffline schedules, never by the
 	// liveness check itself, so onlineAt is reentrant.
 	forcedDownUntil []time.Duration
-	// viewScratch is reused across cohort-tick discovery calls.
+	// viewScratch and idxScratch are reused across cohort-tick discovery
+	// calls (candidate identifiers and their dense host indexes).
 	viewScratch []ids.NodeID
+	idxScratch  []int32
+
+	// PairIdx memoizes H(x,y) keyed by dense host-index pairs, shared by
+	// every membership in the world.
+	PairIdx *ids.PairIndexCache
+
+	// avMemo/avValid memoize TrueAvailability per epoch (avEpoch): probe
+	// helpers call it O(hosts) times per query, and the underlying trace
+	// fold is O(epochs) per call.
+	avMemo  []float64
+	avValid []bool
+	avEpoch int
 }
 
 // NewWorld assembles a deployment. The availability PDF handed to the
@@ -192,7 +210,20 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		members:         make([]*core.Membership, tr.Hosts()),
 		routers:         make([]*ops.Router, tr.Hosts()),
 		forcedDownUntil: make([]time.Duration, tr.Hosts()),
+		avMemo:          make([]float64, tr.Hosts()),
+		avValid:         make([]bool, tr.Hosts()),
+		avEpoch:         -1,
 	}
+	if cfg.Shards > 1 {
+		if err := w.Sim.SetShards(cfg.Shards); err != nil {
+			return nil, err
+		}
+	}
+	pairIdx, err := ids.NewPairIndexCache(w.hosts, 0)
+	if err != nil {
+		return nil, err
+	}
+	w.PairIdx = pairIdx
 	pdf, err := estimatePDF(tr)
 	if err != nil {
 		return nil, err
@@ -241,6 +272,17 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		return nil, err
 	}
 	return w, nil
+}
+
+// monitorEpoch implements core.Config.MonitorEpoch: the trace epoch,
+// stable only while the active monitor is the noiseless oracle (noise
+// wraps draw RNG per query and ping overlays drift between queries, so
+// discovery must not cache around them).
+func (w *World) monitorEpoch() (int, bool) {
+	if !w.mon.monitor.stable {
+		return 0, false
+	}
+	return w.Trace.EpochAt(w.Sim.Now()), true
 }
 
 // auditorAt returns host h's audit layer (nil when auditing is off).

@@ -211,8 +211,6 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		auditor:       cfg.Auditor,
 		station:       station,
 		aggValue:      cfg.AggValue,
-		seen:          make(map[MsgID]bool, 256),
-		gossipSent:    make(map[MsgID]map[ids.NodeID]bool, 16),
 	}
 	if r.aggValue == nil {
 		r.aggValue = r.selfClaim
@@ -715,17 +713,31 @@ func (r *Router) handleMulticast(m MulticastMsg) {
 	r.disseminate(m)
 }
 
-// disseminate is the stage-two entry: record the local delivery once,
-// then flood or gossip onward if this node lies inside the target.
-func (r *Router) disseminate(m MulticastMsg) {
-	if r.seen[m.ID] {
-		return
+// markSeen records id in the duplicate-suppression set, reporting
+// whether it was already present. The set is lazily allocated — most
+// routers in a large world never see a dissemination message — and
+// reset wholesale (with the per-operation gossip ledger) when it hits
+// maxSeen.
+func (r *Router) markSeen(id MsgID) bool {
+	if r.seen[id] {
+		return true
 	}
 	if len(r.seen) >= maxSeen {
 		r.seen = make(map[MsgID]bool, 256)
-		r.gossipSent = make(map[MsgID]map[ids.NodeID]bool, 16)
+		r.gossipSent = nil
+	} else if r.seen == nil {
+		r.seen = make(map[MsgID]bool, 64)
 	}
-	r.seen[m.ID] = true
+	r.seen[id] = true
+	return false
+}
+
+// disseminate is the stage-two entry: record the local delivery once,
+// then flood or gossip onward if this node lies inside the target.
+func (r *Router) disseminate(m MulticastMsg) {
+	if r.markSeen(m.ID) {
+		return
+	}
 
 	self := r.mem.SelfInfo()
 	inRange := m.Target.Contains(self.Availability)
@@ -758,6 +770,9 @@ func (r *Router) gossipRounds(m MulticastMsg, remaining int) {
 		sent := r.gossipSent[m.ID]
 		if sent == nil {
 			sent = make(map[ids.NodeID]bool, m.Spec.Fanout*m.Spec.Rounds)
+			if r.gossipSent == nil {
+				r.gossipSent = make(map[MsgID]map[ids.NodeID]bool, 16)
+			}
 			r.gossipSent[m.ID] = sent
 		}
 		// Deterministic iteration through the in-range neighbor list,
@@ -835,14 +850,9 @@ func (r *Router) scratchNeighbors(flavor core.Flavor, contains func(float64) boo
 // not forward, so the payload never propagates outside the band's
 // overlay neighborhood.
 func (r *Router) spreadRangecast(m RangecastMsg) {
-	if r.seen[m.ID] {
+	if r.markSeen(m.ID) {
 		return
 	}
-	if len(r.seen) >= maxSeen {
-		r.seen = make(map[MsgID]bool, 256)
-		r.gossipSent = make(map[MsgID]map[ids.NodeID]bool, 16)
-	}
-	r.seen[m.ID] = true
 
 	self := r.mem.SelfInfo()
 	inBand := m.Spec.Band.Contains(self.Availability)

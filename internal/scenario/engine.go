@@ -9,6 +9,7 @@ import (
 
 	"avmem/internal/exp"
 	"avmem/internal/ops"
+	"avmem/internal/stats"
 	"avmem/internal/trace"
 )
 
@@ -30,6 +31,11 @@ type Options struct {
 	// Backend selects the execution engine: BackendSim (default) or
 	// BackendMemnet. The same spec, events, and assertions run on both.
 	Backend string
+	// Shards partitions the sim backend's event queue across this many
+	// per-shard heaps (0 or 1 = single heap). Results are bit-identical
+	// for every value — sharding is a queue-shape choice, not a
+	// semantic one (DESIGN.md §14). Rejected on the memnet backend.
+	Shards int
 }
 
 // Result is the outcome of one scenario run.
@@ -81,7 +87,7 @@ func Run(spec *Spec, opts Options) (*Result, error) {
 		logw = io.Discard
 	}
 
-	w, err := buildDeployment(spec, opts.Backend)
+	w, err := buildDeployment(spec, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +121,11 @@ func backendName(backend string) string {
 }
 
 // buildDeployment assembles the fleet on the requested backend.
-func buildDeployment(spec *Spec, backend string) (exp.Deployment, error) {
+func buildDeployment(spec *Spec, opts Options) (exp.Deployment, error) {
+	backend := opts.Backend
+	if opts.Shards > 1 && backend == BackendMemnet {
+		return nil, fmt.Errorf("scenario: -shards applies to the sim backend only (memnet runs real goroutine-per-node agents)")
+	}
 	var tr *trace.Trace
 	if spec.Fleet.Trace != "" {
 		f, err := os.Open(spec.Fleet.Trace)
@@ -157,6 +167,7 @@ func buildDeployment(spec *Spec, backend string) (exp.Deployment, error) {
 		DistributedMonitor: spec.Fleet.DistributedMonitor,
 		Audit:              spec.Fleet.Audit.params(),
 		Adversary:          spec.Adversaries.config(),
+		Shards:             opts.Shards,
 	}
 	if cfg.Adversary != nil {
 		// Select the cohort by what the monitor reports when the attack
@@ -183,6 +194,11 @@ type runState struct {
 	anySent, anyDelivered, anyDropped int
 	anyHops                           int
 	anyBatches                        int
+	// anyLatency and anyLatQ summarize delivery latencies incrementally
+	// (running moments + a bounded reservoir for quantiles) instead of
+	// holding every sample for the whole run.
+	anyLatency stats.Accumulator
+	anyLatQ    *stats.Reservoir
 
 	mcCount       int
 	mcReliability float64
@@ -338,6 +354,14 @@ func (r *runState) anycastBatch(b *AnycastBatch) error {
 	for h, n := range res.HopsHist {
 		r.anyHops += h * n
 	}
+	if r.anyLatQ == nil {
+		r.anyLatQ = stats.NewReservoir(1024, r.spec.Seed)
+	}
+	for _, l := range res.Latencies {
+		ms := float64(l.Milliseconds())
+		r.anyLatency.Add(ms)
+		r.anyLatQ.Add(ms)
+	}
 	r.logf("anycast batch: %d sent to %v, %.2f delivered (%d ttl-expired, %d dropped)",
 		res.Sent, spec.Target, res.FractionDelivered(), res.TTLExpired, res.RetryExpired+res.Pending)
 	return nil
@@ -427,6 +451,10 @@ func (r *runState) metrics() map[string]float64 {
 	if r.anyDelivered > 0 {
 		m["anycast_mean_hops"] = float64(r.anyHops) / float64(r.anyDelivered)
 	}
+	if r.anyLatency.Count() > 0 {
+		m["anycast_mean_latency_ms"] = r.anyLatency.Mean()
+		m["anycast_p90_latency_ms"] = r.anyLatQ.Percentile(90)
+	}
 	if r.mcCount > 0 {
 		m["multicast_reliability"] = r.mcReliability / float64(r.mcCount)
 		m["multicast_spam_ratio"] = r.mcSpam / float64(r.mcCount)
@@ -464,25 +492,28 @@ func (r *runState) metrics() map[string]float64 {
 		m["overlay_bias"] = r.bias.Bias
 		m["overlay_adversary_share"] = r.bias.CoarseShare
 	}
-	online := r.w.OnlineHosts()
-	var total, max int
-	for _, id := range online {
+	// One pass over the host universe with incremental moments — no
+	// O(hosts) online-snapshot slice even at 100k hosts.
+	var sliver stats.Accumulator
+	for _, id := range r.w.Hosts() {
+		if !r.w.Online(id) {
+			continue
+		}
 		size := 0
-		if m := r.w.Membership(id); m != nil {
-			size = m.Size()
+		if mm := r.w.Membership(id); mm != nil {
+			size = mm.Size()
 		}
-		total += size
-		if size > max {
-			max = size
-		}
+		sliver.Add(float64(size))
 	}
-	if len(online) > 0 {
-		m["mean_sliver_size"] = float64(total) / float64(len(online))
+	if sliver.Count() > 0 {
+		m["mean_sliver_size"] = sliver.Mean()
 		m["mean_degree"] = m["mean_sliver_size"]
+		m["max_sliver_size"] = sliver.Max()
+	} else {
+		m["max_sliver_size"] = 0
 	}
-	m["max_sliver_size"] = float64(max)
 	if hosts := len(r.w.Hosts()); hosts > 0 {
-		m["online_fraction"] = float64(len(online)) / float64(hosts)
+		m["online_fraction"] = float64(sliver.Count()) / float64(hosts)
 	}
 	return m
 }

@@ -1,0 +1,89 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// renderRun executes spec with the given shard count and renders the
+// full report — metrics, event log, assertion outcomes — to bytes.
+func renderRun(t *testing.T, spec *Spec, shards int) []byte {
+	t.Helper()
+	res, err := Run(spec, Options{Shards: shards})
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	var buf bytes.Buffer
+	res.WriteReport(&buf)
+	for _, line := range res.EventLog {
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// TestShardCountInvariance pins the tentpole guarantee end to end: the
+// checked-in mixed workload produces byte-identical collector output
+// for shards ∈ {1, 2, 8}. (CI also runs this under -race.)
+func TestShardCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-shard full-scenario sweep")
+	}
+	spec, err := LoadFile("../../scenarios/mixed-workload.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderRun(t, spec, 1)
+	for _, n := range []int{2, 8} {
+		if got := renderRun(t, spec, n); !bytes.Equal(got, want) {
+			t.Fatalf("shards=%d output diverged from shards=1", n)
+		}
+	}
+}
+
+// TestShardEpochBoundaryChurn kills a quarter of the fleet exactly on a
+// 20-minute trace-epoch boundary and restores it exactly on the next —
+// the worst case for any engine that batches work per epoch — and
+// checks the sharded schedules agree byte for byte.
+func TestShardEpochBoundaryChurn(t *testing.T) {
+	spec := &Spec{
+		Name: "epoch-boundary-churn",
+		Seed: 11,
+		Fleet: Fleet{
+			Hosts:          60,
+			Days:           0.5,
+			ProtocolPeriod: Duration(2 * time.Minute),
+		},
+		// Warmup of 40m puts event time zero exactly on an epoch
+		// boundary (trace epochs are 20m).
+		Warmup: Duration(40 * time.Minute),
+		Events: []Event{
+			{At: 0, ChurnBurst: &ChurnBurst{
+				Fraction: 0.25, Duration: Duration(20 * time.Minute)}},
+			{At: Duration(2 * time.Minute), AnycastBatch: &AnycastBatch{
+				Count: 10, BandLo: 0, BandHi: 1.01, TargetLo: 0.5, TargetHi: 1}},
+			{At: Duration(25 * time.Minute), AnycastBatch: &AnycastBatch{
+				Count: 10, BandLo: 0, BandHi: 1.01, TargetLo: 0.5, TargetHi: 1}},
+		},
+	}
+	want := renderRun(t, spec, 1)
+	for _, n := range []int{2, 8} {
+		if got := renderRun(t, spec, n); !bytes.Equal(got, want) {
+			t.Fatalf("shards=%d output diverged from shards=1", n)
+		}
+	}
+}
+
+// TestShardsRejectedOnMemnet keeps the flag honest: the live-runtime
+// backend has no event queue to shard.
+func TestShardsRejectedOnMemnet(t *testing.T) {
+	spec := &Spec{
+		Name:  "memnet-shards",
+		Seed:  1,
+		Fleet: Fleet{Hosts: 20, Days: 0.5},
+	}
+	if _, err := Run(spec, Options{Backend: BackendMemnet, Shards: 4}); err == nil {
+		t.Fatal("want error for -shards on memnet backend")
+	}
+}

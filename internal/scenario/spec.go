@@ -383,17 +383,19 @@ type Assertion struct {
 // Metrics enumerates every metric name an assertion may reference,
 // with a short description of how it is computed.
 var Metrics = map[string]string{
-	"anycast_delivery_rate": "delivered fraction across all anycast batches",
-	"anycast_drop_rate":     "fraction of anycasts lost inside the overlay (retry exhaustion or silent drop)",
-	"anycast_mean_hops":     "mean hop count of delivered anycasts",
-	"multicast_reliability": "mean delivered/eligible across all multicasts",
-	"multicast_spam_ratio":  "mean out-of-range receptions per eligible node",
-	"attack_accept_rate":    "worst per-probe fraction of non-neighbors accepting a selfish flood",
-	"legit_reject_rate":     "worst per-probe fraction of legitimate neighbor messages rejected",
-	"mean_sliver_size":      "mean total membership-list size across online nodes at run end",
-	"max_sliver_size":       "largest total membership-list size across online nodes at run end",
-	"mean_degree":           "alias of mean_sliver_size (kept for symmetry with the figure harness)",
-	"online_fraction":       "fraction of the population online at run end",
+	"anycast_delivery_rate":   "delivered fraction across all anycast batches",
+	"anycast_drop_rate":       "fraction of anycasts lost inside the overlay (retry exhaustion or silent drop)",
+	"anycast_mean_hops":       "mean hop count of delivered anycasts",
+	"anycast_mean_latency_ms": "mean delivery latency of delivered anycasts (ms)",
+	"anycast_p90_latency_ms":  "90th-percentile delivery latency of delivered anycasts (ms, reservoir estimate)",
+	"multicast_reliability":   "mean delivered/eligible across all multicasts",
+	"multicast_spam_ratio":    "mean out-of-range receptions per eligible node",
+	"attack_accept_rate":      "worst per-probe fraction of non-neighbors accepting a selfish flood",
+	"legit_reject_rate":       "worst per-probe fraction of legitimate neighbor messages rejected",
+	"mean_sliver_size":        "mean total membership-list size across online nodes at run end",
+	"max_sliver_size":         "largest total membership-list size across online nodes at run end",
+	"mean_degree":             "alias of mean_sliver_size (kept for symmetry with the figure harness)",
+	"online_fraction":         "fraction of the population online at run end",
 
 	"rangecast_coverage":   "mean delivered/eligible across all range-casts",
 	"rangecast_spam_ratio": "mean out-of-band receptions per eligible node across all range-casts",

@@ -368,6 +368,24 @@ func (c *Cyclon) AppendViewIdx(dst []ids.NodeID, i int) []ids.NodeID {
 	return dst
 }
 
+// AppendViewCand appends node i's view entries with their memoized
+// liveness indexes (−1 = unknown) to the parallel dst/dstIdx buffers —
+// the zero-lookup feed for core.Membership.DiscoverIdx. Entries are
+// index-resolved in place, so steady state appends are pure copies.
+func (c *Cyclon) AppendViewCand(dst []ids.NodeID, dstIdx []int32, i int) ([]ids.NodeID, []int32) {
+	v := c.viewByIdx(i)
+	if v == nil {
+		return dst, dstIdx
+	}
+	for j := range v.entries {
+		e := &v.entries[j]
+		c.resolveEntry(e)
+		dst = append(dst, e.ID)
+		dstIdx = append(dstIdx, e.idx1-1)
+	}
+	return dst, dstIdx
+}
+
 // TickIdx is Tick keyed by liveness index — no map lookup for the
 // initiator's own view.
 func (c *Cyclon) TickIdx(i int) {

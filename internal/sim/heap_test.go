@@ -34,11 +34,11 @@ func TestHeapPopsInAtSeqOrder(t *testing.T) {
 			})
 			want := model[0]
 			model = model[1:]
-			at, fn := h.pop()
-			if at != want.at {
-				t.Fatalf("trial %d step %d: popped at=%v, want %v", trial, step, at, want.at)
+			ev := h.pop()
+			if ev.at != want.at {
+				t.Fatalf("trial %d step %d: popped at=%v, want %v", trial, step, ev.at, want.at)
 			}
-			if fn == nil {
+			if ev.fn == nil {
 				t.Fatalf("trial %d step %d: popped nil fn", trial, step)
 			}
 			if got := h.evs; len(got) != len(model) {
@@ -93,8 +93,8 @@ func BenchmarkSchedulerReschedule(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		at, fn := w.events.pop()
-		w.now = at
-		fn()
+		ev := w.events.pop()
+		w.now = ev.at
+		ev.fire()
 	}
 }

@@ -133,21 +133,35 @@ func (n *Network) handlerFor(to ids.NodeID) Handler {
 	return nil
 }
 
+// deliver hands a message to the target's handler at delivery time,
+// counting drops for offline or unregistered targets. It is the firing
+// half of Send, invoked by the scheduler's value events.
+func (n *Network) deliver(from, to ids.NodeID, msg any) {
+	h := n.handlerFor(to)
+	if h == nil {
+		n.stats.Dropped++
+		return
+	}
+	n.stats.Delivered++
+	h(from, msg)
+}
+
 // Send delivers msg to to after one sampled hop latency, if the target
 // is online and registered at delivery time. Offline targets silently
-// drop the message (counted in stats).
+// drop the message (counted in stats). The delivery is scheduled as a
+// closure-free value event.
 func (n *Network) Send(from, to ids.NodeID, msg any) {
 	n.stats.Sent++
 	lat := n.latency.Sample(n.world.Rand())
-	n.world.After(lat, func() {
-		h := n.handlerFor(to)
-		if h == nil {
-			n.stats.Dropped++
-			return
+	host := int32(-1)
+	if n.world.sh != nil {
+		// Resolve the target's host index only when the queue is
+		// sharded — it routes the delivery to the owning shard's heap.
+		if i, ok := n.idx[to]; ok {
+			host = i
 		}
-		n.stats.Delivered++
-		h(from, msg)
-	})
+	}
+	n.world.atDelivery(n.world.now+lat, n, from, to, msg, host)
 }
 
 // SendCall delivers msg like Send but also reports the outcome to the

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// shardedQueue partitions the event queue across n per-shard 4-ary
+// heaps. Delivery events land in the heap of the shard that owns their
+// target host (hostShard = host mod n) — a cross-shard send is nothing
+// more than a push into the destination shard's heap, which doubles as
+// that shard's deterministic inbox. Closure events (timers, drivers)
+// have no host affinity and are spread round-robin by sequence number.
+//
+// The scheduler advances all shards in lockstep under the shared
+// virtual clock: each step is a tournament over the shard heads that
+// selects the globally minimal (at, seq) key. Because seq is assigned
+// from one world-global counter at scheduling time, that key is a total
+// order over all events, and the merged pop sequence is *identical* to
+// a single global heap's — for any shard count, including one. That is
+// the whole determinism argument: shard placement only decides which
+// heap holds an event, never when it fires, so a (trace, seed) pair
+// produces bit-identical output for shards ∈ {1, 2, 8, …} and the
+// unsharded engine alike. See DESIGN.md §14.
+//
+// What sharding buys is structural, not scheduling-related: each heap
+// holds ~1/n of the queue, so push/pop sift depth shrinks and the hot
+// top levels of every heap stay cache-resident even at 100k-host queue
+// sizes where one global heap's upper tree thrashes. The tournament
+// costs an n-way scan of the shard heads per pop, so small n (4–16)
+// is the useful range.
+type shardedQueue struct {
+	shards []eventHeap
+}
+
+// push places ev in its shard: host-owned events by host index, the
+// rest round-robin by sequence number. Placement is a pure function of
+// the event, so it is reproducible — but note it does not need to be
+// for determinism (see the type comment); any placement yields the
+// same merged order.
+func (q *shardedQueue) push(ev event, host int32) {
+	n := uint64(len(q.shards))
+	var i uint64
+	if host >= 0 {
+		i = uint64(host) % n
+	} else {
+		i = ev.seq % n
+	}
+	q.shards[i].push(ev)
+}
+
+// next returns the index of the shard whose head carries the globally
+// minimal (at, seq) key, or -1 when every shard is empty.
+func (q *shardedQueue) next() int {
+	best := -1
+	for i := range q.shards {
+		evs := q.shards[i].evs
+		if len(evs) == 0 {
+			continue
+		}
+		if best < 0 || q.shards[best].less(&evs[0], &q.shards[best].evs[0]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// pending counts queued events across all shards.
+func (q *shardedQueue) pending() int {
+	n := 0
+	for i := range q.shards {
+		n += len(q.shards[i].evs)
+	}
+	return n
+}
+
+// SetShards switches the world between the single global event heap
+// (n <= 1) and a sharded queue of n per-shard heaps. Already-queued
+// events migrate to the new layout; because the merged order is the
+// global (at, seq) order either way, switching never changes what the
+// world executes — only the shape of the queue. Typically called once,
+// right after NewWorld, before the deployment schedules anything.
+func (w *World) SetShards(n int) error {
+	if n > maxShards {
+		return fmt.Errorf("sim: shard count %d exceeds max %d", n, maxShards)
+	}
+	var old []event
+	old = append(old, w.events.evs...)
+	if w.sh != nil {
+		for i := range w.sh.shards {
+			old = append(old, w.sh.shards[i].evs...)
+		}
+	}
+	w.events.evs = nil
+	if n <= 1 {
+		w.sh = nil
+		for _, ev := range old {
+			w.events.push(ev)
+		}
+		return nil
+	}
+	w.sh = &shardedQueue{shards: make([]eventHeap, n)}
+	for _, ev := range old {
+		// Host affinity is not tracked post-hoc; round-robin migration
+		// is fine — placement never affects order.
+		w.sh.push(ev, -1)
+	}
+	return nil
+}
+
+// maxShards bounds the tournament width: beyond this the n-way head
+// scan per pop costs more than the shallower sifts save.
+const maxShards = 64
+
+// Shards reports the configured shard count (1 = single global heap).
+func (w *World) Shards() int {
+	if w.sh == nil {
+		return 1
+	}
+	return len(w.sh.shards)
+}
+
+// runSharded is Run over the sharded queue: pop the tournament winner,
+// fire, repeat — the merged (at, seq) order.
+func (w *World) runSharded(until time.Duration) int {
+	n := 0
+	for {
+		s := w.sh.next()
+		if s < 0 || w.sh.shards[s].evs[0].at > until {
+			break
+		}
+		ev := w.sh.shards[s].pop()
+		w.now = ev.at
+		ev.fire()
+		n++
+	}
+	return n
+}
+
+// runAllSharded is RunAll over the sharded queue.
+func (w *World) runAllSharded(maxEvents int) int {
+	n := 0
+	for {
+		if maxEvents > 0 && n >= maxEvents {
+			break
+		}
+		s := w.sh.next()
+		if s < 0 {
+			break
+		}
+		ev := w.sh.shards[s].pop()
+		w.now = ev.at
+		ev.fire()
+		n++
+	}
+	return n
+}

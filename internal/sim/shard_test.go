@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"avmem/internal/ids"
+)
+
+// fireLog runs a deterministic pseudo-random schedule — timers and
+// network sends, with deliberate same-timestamp collisions — on a world
+// with the given shard count and returns the observed fire order.
+func fireLog(t *testing.T, shards int) []string {
+	t.Helper()
+	w := NewWorld(42)
+	if err := w.SetShards(shards); err != nil {
+		t.Fatal(err)
+	}
+	hosts := make([]ids.NodeID, 16)
+	for i := range hosts {
+		hosts[i] = ids.NodeID(fmt.Sprintf("h%02d", i))
+	}
+	net := NewNetwork(w, UniformLatency{Min: 0, Max: 10 * time.Millisecond}, nil, 0)
+	net.Bind(hosts, func(int) bool { return true })
+	var log []string
+	for i, id := range hosts {
+		i, id := i, id
+		net.Register(id, func(from ids.NodeID, msg any) {
+			log = append(log, fmt.Sprintf("deliver h%02d<-%s %v @%v", i, from, msg, w.Now()))
+		})
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 400; i++ {
+		i := i
+		// Coarse timestamps force plenty of (at) ties; order among them
+		// must follow scheduling order (seq) regardless of shard count.
+		at := time.Duration(rng.Intn(20)) * time.Millisecond
+		switch i % 3 {
+		case 0:
+			w.At(at, func() { log = append(log, fmt.Sprintf("timer %d @%v", i, w.Now())) })
+		case 1:
+			from, to := hosts[rng.Intn(16)], hosts[rng.Intn(16)]
+			w.At(at, func() { net.Send(from, to, i) })
+		case 2:
+			from, to := hosts[rng.Intn(16)], hosts[rng.Intn(16)]
+			w.At(at, func() {
+				net.SendCall(from, to, i, func(ok bool) {
+					log = append(log, fmt.Sprintf("result %d %v @%v", i, ok, w.Now()))
+				})
+			})
+		}
+	}
+	w.Run(time.Second)
+	return log
+}
+
+// TestShardedOrderIdentical pins the tentpole determinism claim: the
+// merged (at, seq) schedule is bit-identical for every shard count,
+// including the unsharded engine.
+func TestShardedOrderIdentical(t *testing.T) {
+	want := fireLog(t, 1)
+	if len(want) == 0 {
+		t.Fatal("empty fire log")
+	}
+	for _, n := range []int{2, 3, 8, 64} {
+		got := fireLog(t, n)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d diverged from unsharded order (len %d vs %d)", n, len(got), len(want))
+		}
+	}
+}
+
+// TestShardedZeroLatencyCrossShard exercises the edge the shard barrier
+// must get right: zero-latency sends between hosts owned by different
+// shards still deliver at the send instant, in send (seq) order.
+func TestShardedZeroLatencyCrossShard(t *testing.T) {
+	w := NewWorld(1)
+	if err := w.SetShards(4); err != nil {
+		t.Fatal(err)
+	}
+	hosts := []ids.NodeID{"a", "b", "c", "d", "e"}
+	net := NewNetwork(w, FixedLatency(0), nil, 0)
+	net.Bind(hosts, func(int) bool { return true })
+	var got []string
+	for i, id := range hosts {
+		i := i
+		net.Register(id, func(from ids.NodeID, msg any) {
+			got = append(got, fmt.Sprintf("%d<-%v@%v", i, msg, w.Now()))
+		})
+	}
+	w.At(5*time.Millisecond, func() {
+		// hosts 0..4 map to shards 0..3,0 under shards=4: every send
+		// below crosses a shard boundary except the last.
+		net.Send(hosts[0], hosts[1], "x")
+		net.Send(hosts[1], hosts[2], "y")
+		net.Send(hosts[3], hosts[4], "z")
+	})
+	w.Run(time.Second)
+	want := []string{"1<-x@5ms", "2<-y@5ms", "4<-z@5ms"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// TestSetShardsMigration re-layouts a half-scheduled world and checks
+// the schedule survives: switching 1 → 8 → 1 shards mid-stream never
+// reorders queued events.
+func TestSetShardsMigration(t *testing.T) {
+	run := func(migrate bool) []int {
+		w := NewWorld(3)
+		var got []int
+		for i := 0; i < 100; i++ {
+			i := i
+			w.At(time.Duration(i%10)*time.Millisecond, func() { got = append(got, i) })
+		}
+		if migrate {
+			if err := w.SetShards(8); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.Run(4 * time.Millisecond)
+		if migrate {
+			if err := w.SetShards(1); err != nil {
+				t.Fatal(err)
+			}
+			if w.Shards() != 1 {
+				t.Fatalf("Shards() = %d after reset", w.Shards())
+			}
+		}
+		w.Run(time.Second)
+		return got
+	}
+	if want, got := run(false), run(true); !reflect.DeepEqual(got, want) {
+		t.Fatalf("migration reordered events")
+	}
+}
+
+// TestSetShardsBounds rejects absurd widths.
+func TestSetShardsBounds(t *testing.T) {
+	w := NewWorld(1)
+	if err := w.SetShards(maxShards + 1); err == nil {
+		t.Fatal("want error for oversized shard count")
+	}
+	if err := w.SetShards(0); err != nil || w.Shards() != 1 {
+		t.Fatalf("SetShards(0): err=%v shards=%d", err, w.Shards())
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"avmem/internal/ids"
 )
 
 // World is the simulation universe: clock, event queue, and RNG.
@@ -22,6 +24,11 @@ type World struct {
 	events eventHeap
 	seq    uint64
 	rng    *rand.Rand
+	// sh, when non-nil, replaces the single global heap with per-shard
+	// heaps merged in (at, seq) order (SetShards; shard.go). The merged
+	// schedule is identical either way — sharding changes the queue's
+	// shape, never its order.
+	sh *shardedQueue
 }
 
 // NewWorld creates a world at time zero with a deterministic RNG.
@@ -45,7 +52,32 @@ func (w *World) At(at time.Duration, fn func()) {
 		at = w.now
 	}
 	w.seq++
-	w.events.push(event{at: at, seq: w.seq, fn: fn})
+	ev := event{at: at, seq: w.seq, fn: fn}
+	if w.sh != nil {
+		w.sh.push(ev, -1)
+		return
+	}
+	w.events.push(ev)
+}
+
+// atDelivery schedules a network delivery as a value event: the heap
+// entry carries the message inline instead of a per-send closure, which
+// removes the dominant allocation of a gossip-heavy run (one closure
+// per Network.Send). Ordering is identical to At — same (at, seq) key,
+// same push order. host is the target's dense host index when the
+// sender knows it (sharded worlds use it to land the event in the
+// owning shard's heap), or -1.
+func (w *World) atDelivery(at time.Duration, n *Network, from, to ids.NodeID, msg any, host int32) {
+	if at < w.now {
+		at = w.now
+	}
+	w.seq++
+	ev := event{at: at, seq: w.seq, net: n, from: from, to: to, msg: msg}
+	if w.sh != nil {
+		w.sh.push(ev, host)
+		return
+	}
+	w.events.push(ev)
 }
 
 // After schedules fn to run d from now.
@@ -77,11 +109,18 @@ func (w *World) Every(offset, period time.Duration, stop func() bool, fn func())
 // event by event, and leaves the clock at until. It returns the number
 // of events processed.
 func (w *World) Run(until time.Duration) int {
+	if w.sh != nil {
+		n := w.runSharded(until)
+		if until > w.now {
+			w.now = until
+		}
+		return n
+	}
 	n := 0
 	for len(w.events.evs) > 0 && w.events.evs[0].at <= until {
-		at, fn := w.events.pop()
-		w.now = at
-		fn()
+		ev := w.events.pop()
+		w.now = ev.at
+		ev.fire()
 		n++
 	}
 	if until > w.now {
@@ -95,29 +134,52 @@ func (w *World) Run(until time.Duration) int {
 // bounds runaway execution (<= 0 means no bound). It returns the number
 // of events processed.
 func (w *World) RunAll(maxEvents int) int {
+	if w.sh != nil {
+		return w.runAllSharded(maxEvents)
+	}
 	n := 0
 	for len(w.events.evs) > 0 {
 		if maxEvents > 0 && n >= maxEvents {
 			break
 		}
-		at, fn := w.events.pop()
-		w.now = at
-		fn()
+		ev := w.events.pop()
+		w.now = ev.at
+		ev.fire()
 		n++
 	}
 	return n
 }
 
 // Pending returns the number of queued events.
-func (w *World) Pending() int { return len(w.events.evs) }
+func (w *World) Pending() int {
+	if w.sh != nil {
+		return w.sh.pending()
+	}
+	return len(w.events.evs)
+}
 
 // event is a value type: the queue stores events inline, so scheduling
 // neither boxes through an interface nor allocates per event (only the
-// backing array grows, amortized).
+// backing array grows, amortized). Two shapes share the struct: a
+// closure event (fn set) and a network delivery (net set), which keeps
+// the per-send payload inline instead of closed over.
 type event struct {
 	at  time.Duration
 	seq uint64
 	fn  func()
+
+	net      *Network
+	from, to ids.NodeID
+	msg      any
+}
+
+// fire executes the event.
+func (ev *event) fire() {
+	if ev.fn != nil {
+		ev.fn()
+		return
+	}
+	ev.net.deliver(ev.from, ev.to, ev.msg)
 }
 
 // eventHeap is an index-based 4-ary min-heap ordered by (at, seq):
@@ -153,12 +215,12 @@ func (h *eventHeap) push(ev event) {
 	}
 }
 
-// pop removes and returns the minimum event's deadline and function,
-// sifting the displaced last leaf down. The vacated slot's fn is cleared
-// so the closure can be collected.
-func (h *eventHeap) pop() (time.Duration, func()) {
+// pop removes and returns the minimum event, sifting the displaced last
+// leaf down. The vacated slot is cleared so the closure or message can
+// be collected.
+func (h *eventHeap) pop() event {
 	evs := h.evs
-	at, fn := evs[0].at, evs[0].fn
+	top := evs[0]
 	last := len(evs) - 1
 	evs[0] = evs[last]
 	evs[last] = event{}
@@ -187,7 +249,7 @@ func (h *eventHeap) pop() (time.Duration, func()) {
 		evs[i], evs[min] = evs[min], evs[i]
 		i = min
 	}
-	return at, fn
+	return top
 }
 
 // LatencyModel samples one-way message latencies.

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Accumulator is an incremental summary: running count, sum, min, and
+// max over a stream of observations. It replaces the materialize-then-
+// Summarize pattern for probes that would otherwise build an O(n) slice
+// just to reduce it — at 100k hosts those slices were the dominant
+// per-probe allocation. The zero value is ready to use.
+type Accumulator struct {
+	n        int
+	sum      float64
+	min, max float64
+}
+
+// Add folds one observation into the summary.
+func (a *Accumulator) Add(v float64) {
+	if a.n == 0 || v < a.min {
+		a.min = v
+	}
+	if a.n == 0 || v > a.max {
+		a.max = v
+	}
+	a.n++
+	a.sum += v
+}
+
+// Count returns the number of observations.
+func (a *Accumulator) Count() int { return a.n }
+
+// Sum returns the running sum.
+func (a *Accumulator) Sum() float64 { return a.sum }
+
+// Mean returns the running mean (NaN when empty).
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.sum / float64(a.n)
+}
+
+// Min returns the smallest observation (NaN when empty).
+func (a *Accumulator) Min() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.min
+}
+
+// Max returns the largest observation (NaN when empty).
+func (a *Accumulator) Max() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.max
+}
+
+// Reservoir is a bounded-memory streaming quantile sketch: classic
+// reservoir sampling (Vitter's algorithm R) over at most K observations,
+// with quantiles read off the sample. Randomness comes from a private
+// seeded splitmix64 stream, so a Reservoir is deterministic for a given
+// (seed, input sequence) and never perturbs any simulation RNG.
+type Reservoir struct {
+	k     int
+	n     int64
+	buf   []float64
+	state uint64
+}
+
+// NewReservoir creates a sketch keeping at most k samples (k <= 0
+// defaults to 1024).
+func NewReservoir(k int, seed int64) *Reservoir {
+	if k <= 0 {
+		k = 1024
+	}
+	return &Reservoir{k: k, state: uint64(seed)*0x9E3779B97F4A7C15 + 1}
+}
+
+// next is splitmix64, the same mixer the trace generator trusts.
+func (r *Reservoir) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Add offers one observation to the sketch.
+func (r *Reservoir) Add(v float64) {
+	r.n++
+	if len(r.buf) < r.k {
+		r.buf = append(r.buf, v)
+		return
+	}
+	// Replace a random kept sample with probability k/n.
+	if j := int64(r.next() % uint64(r.n)); j < int64(r.k) {
+		r.buf[j] = v
+	}
+}
+
+// Count returns the number of observations offered (not kept).
+func (r *Reservoir) Count() int64 { return r.n }
+
+// Percentile returns the p-th percentile (0..100) of the kept sample,
+// with linear interpolation; NaN when empty. For n <= K the sample is
+// exact, beyond that it is a uniform subsample.
+func (r *Reservoir) Percentile(p float64) float64 {
+	if len(r.buf) == 0 {
+		return math.NaN()
+	}
+	s := make([]float64, len(r.buf))
+	copy(s, r.buf)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}

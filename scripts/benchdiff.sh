@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# benchdiff.sh — guard against performance regressions of the headline
+# scenario benchmark.
+#
+# Extracts the recorded s/op of BenchmarkScenario2000Hosts from the
+# newest BENCH_<n>.json baseline, reruns the benchmark fresh, and fails
+# when the fresh run is more than THRESHOLD_PCT slower than the
+# recording (default 20%). A benchstat-style one-line comparison is
+# printed either way.
+#
+# Usage:
+#   scripts/benchdiff.sh                      # compare vs newest BENCH_<n>.json
+#   scripts/benchdiff.sh BENCH_1.json        # compare vs a specific baseline
+#   THRESHOLD_PCT=35 scripts/benchdiff.sh    # looser gate (noisy CI runners)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bench="BenchmarkScenario2000Hosts"
+threshold="${THRESHOLD_PCT:-20}"
+
+baseline="${1:-}"
+if [ -z "${baseline}" ]; then
+  n=0
+  while [ -e "BENCH_$((n + 1)).json" ]; do n=$((n + 1)); done
+  baseline="BENCH_${n}.json"
+fi
+if [ ! -e "${baseline}" ]; then
+  echo "benchdiff: no baseline recording found (run scripts/bench.sh first)" >&2
+  exit 2
+fi
+
+# The recording is a `go test -json` stream whose "Output" records carry
+# fragments of the plain benchmark text; stitch them back together.
+# The name and the "N ns/op ..." numbers may land on separate lines
+# (test2json splits exactly as the text stream flushed), so the parser
+# takes the numbers either from the name's own line or the next line
+# carrying ns/op.
+extract_ns() { # extract_ns <bench-name>  (reads plain bench text on stdin)
+  awk -v b="$1" '
+    index($0, b) == 1 { armed = 1 }
+    armed && / ns\/op/ {
+      for (i = 1; i < NF; i++) if ($(i + 1) == "ns/op") { print $i; exit }
+    }'
+}
+
+old_ns=$(grep -o '"Output":"[^"]*"' "${baseline}" \
+  | sed 's/^"Output":"//; s/"$//' | tr -d '\n' \
+  | sed 's/\\n/\n/g; s/\\t/\t/g' | extract_ns "${bench}")
+if [ -z "${old_ns}" ]; then
+  echo "benchdiff: ${bench} not found in ${baseline}" >&2
+  exit 2
+fi
+
+echo "baseline ${baseline}: ${bench} $(awk -v ns="${old_ns}" 'BEGIN { printf "%.3f", ns / 1e9 }') s/op; rerunning..." >&2
+fresh=$(go test -run=NONE -bench="^${bench}\$" -benchtime=3x .)
+echo "${fresh}" >&2
+new_ns=$(echo "${fresh}" | extract_ns "${bench}")
+if [ -z "${new_ns}" ]; then
+  echo "benchdiff: fresh run produced no ${bench} result" >&2
+  exit 2
+fi
+
+awk -v old="${old_ns}" -v new="${new_ns}" -v limit="${threshold}" -v bench="${bench}" 'BEGIN {
+  delta = (new - old) / old * 100
+  printf "%s: %.3f s/op -> %.3f s/op (%+.1f%%, gate +%s%%)\n", bench, old / 1e9, new / 1e9, delta, limit
+  if (delta > limit) {
+    printf "REGRESSION: %s is %.1f%% slower than the recorded baseline\n", bench, delta
+    exit 1
+  }
+}'
