@@ -818,3 +818,46 @@ func BenchmarkAblationMonitor(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkScenarioByzantineCensus600Hosts runs the full aggregation
+// defense stack — redundancy-3 disjoint trees, per-instance result
+// binding, PDF sanity checks on every merged partial, and an 18%
+// agg-lie/agg-mangle/agg-forge cohort attacking it — end to end on
+// the simulator engine: the cost of Byzantine-resilient censuses on
+// top of the honest protocol.
+func BenchmarkScenarioByzantineCensus600Hosts(b *testing.B) {
+	spec := &scenario.Spec{
+		Name: "bench-byzantine-census-600",
+		Seed: 1,
+		Fleet: scenario.Fleet{
+			Hosts:          600,
+			Days:           1,
+			ProtocolPeriod: scenario.Duration(2 * time.Minute),
+			Audit:          &scenario.AuditSpec{},
+		},
+		Adversaries: &scenario.AdversariesSpec{
+			Fraction:  0.18,
+			Behaviors: []string{"agg-lie", "agg-mangle", "agg-forge"},
+		},
+		Warmup: scenario.Duration(3 * time.Hour),
+		Events: []scenario.Event{
+			{At: 0, Adversary: &scenario.AdversaryEvent{Active: true}},
+			{At: scenario.Duration(2 * time.Minute), Aggregate: &scenario.AggregateBatch{
+				Count: 10, Op: "avg", BandLo: 0.33, TargetLo: 0.5, TargetHi: 1,
+				Redundancy: 3}},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var accuracy, forged float64
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.Run(spec, scenario.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		accuracy = res.Metrics["agg_accuracy"]
+		forged = res.Metrics["agg_forgery_accepted"]
+	}
+	b.ReportMetric(accuracy, "accuracy")
+	b.ReportMetric(forged, "forged-accepted")
+}

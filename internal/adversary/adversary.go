@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"avmem/internal/agg"
 	"avmem/internal/ids"
 	"avmem/internal/ops"
 	"avmem/internal/runtime"
@@ -148,6 +149,43 @@ func (m *Mix) Inbound(from ids.NodeID, msg any) bool {
 		}
 	}
 	return true
+}
+
+// Fabrication is a message an adversary injects of its own volition —
+// not a rewrite of something the honest node was about to send.
+type Fabrication struct {
+	To  ids.NodeID
+	Msg any
+}
+
+// Reactor is the optional fabrication seam: a behavior implementing it
+// gets to emit messages in reaction to inbound traffic (the wrapped
+// Env sends them through the underlying transport, bypassing the
+// node's honest protocol logic entirely). AggForge uses it to race
+// fabricated aggregate results at origins it learned of from tree
+// requests.
+type Reactor interface {
+	React(from ids.NodeID, msg any) []Fabrication
+}
+
+var _ Reactor = (*Mix)(nil)
+
+// React implements Reactor: every composed behavior that fabricates
+// gets its chance, gated by the mix's switch like everything else.
+func (m *Mix) React(from ids.NodeID, msg any) []Fabrication {
+	if !m.active() {
+		return nil
+	}
+	var out []Fabrication
+	for _, b := range m.behaviors {
+		if r, ok := b.(Reactor); ok {
+			out = append(out, r.React(from, msg)...)
+		}
+	}
+	if len(out) > 0 {
+		m.engaged.Store(true)
+	}
+	return out
 }
 
 // Inflate lies about the node's availability: every availability claim
@@ -338,6 +376,151 @@ func (FreeRide) Inbound(_ ids.NodeID, msg any) bool {
 	return !isReq
 }
 
+// AggLie contributes a grossly false value to every aggregation this
+// node participates in: outbound aggregation replies (and results,
+// when the liar roots a tree) have their value moments rewritten to
+// claim Value for all contributors. A Value far outside [0,1] lands
+// outside the band hull, so the parent's PDF sanity checks drop the
+// whole partial — the lie costs the liar its entire subtree's voice.
+type AggLie struct {
+	// Value is the claimed per-contributor value (default via Profile:
+	// 100, far outside any availability band).
+	Value float64
+}
+
+var _ Behavior = AggLie{}
+
+// Name implements Behavior.
+func (AggLie) Name() string { return "agg-lie" }
+
+// lie rewrites a partial's value moments to claim Value everywhere.
+func (l AggLie) lie(p agg.Partial) agg.Partial {
+	if p.N <= 0 {
+		return p
+	}
+	p.Sum = l.Value * float64(p.N)
+	p.Min = l.Value
+	p.Max = l.Value
+	return p
+}
+
+// Outbound implements Behavior.
+func (l AggLie) Outbound(_ ids.NodeID, msg any) Decision {
+	switch m := msg.(type) {
+	case ops.AggReplyMsg:
+		if !m.Decline {
+			m.Partial = l.lie(m.Partial)
+			return Decision{Msg: m}
+		}
+	case ops.AggResultMsg:
+		m.Result = l.lie(m.Result)
+		return Decision{Msg: m}
+	}
+	return Decision{Msg: msg}
+}
+
+// Inbound implements Behavior.
+func (AggLie) Inbound(ids.NodeID, any) bool { return true }
+
+// AggMangle corrupts the partials this node relays up its aggregation
+// trees: the merged subtree sum is scaled by a constant factor, so the
+// data passing through the mangler arrives poisoned even though every
+// descendant was honest. The inflated average leaves the band hull and
+// the parent's sanity checks drop the partial.
+type AggMangle struct{}
+
+var _ Behavior = AggMangle{}
+
+// aggMangleFactor scales the relayed sum; ×10 pushes any in-band
+// average far past the hull tolerance.
+const aggMangleFactor = 10
+
+// Name implements Behavior.
+func (AggMangle) Name() string { return "agg-mangle" }
+
+// Outbound implements Behavior.
+func (AggMangle) Outbound(_ ids.NodeID, msg any) Decision {
+	switch m := msg.(type) {
+	case ops.AggReplyMsg:
+		if !m.Decline && m.Partial.N > 0 {
+			m.Partial.Sum *= aggMangleFactor
+			return Decision{Msg: m}
+		}
+	case ops.AggResultMsg:
+		if m.Result.N > 0 {
+			m.Result.Sum *= aggMangleFactor
+			return Decision{Msg: m}
+		}
+	}
+	return Decision{Msg: msg}
+}
+
+// Inbound implements Behavior.
+func (AggMangle) Inbound(ids.NodeID, any) bool { return true }
+
+// AggForge races fabricated aggregate results: receiving a tree
+// request teaches the forger an in-flight operation's id and origin,
+// and it immediately emits an AggResultMsg claiming a plausible-
+// looking census — statistically unremarkable, so only result binding
+// stops it. The forger never saw the origin's token (it travels only
+// on the entry anycast path and is stripped from tree requests), so
+// its forgery carries token zero and the origin's collector rejects
+// it; the byzantine scenario asserts exactly that.
+type AggForge struct {
+	self ids.NodeID
+	// mu guards seen (see Eclipse.mu for the live-transport rationale).
+	mu   sync.Mutex
+	seen map[ops.MsgID]bool
+}
+
+var _ Behavior = (*AggForge)(nil)
+var _ Reactor = (*AggForge)(nil)
+
+// NewAggForge builds the result forger for self.
+func NewAggForge(self ids.NodeID) *AggForge {
+	return &AggForge{self: self, seen: make(map[ops.MsgID]bool, 16)}
+}
+
+// Name implements Behavior.
+func (*AggForge) Name() string { return "agg-forge" }
+
+// Outbound implements Behavior.
+func (*AggForge) Outbound(_ ids.NodeID, msg any) Decision { return Decision{Msg: msg} }
+
+// Inbound implements Behavior.
+func (*AggForge) Inbound(ids.NodeID, any) bool { return true }
+
+// maxForgeSeen bounds the per-op dedup ledger (operations are
+// short-lived; a wholesale reset is harmless).
+const maxForgeSeen = 1 << 12
+
+// React implements Reactor: one forgery per learned operation, aimed
+// at its origin.
+func (f *AggForge) React(_ ids.NodeID, msg any) []Fabrication {
+	m, ok := msg.(ops.AggMsg)
+	if !ok || m.ID.Origin == f.self {
+		return nil
+	}
+	f.mu.Lock()
+	if f.seen[m.ID] {
+		f.mu.Unlock()
+		return nil
+	}
+	if len(f.seen) >= maxForgeSeen {
+		f.seen = make(map[ops.MsgID]bool, 16)
+	}
+	f.seen[m.ID] = true
+	f.mu.Unlock()
+	forged := ops.AggResultMsg{
+		ID: m.ID,
+		// A plausible high-availability census: nothing a statistical
+		// check would flag. Token stays zero — the forger never saw it.
+		Result: agg.Partial{N: 40, Sum: 38, Min: 0.9, Max: 0.99, Depth: 2},
+		SentAt: m.SentAt,
+	}
+	return []Fabrication{{To: m.ID.Origin, Msg: forged}}
+}
+
 // wrapped interposes a Behavior between protocol logic and the host
 // environment. It implements runtime.Stopper unconditionally,
 // forwarding to the inner Env when it stops.
@@ -388,9 +571,18 @@ func (w *wrapped) SendCall(to ids.NodeID, msg any, onResult func(ok bool)) {
 }
 
 // Register implements runtime.Env: the inbound handler is filtered
-// through the behavior.
+// through the behavior, and fabricating behaviors (Reactor) get to
+// inject their own traffic in reaction to what was delivered. The
+// fabrications go out through the underlying Env directly — they are
+// already adversarial and bypass the Outbound rewrite chain.
 func (w *wrapped) Register(h transport.Handler) error {
+	reactor, _ := w.b.(Reactor)
 	return w.Env.Register(func(from ids.NodeID, msg any) {
+		if reactor != nil {
+			for _, f := range reactor.React(from, msg) {
+				w.Env.Send(f.To, f.Msg)
+			}
+		}
 		if !w.b.Inbound(from, msg) {
 			return
 		}
@@ -417,11 +609,22 @@ type Profile struct {
 	DropRate float64
 	// FreeRide adds shuffle-duty shirking.
 	FreeRide bool
+	// AggLie adds aggregation value-lying claiming defaultAggLieValue.
+	AggLie bool
+	// AggMangle adds relayed-partial corruption.
+	AggMangle bool
+	// AggForge adds fabricated aggregate-result racing.
+	AggForge bool
 }
+
+// defaultAggLieValue is the value AggLie claims per contributor: far
+// outside [0,1], so an unchecked census would be wrecked outright.
+const defaultAggLieValue = 100
 
 // Empty reports whether the profile assigns no behavior at all.
 func (p Profile) Empty() bool {
-	return p.InflateTo <= 0 && !p.Eclipse && p.DropRate <= 0 && !p.FreeRide
+	return p.InflateTo <= 0 && !p.Eclipse && p.DropRate <= 0 && !p.FreeRide &&
+		!p.AggLie && !p.AggMangle && !p.AggForge
 }
 
 // Build assembles the composite behavior for one adversary node. seed
@@ -449,6 +652,15 @@ func (p Profile) Build(self ids.NodeID, colluders []ids.NodeID, seed int64, sw *
 	}
 	if p.FreeRide {
 		bs = append(bs, FreeRide{})
+	}
+	if p.AggLie {
+		bs = append(bs, AggLie{Value: defaultAggLieValue})
+	}
+	if p.AggMangle {
+		bs = append(bs, AggMangle{})
+	}
+	if p.AggForge {
+		bs = append(bs, NewAggForge(self))
 	}
 	return NewMix(sw, bs...), nil
 }

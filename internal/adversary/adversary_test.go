@@ -1,9 +1,11 @@
 package adversary
 
 import (
+	"sync"
 	"testing"
 	"time"
 
+	"avmem/internal/agg"
 	"avmem/internal/ids"
 	"avmem/internal/ops"
 	"avmem/internal/runtime"
@@ -207,5 +209,127 @@ func TestProfileBuild(t *testing.T) {
 	}
 	if b.Name() != "mix(inflate+eclipse+selective-forward+free-ride)" {
 		t.Fatalf("unexpected mix name %q", b.Name())
+	}
+}
+
+// TestMixComposesAggBehaviors: the three aggregation attacks compose
+// in one Mix behind the runtime Switch — dormant they are identities,
+// armed the lie and the mangle stack on outbound partials and the
+// forge reacts to observed trees with a fabricated origin-addressed
+// result (carrying no binding token).
+func TestMixComposesAggBehaviors(t *testing.T) {
+	sw := NewSwitch(false)
+	m := NewMix(sw, AggLie{Value: 100}, AggMangle{}, NewAggForge("adv"))
+
+	var reply agg.Partial
+	reply.Observe(0.5, 1)
+	reply.Observe(0.7, 2)
+	treeMsg := ops.AggMsg{ID: ops.MsgID{Origin: "initiator", Seq: 9}, Depth: 1}
+
+	// Dormant: partials pass untouched, nothing is fabricated.
+	if d := m.Outbound("parent", ops.AggReplyMsg{ID: treeMsg.ID, Partial: reply}); d.Msg.(ops.AggReplyMsg).Partial != reply {
+		t.Fatal("dormant mix rewrote a partial")
+	}
+	if fabs := m.React("peer", treeMsg); len(fabs) != 0 {
+		t.Fatalf("dormant mix fabricated %v", fabs)
+	}
+	if m.Engaged() {
+		t.Fatal("dormant mix reported engagement")
+	}
+
+	sw.Set(true)
+	// Armed: the lie rewrites the own contribution to 100, then the
+	// mangle scales the (already lied) running sum tenfold.
+	d := m.Outbound("parent", ops.AggReplyMsg{ID: treeMsg.ID, Partial: reply})
+	got := d.Msg.(ops.AggReplyMsg).Partial
+	if got.N != reply.N || got.Min != 100 || got.Max != 100 || got.Sum != 100*float64(reply.N)*aggMangleFactor {
+		t.Fatalf("lie+mangle partial = %+v", got)
+	}
+	// Declines carry no partial and stay untouched.
+	if d := m.Outbound("parent", ops.AggReplyMsg{ID: treeMsg.ID, Decline: true}); d.Msg.(ops.AggReplyMsg).Partial.N != 0 {
+		t.Fatal("decline rewritten")
+	}
+
+	// Armed: an observed tree is raced with one forged result to the
+	// origin, exactly once per operation, never for own operations.
+	fabs := m.React("peer", treeMsg)
+	if len(fabs) != 1 {
+		t.Fatalf("React produced %d fabrications, want 1", len(fabs))
+	}
+	forged, ok := fabs[0].Msg.(ops.AggResultMsg)
+	if fabs[0].To != "initiator" || !ok {
+		t.Fatalf("fabrication %+v not an origin-addressed result", fabs[0])
+	}
+	if forged.Token != 0 {
+		t.Fatalf("forged result carries token %d — the forger cannot know it", forged.Token)
+	}
+	if forged.Result.N == 0 || forged.Result.Min < 0 || forged.Result.Max > 1 {
+		t.Fatalf("forged result %+v is not plausible", forged.Result)
+	}
+	if again := m.React("peer", treeMsg); len(again) != 0 {
+		t.Fatalf("duplicate tree copy forged again: %v", again)
+	}
+	own := ops.AggMsg{ID: ops.MsgID{Origin: "adv", Seq: 1}}
+	if fabs := m.React("peer", own); len(fabs) != 0 {
+		t.Fatalf("forged own operation: %v", fabs)
+	}
+	if !m.Engaged() {
+		t.Fatal("armed mix did not report engagement")
+	}
+}
+
+// TestMixAggBehaviorsRaceClean hammers the armed/dormant switch while
+// other goroutines pump partials and tree observations through the
+// mix — the contract `go test -race` checks on the new attack paths.
+func TestMixAggBehaviorsRaceClean(t *testing.T) {
+	sw := NewSwitch(false)
+	m := NewMix(sw, AggLie{Value: 100}, AggMangle{}, NewAggForge("adv"))
+	var wg, toggler sync.WaitGroup
+	stop := make(chan struct{})
+	toggler.Add(1)
+	go func() {
+		defer toggler.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				sw.Set(i%2 == 0)
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var p agg.Partial
+			p.Observe(0.5, 1)
+			for i := 0; i < 500; i++ {
+				id := ops.MsgID{Origin: "initiator", Seq: uint64(g*500 + i)}
+				m.Outbound("parent", ops.AggReplyMsg{ID: id, Partial: p})
+				m.React("peer", ops.AggMsg{ID: id, Depth: 1})
+				m.Inbound("peer", ops.AggMsg{ID: id, Depth: 1})
+				m.Engaged()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	toggler.Wait()
+}
+
+// TestProfileBuildAggBehaviors: the spec-level profile flags map to
+// the three attack behaviors in the mix.
+func TestProfileBuildAggBehaviors(t *testing.T) {
+	b, err := Profile{AggLie: true, AggMangle: true, AggForge: true}.
+		Build("x", nil, 1, NewSwitch(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "mix(agg-lie+agg-mangle+agg-forge)" {
+		t.Fatalf("unexpected mix name %q", b.Name())
+	}
+	if _, ok := b.(Reactor); !ok {
+		t.Fatal("profile mix lost the Reactor contract")
 	}
 }

@@ -307,3 +307,62 @@ func TestNewStationValidation(t *testing.T) {
 		t.Errorf("defaults = %+v", p)
 	}
 }
+
+// TestStationBeyondMaxDepthBackstop pins the depth clamp: a node that
+// joins deeper than MaxDepth (a tree that outgrew the bound through
+// relaying) still gets the one-wave minimum deadline instead of a zero
+// or negative budget, so its partial always climbs out.
+func TestStationBeyondMaxDepthBackstop(t *testing.T) {
+	clk := &fakeClock{}
+	s := newTestStation(t, clk) // MaxDepth 4
+	var got *Partial
+	s.Open(1, 7, 0.5, true, func(p Partial) { got = &p })
+	s.Expect(1, 1) // the child never responds
+	clk.advance(999 * time.Millisecond)
+	if got != nil {
+		t.Fatal("finalized before the one-wave backstop")
+	}
+	clk.advance(time.Millisecond)
+	if got == nil {
+		t.Fatal("one-wave backstop did not fire at depth > MaxDepth")
+	}
+	if got.N != 1 || got.Depth != 7 {
+		t.Errorf("partial = %+v, want own value at depth 7", *got)
+	}
+}
+
+// TestStationLateChildAfterConvergenceIgnored: a duplicate or late
+// child reply after accounting already converged must neither refire
+// finalize nor double-count — the id is retired, not pending.
+func TestStationLateChildAfterConvergenceIgnored(t *testing.T) {
+	clk := &fakeClock{}
+	s := newTestStation(t, clk)
+	fired := 0
+	var got Partial
+	s.Open(1, 0, 0.5, true, func(p Partial) { fired++; got = p })
+	s.Expect(1, 2)
+	var child Partial
+	child.Observe(0.3, 1)
+	s.Absorb(1, child)
+	s.Decline(1)
+	if fired != 1 {
+		t.Fatalf("finalize fired %d times after convergence, want 1", fired)
+	}
+	if got.N != 2 {
+		t.Fatalf("partial = %+v, want 2 contributions", got)
+	}
+	// The same child replaying its partial — and a stale deadline wave —
+	// must leave the concluded result alone.
+	s.Absorb(1, child)
+	s.Decline(1)
+	clk.advance(10 * time.Second)
+	if fired != 1 {
+		t.Errorf("finalize refired (%d) on late replies", fired)
+	}
+	if !s.Seen(1) {
+		t.Error("concluded id no longer marked seen")
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", s.Pending())
+	}
+}

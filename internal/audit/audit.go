@@ -227,7 +227,10 @@ type Auditor struct {
 	evictions int
 }
 
-var _ ops.Auditor = (*Auditor)(nil)
+var (
+	_ ops.Auditor           = (*Auditor)(nil)
+	_ ops.AggPartialAuditor = (*Auditor)(nil)
+)
 
 // New builds an Auditor.
 func New(cfg Config) (*Auditor, error) {
@@ -285,16 +288,15 @@ func (a *Auditor) ObserveInbound(from ids.NodeID, msg any) bool {
 		a.observeClaim(from, m.SenderAvail)
 	case ops.AggReplyMsg:
 		a.observeClaim(from, m.SenderAvail)
-	// ops.AggResultMsg is deliberately not audited: like DeliveredMsg
-	// it travels root→origin, and the root is rarely the origin's
-	// predicate neighbor — any recheck would score honest roots as
-	// suspects, and the carried aggregate is unverifiable by
-	// construction (no third party can re-derive a subtree's combined
-	// partial). Note this is a trust statement, not a safety one: a
-	// Byzantine tree participant that races a fabricated result to the
-	// origin wins the collector's first-wins slot. See DESIGN.md §13
-	// ("trust model") — detecting that requires redundant trees or
-	// statistical cross-checks, not per-message auditing.
+	// ops.AggResultMsg is deliberately not audited here: like
+	// DeliveredMsg it travels root→origin, and the root is rarely the
+	// origin's predicate neighbor — any recheck would score honest
+	// roots as suspects. Result integrity is defended elsewhere: the
+	// origin's collector accepts only results bound by its own minted
+	// token and the recorded root's identity, redundant disjoint trees
+	// cross-check the value, and tree members' merged partials face the
+	// router's PDF sanity checks, which feed SuspectAggPartial below.
+	// See DESIGN.md §13 ("trust model").
 	case shuffle.Request:
 		a.observeShuffle(from, m.SenderAvail, m.Entries, false)
 	case shuffle.Reply:
@@ -361,6 +363,21 @@ func (a *Auditor) observeShuffle(from ids.NodeID, claim float64, entries []shuff
 		return
 	}
 	a.clean(from)
+}
+
+// SuspectAggPartial implements ops.AggPartialAuditor: the router
+// reports a merged aggregation partial that contradicts the
+// deployment's availability PDF (contributor count beyond the band's
+// expected census, or value moments outside the band hull). The
+// violation is statistical, not provable — a stale census estimate can
+// flag an honest relay once — so it lands as decaying soft evidence:
+// persistent manglers accumulate toward eviction, one-off noise decays
+// away through clean observations.
+func (a *Auditor) SuspectAggPartial(from ids.NodeID, reason string) {
+	if from.IsNil() || from == a.cfg.Self || a.Blocked(from) {
+		return
+	}
+	a.hit(from, a.cfg.Params.SoftWeight, reason)
 }
 
 // claimLie reports whether the sender inflated its availability claim

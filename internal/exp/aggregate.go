@@ -23,10 +23,14 @@ type AggregateSpec struct {
 	Op agg.Op
 	// Flavor selects the sliver lists the tree grows along.
 	Flavor core.Flavor
-	Runs   int
-	PerRun int
-	Gap    time.Duration
-	Settle time.Duration
+	// Redundancy is the number of independent disjoint aggregation
+	// trees launched per operation (ops.AggregateOptions.Redundancy);
+	// 0 means 1 (single tree, legacy behavior).
+	Redundancy int
+	Runs       int
+	PerRun     int
+	Gap        time.Duration
+	Settle     time.Duration
 }
 
 func (s *AggregateSpec) applyDefaults() {
@@ -68,6 +72,17 @@ type AggregateResult struct {
 	// initiation-to-result times.
 	Depths    []int
 	Latencies []time.Duration
+	// Divergences holds the per-operation fraction of redundant trees
+	// that disagreed with the accepted (median) result.
+	Divergences []float64
+	// RejectedPartials / ForgeryRejected / ForgeryAccepted are the
+	// series' deltas of the deployment collector's Byzantine-defense
+	// counters (ops.Collector.AggCounters): partials dropped by the PDF
+	// sanity checks, results refused by token/sender binding, and
+	// unbound results that slipped past the binding tripwire.
+	RejectedPartials int
+	ForgeryRejected  int
+	ForgeryAccepted  int
 }
 
 // CompletionRate returns Done/Sent (0 when nothing was sent).
@@ -83,6 +98,10 @@ func (r AggregateResult) MeanAccuracy() float64 { return stats.Mean(r.Accuracies
 
 // MeanCoverage averages the per-operation contributor fractions.
 func (r AggregateResult) MeanCoverage() float64 { return stats.Mean(r.Coverages) }
+
+// MeanDivergence averages the per-operation cross-tree disagreement
+// fractions.
+func (r AggregateResult) MeanDivergence() float64 { return stats.Mean(r.Divergences) }
 
 // MeanDepth averages the completed trees' hop radii.
 func (r AggregateResult) MeanDepth() float64 {
@@ -133,6 +152,7 @@ func RunAggregates(w Deployment, spec AggregateSpec) (AggregateResult, error) {
 		return AggregateResult{}, err
 	}
 	res := AggregateResult{Name: spec.Name}
+	rej0, forgRej0, forgAcc0 := w.Collector().AggCounters()
 	sent := make([]ops.MsgID, 0, spec.Runs*spec.PerRun)
 	for run := 0; run < spec.Runs; run++ {
 		for i := 0; i < spec.PerRun; i++ {
@@ -142,10 +162,11 @@ func RunAggregates(w Deployment, spec AggregateSpec) (AggregateResult, error) {
 			}
 			eligible, truth := groundTruth(w, spec.Op, spec.Band)
 			opts := ops.AggregateOptions{
-				Anycast:  ops.DefaultAnycastOptions(),
-				Flavor:   spec.Flavor,
-				Eligible: eligible,
-				Truth:    truth,
+				Anycast:    ops.DefaultAnycastOptions(),
+				Flavor:     spec.Flavor,
+				Eligible:   eligible,
+				Truth:      truth,
+				Redundancy: spec.Redundancy,
 			}
 			id, err := w.Aggregate(initiator, spec.Op, spec.Band.Lo, spec.Band.Hi, opts)
 			if err != nil {
@@ -169,7 +190,12 @@ func RunAggregates(w Deployment, spec AggregateSpec) (AggregateResult, error) {
 			res.Done++
 			res.Depths = append(res.Depths, rec.TreeDepth())
 			res.Latencies = append(res.Latencies, rec.Latency())
+			res.Divergences = append(res.Divergences, rec.Divergence)
 		}
 	}
+	rej1, forgRej1, forgAcc1 := col.AggCounters()
+	res.RejectedPartials = rej1 - rej0
+	res.ForgeryRejected = forgRej1 - forgRej0
+	res.ForgeryAccepted = forgAcc1 - forgAcc0
 	return res, nil
 }

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -113,6 +114,13 @@ func NewCluster(cfg WorldConfig) (*Cluster, error) {
 	if cfg.Audit != nil {
 		c.trail = audit.NewTrail()
 	}
+	// The same band-census estimator the sim engine arms its routers
+	// with (see installNodes): keeps the two engines' PDF sanity checks
+	// — and therefore their metrics — in lockstep.
+	nstar := c.NStar
+	bandCensus := func(lo, hi float64) float64 {
+		return nstar * pdf.IntervalMass(lo, math.Min(hi, 1))
+	}
 
 	for h, id := range c.hosts {
 		h := h
@@ -146,6 +154,7 @@ func NewCluster(cfg WorldConfig) (*Cluster, error) {
 			Behavior:       c.adv.behavior(h),
 			Audit:          cfg.Audit,
 			AuditTrail:     c.trail,
+			BandCensus:     bandCensus,
 		})
 		if err != nil {
 			return nil, err

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -256,6 +257,13 @@ func (w *World) nodeOnline(id ids.NodeID) bool {
 // handler, and the bootstrap join. Each node's trace row index is
 // resolved here, once, and captured by its liveness closure.
 func (w *World) installNodes(pred *core.Predicate) error {
+	// One band-census estimator shared by every router: N* × the
+	// availability PDF's interval mass, arming the PDF sanity checks on
+	// merged aggregation partials.
+	pdf, nstar := w.PDF, w.NStar
+	bandCensus := func(lo, hi float64) float64 {
+		return nstar * pdf.IntervalMass(lo, math.Min(hi, 1))
+	}
 	for h, id := range w.hosts {
 		memCfg := core.Config{
 			Predicate:     pred,
@@ -315,6 +323,7 @@ func (w *World) installNodes(pred *core.Predicate) error {
 			Collector:     w.Col,
 			VerifyInbound: w.Cfg.VerifyInbound,
 			Hashes:        w.Hashes,
+			BandCensus:    bandCensus,
 		}
 		if auditor != nil {
 			routerCfg.Auditor = auditor

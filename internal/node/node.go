@@ -109,6 +109,12 @@ type Config struct {
 	// AuditTrail optionally shares a deployment-wide eviction registry
 	// across nodes (detection-latency and false-positive metrics).
 	AuditTrail *audit.Trail
+	// BandCensus, when non-nil, estimates the deployment's expected
+	// online population inside an availability band [lo, hi) and arms
+	// the router's PDF sanity checks on merged aggregation partials
+	// (see ops.RouterConfig.BandCensus). Deployment harnesses derive it
+	// from the trace's availability PDF and N*.
+	BandCensus func(lo, hi float64) float64
 }
 
 func (c *Config) validate() error {
@@ -269,6 +275,7 @@ func New(cfg Config) (*Node, error) {
 		Collector:     n.col,
 		VerifyInbound: cfg.VerifyInbound,
 		Hashes:        cfg.Hashes,
+		BandCensus:    cfg.BandCensus,
 	}
 	if n.auditor != nil {
 		routerCfg.Auditor = n.auditor

@@ -169,6 +169,18 @@ type AggregateSpec struct {
 	Band Band
 	// Flavor selects the sliver lists the tree grows along.
 	Flavor core.Flavor
+	// Token is the origin-chosen binding secret for this tree instance:
+	// the root must echo it in its AggResultMsg for the origin to accept
+	// the result. It travels only on the entry anycast path (origin →
+	// root); forwardAgg zeroes it before the spec is copied into AggMsg
+	// tree requests, so ordinary tree members never learn it and cannot
+	// race a fabricated result past the origin.
+	Token uint64
+	// Salt perturbs the pair-hash ordering the tree grows along, so the
+	// redundant instances of one logical aggregation build disjointly
+	// shaped trees. Zero means the legacy (unsalted) ordering; unlike
+	// Token it is not secret and stays on the AggMsg copies.
+	Salt uint64
 }
 
 // AggMsg is the aggregation request: it disseminates through the band
@@ -202,12 +214,18 @@ type AggReplyMsg struct {
 
 // AggResultMsg returns the root's combined aggregate to the operation
 // origin. Like DeliveredMsg it is origin-addressed rather than
-// neighbor-addressed, and first-wins collector semantics keep it
-// idempotent.
+// neighbor-addressed. The origin's collector accepts it only when
+// Token echoes the origin-minted binding token of the instance and the
+// transport-level sender matches the recorded entry node — a result
+// fabricated by a tree member (which never saw the token) is rejected
+// and counted, not raced past the origin.
 type AggResultMsg struct {
 	ID MsgID
 	// Result is the tree-wide combined partial.
 	Result agg.Partial
+	// Token echoes AggregateSpec.Token; the root learned it from the
+	// entry anycast.
+	Token uint64
 	// SentAt echoes the operation's start time on the origin's clock.
 	SentAt time.Duration
 	// SenderAvail is the root's claimed availability.

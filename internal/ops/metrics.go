@@ -2,9 +2,11 @@ package ops
 
 import (
 	"math"
+	"sort"
 	"time"
 
 	"avmem/internal/agg"
+	"avmem/internal/ids"
 )
 
 // AnycastOutcome is the terminal state of one anycast operation.
@@ -140,6 +142,23 @@ func (r *RangecastRecord) WorstLatency() time.Duration {
 	return r.LastDelivery - r.SentAt
 }
 
+// AggInstance is one redundant tree of a logical aggregation: its own
+// operation id, the origin-minted binding token, and the slot the
+// bound result lands in. Instance 0 reuses the logical operation's id.
+type AggInstance struct {
+	ID MsgID
+	// Token is the origin-chosen binding secret (AggregateSpec.Token).
+	Token uint64
+	// EnteredBy is the entry node that became this tree's root, recorded
+	// when the root flags stage-one success. Nil until then (and forever
+	// in deployments where origin and root keep separate collectors).
+	EnteredBy ids.NodeID
+	// Done, Result, CompletedAt form the per-instance result slot.
+	Done        bool
+	Result      agg.Partial
+	CompletedAt time.Duration
+}
+
 // AggregateRecord accumulates the result of one in-overlay
 // aggregation.
 type AggregateRecord struct {
@@ -155,12 +174,18 @@ type AggregateRecord struct {
 	Truth float64
 	// EnteredRange reports whether the entry anycast reached the band.
 	EnteredRange bool
-	// Done reports whether the origin received the root's result;
+	// Done reports whether the origin resolved the operation;
 	// Result and CompletedAt are meaningful only when set.
 	Done        bool
 	Result      agg.Partial
 	SentAt      time.Duration
 	CompletedAt time.Duration
+	// Instances are the redundant tree slots (one at redundancy 1).
+	Instances []AggInstance
+	// Divergence is the fraction of returned instances that disagreed
+	// with the cross-tree median at resolution (0 when at most one tree
+	// returned).
+	Divergence float64
 }
 
 // Value extracts the computed aggregate (NaN while pending or when no
@@ -246,6 +271,18 @@ type Collector struct {
 	multicasts map[MsgID]*MulticastRecord
 	rangecasts map[MsgID]*RangecastRecord
 	aggregates map[MsgID]*AggregateRecord
+	// aggOf maps every tree-instance id (including instance 0, which
+	// reuses the logical id) to its logical aggregation record.
+	aggOf map[MsgID]MsgID
+	// sawEntry is set once any tree root records its entry here — i.e.
+	// this collector is shared between origins and roots (both engines
+	// deploy one collector fleet-wide). Only then is a result accepted
+	// without a recorded root evidence of a race (see aggregateResult).
+	sawEntry bool
+	// Defense counters (see AggCounters).
+	aggRejectedPartials int
+	aggForgeryRejected  int
+	aggForgeryAccepted  int
 }
 
 // NewCollector creates an empty collector.
@@ -255,6 +292,7 @@ func NewCollector() *Collector {
 		multicasts: make(map[MsgID]*MulticastRecord, 64),
 		rangecasts: make(map[MsgID]*RangecastRecord, 64),
 		aggregates: make(map[MsgID]*AggregateRecord, 64),
+		aggOf:      make(map[MsgID]MsgID, 64),
 	}
 }
 
@@ -382,6 +420,15 @@ func (c *Collector) Rangecasts() []*RangecastRecord {
 	return out
 }
 
+// AggCounters returns the aggregation-defense counters:
+// rejectedPartials — merged partials dropped by the PDF sanity checks;
+// forgeryRejected — AggResultMsgs refused by token/sender binding;
+// forgeryAccepted — results accepted without a verifiable binding
+// (zero unless the binding regresses; scenario-asserted).
+func (c *Collector) AggCounters() (rejectedPartials, forgeryRejected, forgeryAccepted int) {
+	return c.aggRejectedPartials, c.aggForgeryRejected, c.aggForgeryAccepted
+}
+
 // Aggregates returns all aggregation records.
 func (c *Collector) Aggregates() []*AggregateRecord {
 	out := make([]*AggregateRecord, 0, len(c.aggregates))
@@ -421,14 +468,146 @@ func (c *Collector) rangecastDelivered(id MsgID, node string, at time.Duration, 
 	}
 }
 
-// aggregateEntered flags stage-one success.
-func (c *Collector) aggregateEntered(id MsgID) {
-	if r, ok := c.aggregates[id]; ok {
-		r.EnteredRange = true
+// addAggInstance registers one redundant tree instance under a logical
+// aggregation (primary is the id StartAggregate was called with).
+func (c *Collector) addAggInstance(primary, instance MsgID, token uint64) {
+	r, ok := c.aggregates[primary]
+	if !ok {
+		return
+	}
+	r.Instances = append(r.Instances, AggInstance{ID: instance, Token: token})
+	c.aggOf[instance] = primary
+}
+
+// aggregateEntered flags stage-one success of one tree instance and
+// records the entry node that became its root — the identity result
+// binding checks senders against.
+func (c *Collector) aggregateEntered(instance MsgID, by ids.NodeID) {
+	c.sawEntry = true
+	primary, ok := c.aggOf[instance]
+	if !ok {
+		return
+	}
+	r := c.aggregates[primary]
+	r.EnteredRange = true
+	for i := range r.Instances {
+		if r.Instances[i].ID == instance && r.Instances[i].EnteredBy.IsNil() {
+			r.Instances[i].EnteredBy = by
+		}
 	}
 }
 
-// aggregateDone records the root's combined result (first wins).
+// aggregateResult accepts or rejects one tree instance's result.
+// Acceptance requires the echoed token to match the origin-minted one
+// and, when the instance's root is on record, the transport-level
+// sender to be that root; anything else is a forgery (or a mangled
+// echo) and only bumps the rejection counter. First result per
+// instance wins; the logical operation resolves when every instance
+// returned or the origin's deadline fires (aggregateFinalize).
+func (c *Collector) aggregateResult(instance MsgID, from ids.NodeID, token uint64, p agg.Partial, at time.Duration) {
+	primary, ok := c.aggOf[instance]
+	if !ok {
+		return
+	}
+	r := c.aggregates[primary]
+	var slot *AggInstance
+	for i := range r.Instances {
+		if r.Instances[i].ID == instance {
+			slot = &r.Instances[i]
+			break
+		}
+	}
+	if slot == nil || slot.Done {
+		return
+	}
+	if token != slot.Token {
+		c.aggForgeryRejected++
+		return
+	}
+	if !slot.EnteredBy.IsNil() && !from.IsNil() && from != slot.EnteredBy {
+		c.aggForgeryRejected++
+		return
+	}
+	// Tripwire: in a shared-collector deployment (sawEntry) a networked
+	// result accepted before its root was on record means the sender
+	// check could not run — the window a racer would exploit. Genuine
+	// roots record entry synchronously before emitting a result, so
+	// this stays zero; the byzantine scenario pins
+	// agg_forgery_accepted == 0 on it.
+	if c.sawEntry && slot.EnteredBy.IsNil() && !from.IsNil() {
+		c.aggForgeryAccepted++
+	}
+	slot.Done = true
+	slot.Result = p
+	slot.CompletedAt = at
+	for i := range r.Instances {
+		if !r.Instances[i].Done {
+			return
+		}
+	}
+	c.aggregateFinalize(primary, at)
+}
+
+// aggAgree reports whether an instance value agrees with the
+// cross-tree median within tolerance: 10% relative, floored at an
+// absolute 0.1 (availability-scale values live in [0,1]).
+func aggAgree(v, median float64) bool {
+	tol := math.Max(0.1, 0.1*math.Abs(median))
+	return math.Abs(v-median) <= tol
+}
+
+// aggregateFinalize resolves a logical aggregation by cross-tree
+// agreement: the accepted result is the returned instance whose value
+// sits closest to the median of all returned values, and the fraction
+// of returned instances outside the agreement tolerance is recorded as
+// Divergence. With nothing returned the operation stays pending (the
+// legacy timeout shape); idempotent once resolved.
+func (c *Collector) aggregateFinalize(primary MsgID, at time.Duration) {
+	r, ok := c.aggregates[primary]
+	if !ok || r.Done {
+		return
+	}
+	done := make([]*AggInstance, 0, len(r.Instances))
+	for i := range r.Instances {
+		if r.Instances[i].Done {
+			done = append(done, &r.Instances[i])
+		}
+	}
+	if len(done) == 0 {
+		return
+	}
+	vals := make([]float64, 0, len(done))
+	for _, in := range done {
+		if v := in.Result.Value(r.Op); !math.IsNaN(v) {
+			vals = append(vals, v)
+		}
+	}
+	rep := done[0]
+	if len(vals) > 0 {
+		sort.Float64s(vals)
+		median := vals[len(vals)/2]
+		disagree := 0
+		best := math.Inf(1)
+		for _, in := range done {
+			v := in.Result.Value(r.Op)
+			if math.IsNaN(v) || !aggAgree(v, median) {
+				disagree++
+				continue
+			}
+			if d := math.Abs(v - median); d < best {
+				best = d
+				rep = in
+			}
+		}
+		r.Divergence = float64(disagree) / float64(len(done))
+	}
+	r.Done = true
+	r.Result = rep.Result
+	r.CompletedAt = at
+}
+
+// aggregateDone resolves a logical aggregation directly, bypassing the
+// instance slots — the empty-band short circuit, where no tree exists.
 func (c *Collector) aggregateDone(id MsgID, p agg.Partial, at time.Duration) {
 	r, ok := c.aggregates[id]
 	if !ok || r.Done {
@@ -437,6 +616,13 @@ func (c *Collector) aggregateDone(id MsgID, p agg.Partial, at time.Duration) {
 	r.Done = true
 	r.Result = p
 	r.CompletedAt = at
+}
+
+// aggregatePartialRejected counts a merged partial dropped by the PDF
+// sanity checks somewhere in a tree (instance may belong to another
+// origin's operation; the counter is collector-wide).
+func (c *Collector) aggregatePartialRejected(instance MsgID) {
+	c.aggRejectedPartials++
 }
 
 // multicastDelivered records a first delivery at node, inRange or spam.

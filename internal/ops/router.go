@@ -93,6 +93,26 @@ type Router struct {
 	// aggValue supplies this node's contribution to aggregations.
 	station  *agg.Station[MsgID]
 	aggValue func() float64
+	// bandCensus, when non-nil, enables the PDF sanity checks: merged
+	// child partials whose contributor count exceeds the band's expected
+	// census (with slack) — or, when valueChecks is set, whose value
+	// moments leave the band hull (with tolerance) — are dropped and
+	// reported to the auditor as soft evidence.
+	bandCensus  func(lo, hi float64) float64
+	valueChecks bool
+	// aggChecks remembers the band of every aggregation this node is a
+	// tree member of, so child replies can be sanity-checked (the reply
+	// itself carries no band). Entries die with the station's pending op.
+	aggChecks map[MsgID]Band
+}
+
+// AggPartialAuditor is the optional seam through which the router
+// reports PDF-sanity violations on merged partials: when the
+// configured Auditor also implements it (internal/audit does), each
+// dropped partial becomes decaying soft evidence against its sender,
+// feeding the suspicion/eviction state machine.
+type AggPartialAuditor interface {
+	SuspectAggPartial(from ids.NodeID, reason string)
 }
 
 // claimCache bounds the claim memo's staleness.
@@ -185,6 +205,14 @@ type RouterConfig struct {
 	// the availability-census workload; deployments can bind any local
 	// gauge (queue depth, free disk, version number) instead.
 	AggValue func() float64
+	// BandCensus, when non-nil, returns the deployment's expected
+	// online population inside the half-open availability band [lo, hi)
+	// — N* × the availability PDF's interval mass — and arms the PDF
+	// sanity checks on merged aggregation partials. Value-moment checks
+	// (min/max/avg inside the band hull) additionally require the
+	// default AggValue, since only then are contributions availability
+	// claims.
+	BandCensus func(lo, hi float64) float64
 }
 
 // NewRouter validates and builds a Router.
@@ -211,6 +239,8 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		auditor:       cfg.Auditor,
 		station:       station,
 		aggValue:      cfg.AggValue,
+		bandCensus:    cfg.BandCensus,
+		valueChecks:   cfg.AggValue == nil,
 	}
 	if r.aggValue == nil {
 		r.aggValue = r.selfClaim
@@ -453,7 +483,18 @@ type AggregateOptions struct {
 	// (Truth may be NaN outside a harness).
 	Eligible int
 	Truth    float64
+	// Redundancy launches this many independent tree instances (0 and 1
+	// both mean a single tree). Each instance enters the band through a
+	// distinct sub-interval of its hull and grows along a differently
+	// salted sliver ordering; the origin resolves the operation by
+	// cross-tree agreement (median within tolerance), recording
+	// disagreement as the record's Divergence.
+	Redundancy int
 }
+
+// maxAggRedundancy bounds the redundancy degree; beyond a handful of
+// trees the band's hull slices thinner than the population supports.
+const maxAggRedundancy = 8
 
 // DefaultAggregateOptions returns greedy HS+VS entry and an HS+VS
 // tree, with no ground truth recorded.
@@ -464,6 +505,9 @@ func DefaultAggregateOptions() AggregateOptions {
 func (o AggregateOptions) validate() error {
 	if err := o.Anycast.validate(); err != nil {
 		return err
+	}
+	if o.Redundancy < 0 || o.Redundancy > maxAggRedundancy {
+		return fmt.Errorf("ops: redundancy must be in [0,%d], got %d", maxAggRedundancy, o.Redundancy)
 	}
 	switch o.Flavor {
 	case core.HSOnly, core.VSOnly, core.HSVS:
@@ -477,8 +521,11 @@ func (o AggregateOptions) validate() error {
 // values of every node whose availability lies in [lo, hi). The first
 // in-band node becomes the root of an implicit spanning tree grown
 // along band-filtered sliver lists; partials combine per hop on the
-// way back up, and the root returns the result to this node. The
-// outcome materializes in the Collector's AggregateRecord.
+// way back up, and the root returns the result to this node, bound by
+// an origin-minted token. With opts.Redundancy > 1 the origin grows
+// that many independently rooted, differently salted trees and
+// resolves by cross-tree agreement. The outcome materializes in the
+// Collector's AggregateRecord.
 func (r *Router) Aggregate(op agg.Op, lo, hi float64, opts AggregateOptions) (MsgID, error) {
 	band := Band{Lo: lo, Hi: hi}
 	if err := band.Validate(); err != nil {
@@ -498,20 +545,76 @@ func (r *Router) Aggregate(op agg.Op, lo, hi float64, opts AggregateOptions) (Ms
 		r.col.aggregateDone(id, agg.Partial{}, now)
 		return id, nil
 	}
-	spec := AggregateSpec{Op: op, Band: band, Flavor: opts.Flavor}
-	msg := AnycastMsg{
-		ID:          id,
-		Target:      band.Target(),
-		Policy:      opts.Anycast.Policy,
-		Flavor:      opts.Anycast.Flavor,
-		TTL:         opts.Anycast.TTL,
-		Retry:       opts.Anycast.Retry,
-		SentAt:      now,
-		SenderAvail: r.selfClaim(),
-		Aggregate:   &spec,
+	k := opts.Redundancy
+	if k <= 0 {
+		k = 1
 	}
-	r.handleAnycast(ids.Nil, msg)
+	hull := band.Target()
+	insts := make([]MsgID, 0, k)
+	for j := 0; j < k; j++ {
+		inst := id
+		if j > 0 {
+			inst = r.nextID()
+		}
+		insts = append(insts, inst)
+		token := r.mintToken()
+		r.col.addAggInstance(id, inst, token)
+		// Arm the origin-side PDF sanity check: a root's claimed result
+		// is vetted against the band exactly like a child partial.
+		r.trackAggCheck(inst, band)
+		spec := AggregateSpec{Op: op, Band: band, Flavor: opts.Flavor, Token: token, Salt: aggSalt(j)}
+		msg := AnycastMsg{
+			ID:          inst,
+			Target:      subTarget(hull, j, k),
+			Policy:      opts.Anycast.Policy,
+			Flavor:      opts.Anycast.Flavor,
+			TTL:         opts.Anycast.TTL,
+			Retry:       opts.Anycast.Retry,
+			SentAt:      now,
+			SenderAvail: r.selfClaim(),
+			Aggregate:   &spec,
+		}
+		r.handleAnycast(ids.Nil, msg)
+	}
+	// The origin's resolution deadline: by then every tree has hit its
+	// own wave backstop and returned or never will. Deterministic in
+	// virtual time, so redundant runs stay bit-reproducible per seed.
+	p := r.station.Params()
+	r.env.After(time.Duration(p.MaxDepth+4)*p.Wave, func() {
+		for _, inst := range insts {
+			delete(r.aggChecks, inst)
+		}
+		r.col.aggregateFinalize(id, r.env.Now())
+	})
 	return id, nil
+}
+
+// mintToken draws a nonzero binding token from the node's RNG stream.
+// Tree members never see it (forwardAgg strips it from AggMsg copies),
+// so a fabricated AggResultMsg cannot echo it.
+func (r *Router) mintToken() uint64 {
+	return math.Float64bits(r.env.RandFloat()) | 1
+}
+
+// aggSalt derives the sliver-ordering salt of tree instance j.
+// Instance 0 keeps the legacy unsalted ordering, so single-tree
+// aggregations are unchanged.
+func aggSalt(j int) uint64 { return uint64(j) * 0x9E3779B97F4A7C15 }
+
+// subTarget slices the band hull into k equal entry sub-intervals so
+// each redundant tree anycasts toward — and roots at — a different
+// part of the band.
+func subTarget(hull Target, j, k int) Target {
+	w := (hull.Hi - hull.Lo) / float64(k)
+	if k <= 1 || w <= 0 {
+		return hull
+	}
+	lo := hull.Lo + float64(j)*w
+	hi := lo + w
+	if j == k-1 {
+		hi = hull.Hi
+	}
+	return Target{Lo: lo, Hi: hi}
 }
 
 // HandleMessage is the network entry point: the simulator and live
@@ -533,13 +636,29 @@ func (r *Router) HandleMessage(from ids.NodeID, msg any) {
 	}
 	// AggResultMsg is origin-addressed like DeliveredMsg and bypasses
 	// the in-neighbor check for the same reason: the tree root is
-	// rarely the origin's neighbor. Only an operation this node
-	// registered and that is still pending can be resolved (first
-	// wins), but the value itself is taken on trust — in-network
-	// aggregation inherently trusts its in-band participants (DESIGN.md
-	// §13, "trust model").
+	// rarely the origin's neighbor. Unlike DeliveredMsg it is NOT
+	// harmless to spoof, so acceptance is bound: the collector takes a
+	// result only when its token echoes the origin-minted binding token
+	// of that tree instance and the transport-level sender matches the
+	// recorded root — a fabricated result from a tree member (which
+	// never saw the token) is rejected and counted (DESIGN.md §13).
 	if m, ok := msg.(AggResultMsg); ok {
-		r.col.aggregateDone(m.ID, m.Result, r.env.Now())
+		// The origin vets the root's claimed result against the band's
+		// availability distribution exactly as a parent vets a child
+		// partial: a root that lies in its own result (rather than in a
+		// relayed partial) leaves the band hull and is dropped here,
+		// reported to the auditor, and its tree instance stays pending —
+		// the cross-tree median then resolves from the honest trees.
+		if band, tracked := r.aggChecks[m.ID]; tracked {
+			if reason := r.partialSuspect(band, m.Result); reason != "" {
+				r.col.aggregatePartialRejected(m.ID)
+				if ap, ok := r.auditor.(AggPartialAuditor); ok {
+					ap.SuspectAggPartial(from, reason)
+				}
+				return
+			}
+		}
+		r.col.aggregateResult(m.ID, from, m.Token, m.Result, r.env.Now())
 		return
 	}
 	if r.verifyInbound && !from.IsNil() && !r.mem.VerifyInbound(from) {
@@ -556,7 +675,7 @@ func (r *Router) HandleMessage(from ids.NodeID, msg any) {
 	case AggMsg:
 		r.handleAggRequest(from, m)
 	case AggReplyMsg:
-		r.handleAggReply(m)
+		r.handleAggReply(from, m)
 	default:
 		// Unknown payloads are dropped; the overlay carries only
 		// operation traffic.
@@ -805,7 +924,7 @@ func (r *Router) gossipRounds(m MulticastMsg, remaining int) {
 // valid until the next inRangeNeighbors call, which is fine because
 // flooding and gossip consume it synchronously.
 func (r *Router) inRangeNeighbors(m MulticastMsg) []core.Neighbor {
-	return r.scratchNeighbors(m.Spec.Flavor, m.Target.Contains)
+	return r.scratchNeighbors(m.Spec.Flavor, m.Target.Contains, 0)
 }
 
 // scratchNeighbors fills the dissemination scratch with this node's
@@ -813,8 +932,11 @@ func (r *Router) inRangeNeighbors(m MulticastMsg) []core.Neighbor {
 // contains, hash-ordered (see inRangeNeighbors for why the order must
 // be deterministic per node but uncorrelated across nodes). All three
 // dissemination families — multicast, range-cast, aggregation — share
-// it; the result is valid until the next scratchNeighbors call.
-func (r *Router) scratchNeighbors(flavor core.Flavor, contains func(float64) bool) []core.Neighbor {
+// it; the result is valid until the next scratchNeighbors call. A
+// nonzero salt remixes the ordering keys so the redundant trees of one
+// aggregation grow along different sliver orderings; salt 0 is the
+// legacy order.
+func (r *Router) scratchNeighbors(flavor core.Flavor, contains func(float64) bool, salt uint64) []core.Neighbor {
 	all := r.mem.Neighbors(flavor)
 	r.rangeNbs = r.rangeNbs[:0]
 	r.rangeKeys = r.rangeKeys[:0]
@@ -831,7 +953,7 @@ func (r *Router) scratchNeighbors(flavor core.Flavor, contains func(float64) boo
 			} else {
 				key = ids.PairHash(self, nb.ID)
 			}
-			r.rangeKeys = append(r.rangeKeys, key)
+			r.rangeKeys = append(r.rangeKeys, saltKey(key, salt))
 		}
 	}
 	r.byHash.keys = r.rangeKeys
@@ -840,6 +962,22 @@ func (r *Router) scratchNeighbors(flavor core.Flavor, contains func(float64) boo
 	r.byHash.keys = nil
 	r.byHash.nbs = nil
 	return r.rangeNbs
+}
+
+// saltKey remixes one ordering key with a per-tree salt (splitmix64
+// finalizer over the xored bits, folded back to [0,1)). Salt 0 — every
+// non-aggregation path — returns the key untouched.
+func saltKey(key float64, salt uint64) float64 {
+	if salt == 0 {
+		return key
+	}
+	z := math.Float64bits(key) ^ salt
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
 }
 
 // spreadRangecast is the range-cast stage-two entry: record the local
@@ -867,7 +1005,7 @@ func (r *Router) spreadRangecast(m RangecastMsg) {
 	next.Depth++
 	next.SenderAvail = r.selfClaim()
 	var boxed any = next
-	for _, nb := range r.scratchNeighbors(m.Spec.Flavor, m.Spec.Band.Contains) {
+	for _, nb := range r.scratchNeighbors(m.Spec.Flavor, m.Spec.Band.Contains, 0) {
 		r.env.Send(nb.ID, boxed)
 	}
 }
@@ -881,20 +1019,22 @@ func (r *Router) spreadRangecast(m RangecastMsg) {
 func (r *Router) rootAggregate(m AnycastMsg) {
 	spec := *m.Aggregate
 	self := r.mem.SelfInfo()
-	r.col.aggregateEntered(m.ID)
+	r.col.aggregateEntered(m.ID, self.ID)
 	id, sentAt := m.ID, m.SentAt
 	opened := r.station.Open(id, 0, r.aggValue(), spec.Band.Contains(self.Availability), func(p agg.Partial) {
+		delete(r.aggChecks, id)
 		if id.Origin == self.ID {
-			r.col.aggregateDone(id, p, r.env.Now())
+			r.col.aggregateResult(id, self.ID, spec.Token, p, r.env.Now())
 			return
 		}
-		r.env.Send(id.Origin, AggResultMsg{ID: id, Result: p, SentAt: sentAt, SenderAvail: r.selfClaim()})
+		r.env.Send(id.Origin, AggResultMsg{ID: id, Result: p, Token: spec.Token, SentAt: sentAt, SenderAvail: r.selfClaim()})
 	})
 	if !opened {
 		// A retried entry stage can deliver the same anycast to a second
 		// in-band node after the first already rooted the tree.
 		return
 	}
+	r.trackAggCheck(id, spec.Band)
 	r.station.Expect(id, r.forwardAgg(id, spec, 0, sentAt, ids.Nil))
 }
 
@@ -909,9 +1049,24 @@ func (r *Router) handleAggRequest(from ids.NodeID, m AggMsg) {
 	}
 	id, parent := m.ID, from
 	r.station.Open(id, m.Depth, r.aggValue(), true, func(p agg.Partial) {
+		delete(r.aggChecks, id)
 		r.env.Send(parent, AggReplyMsg{ID: id, Partial: p, SenderAvail: r.selfClaim()})
 	})
+	r.trackAggCheck(id, m.Spec.Band)
 	r.station.Expect(id, r.forwardAgg(id, m.Spec, m.Depth, m.SentAt, from))
+}
+
+// trackAggCheck remembers the band of a tree this node just joined,
+// arming the PDF sanity checks on its child replies. The finalize
+// closure removes the entry, so the map tracks only pending trees.
+func (r *Router) trackAggCheck(id MsgID, band Band) {
+	if r.bandCensus == nil {
+		return
+	}
+	if r.aggChecks == nil {
+		r.aggChecks = make(map[MsgID]Band, 8)
+	}
+	r.aggChecks[id] = band
 }
 
 // forwardAgg grows the tree one level: the request goes to every
@@ -922,9 +1077,13 @@ func (r *Router) forwardAgg(id MsgID, spec AggregateSpec, depth int, sentAt time
 	if depth >= r.station.Params().MaxDepth {
 		return 0
 	}
+	// The binding token stays between origin, entry path, and root:
+	// tree members must never learn it, or any of them could race a
+	// fabricated result past the origin's collector.
 	next := AggMsg{ID: id, Spec: spec, Depth: depth + 1, SentAt: sentAt, SenderAvail: r.selfClaim()}
+	next.Spec.Token = 0
 	kids := 0
-	for _, nb := range r.scratchNeighbors(spec.Flavor, spec.Band.Contains) {
+	for _, nb := range r.scratchNeighbors(spec.Flavor, spec.Band.Contains, spec.Salt) {
 		if nb.ID == parent {
 			continue
 		}
@@ -938,13 +1097,65 @@ func (r *Router) forwardAgg(id MsgID, spec AggregateSpec, depth int, sentAt time
 	return kids
 }
 
+// PDF sanity-check tuning: a merged partial may claim at most
+// aggCountSlack × the band's expected census contributors (floored, so
+// sparse bands keep headroom), and — when contributions are
+// availability claims — value moments may exceed the band hull by at
+// most aggValueTol. Honest partials sit far inside both bounds; the
+// slack absorbs churn-driven drift between the census estimate and the
+// live population.
+const (
+	aggCountSlack = 3.0
+	aggCountFloor = 8.0
+	aggValueTol   = 0.1
+)
+
+// partialSuspect validates a merged child partial against the
+// availability distribution; a non-empty reason means the partial
+// claims something the deployment's PDF says cannot be true.
+func (r *Router) partialSuspect(band Band, p agg.Partial) string {
+	if p.N <= 0 {
+		return ""
+	}
+	expected := r.bandCensus(band.Lo, band.Hi)
+	if float64(p.N) > aggCountSlack*math.Max(expected, aggCountFloor) {
+		return "agg-count-bounds"
+	}
+	if !r.valueChecks {
+		return ""
+	}
+	lo := band.Lo - aggValueTol
+	hi := math.Min(band.Hi, 1) + aggValueTol
+	if p.Min < lo || p.Max > hi {
+		return "agg-hull-bounds"
+	}
+	if avg := p.Sum / float64(p.N); avg < lo || avg > hi {
+		return "agg-avg-bounds"
+	}
+	return ""
+}
+
 // handleAggReply folds a child's accounting reply into the pending
 // aggregation: a partial carries the child's whole subtree, a decline
-// carries nothing but still counts toward convergence.
-func (r *Router) handleAggReply(m AggReplyMsg) {
+// carries nothing but still counts toward convergence. When the PDF
+// sanity checks are armed, a partial that contradicts the availability
+// distribution is dropped — it still counts as a (contribution-free)
+// decline so convergence accounting stays exact — and reported to the
+// auditor as decaying soft evidence against the sender.
+func (r *Router) handleAggReply(from ids.NodeID, m AggReplyMsg) {
 	if m.Decline {
 		r.station.Decline(m.ID)
 		return
+	}
+	if band, ok := r.aggChecks[m.ID]; ok {
+		if reason := r.partialSuspect(band, m.Partial); reason != "" {
+			r.col.aggregatePartialRejected(m.ID)
+			if ap, ok := r.auditor.(AggPartialAuditor); ok {
+				ap.SuspectAggPartial(from, reason)
+			}
+			r.station.Decline(m.ID)
+			return
+		}
 	}
 	r.station.Absorb(m.ID, m.Partial)
 }

@@ -213,6 +213,10 @@ type runState struct {
 	agAccuracy float64
 	agCoverage float64
 	agHops     float64
+	agDiverge  float64
+	agRejected int
+	agForgRej  int
+	agForgAcc  int
 
 	attackProbes int
 	attackAccept float64
@@ -420,10 +424,11 @@ func (r *runState) aggregateBatch(b *AggregateBatch) error {
 	spec := exp.AggregateSpec{
 		Name:   "scenario",
 		BandLo: b.BandLo, BandHi: bandHi(b.BandHi),
-		Band:   b.band(),
-		Op:     op,
-		Flavor: flavor,
-		Runs:   1, PerRun: b.Count,
+		Band:       b.band(),
+		Op:         op,
+		Flavor:     flavor,
+		Redundancy: b.Redundancy,
+		Runs:       1, PerRun: b.Count,
 		Gap: b.Gap.D(), Settle: b.Settle.D(),
 	}
 	res, err := exp.RunAggregates(r.w, spec)
@@ -435,8 +440,13 @@ func (r *runState) aggregateBatch(b *AggregateBatch) error {
 	r.agAccuracy += res.MeanAccuracy() * float64(res.Sent)
 	r.agCoverage += res.MeanCoverage() * float64(res.Sent)
 	r.agHops += res.MeanDepth() * float64(res.Done)
-	r.logf("aggregate batch: %d %v over %v, accuracy %.3f, coverage %.2f, done %d",
-		res.Sent, op, spec.Band, res.MeanAccuracy(), res.MeanCoverage(), res.Done)
+	r.agDiverge += res.MeanDivergence() * float64(res.Done)
+	r.agRejected += res.RejectedPartials
+	r.agForgRej += res.ForgeryRejected
+	r.agForgAcc += res.ForgeryAccepted
+	r.logf("aggregate batch: %d %v over %v, accuracy %.3f, coverage %.2f, done %d, divergence %.3f, rejected %d, forged %d/%d",
+		res.Sent, op, spec.Band, res.MeanAccuracy(), res.MeanCoverage(), res.Done,
+		res.MeanDivergence(), res.RejectedPartials, res.ForgeryAccepted, res.ForgeryAccepted+res.ForgeryRejected)
 	return nil
 }
 
@@ -467,9 +477,13 @@ func (r *runState) metrics() map[string]float64 {
 		m["agg_accuracy"] = r.agAccuracy / float64(r.agSent)
 		m["agg_coverage"] = r.agCoverage / float64(r.agSent)
 		m["agg_completion_rate"] = float64(r.agDone) / float64(r.agSent)
+		m["agg_rejected_partials"] = float64(r.agRejected)
+		m["agg_forgery_rejected"] = float64(r.agForgRej)
+		m["agg_forgery_accepted"] = float64(r.agForgAcc)
 	}
 	if r.agDone > 0 {
 		m["agg_mean_hops"] = r.agHops / float64(r.agDone)
+		m["agg_divergence"] = r.agDiverge / float64(r.agDone)
 	}
 	if r.attackProbes > 0 {
 		m["attack_accept_rate"] = r.attackAccept

@@ -10,11 +10,13 @@ import (
 
 // managementScenarioFiles are the checked-in range-cast/aggregation
 // scenarios; the acceptance bar (aggregation accuracy >= 0.95 under
-// churn, range-cast coverage >= 0.85 through a 40% outage) lives in
-// their own assertion blocks.
+// churn, >= 0.9 under an 18% aggregation-targeted Byzantine mix,
+// range-cast coverage >= 0.85 through a 40% outage) lives in their own
+// assertion blocks.
 var managementScenarioFiles = []string{
 	filepath.Join("..", "..", "scenarios", "availability-census.json"),
 	filepath.Join("..", "..", "scenarios", "rangecast-storm.json"),
+	filepath.Join("..", "..", "scenarios", "byzantine-census.json"),
 }
 
 // tinyAggSpec is a fast spec exercising the whole new family: a
@@ -88,7 +90,10 @@ func TestManagementScenariosPassOnBothBackends(t *testing.T) {
 				if !res.Passed() {
 					t.Fatalf("assertions failed: %v", res.Failures)
 				}
-				if acc := res.Metrics["agg_accuracy"]; acc < 0.95 {
+				// The flat 0.95 accuracy bar is the churn-only standard;
+				// adversarial scenarios carry their own (0.9 under an 18%
+				// Byzantine mix) in their assertion blocks.
+				if acc := res.Metrics["agg_accuracy"]; spec.Adversaries == nil && acc < 0.95 {
 					t.Errorf("agg_accuracy %v below the 0.95 bar", acc)
 				}
 			})

@@ -162,6 +162,9 @@ var AdversaryBehaviors = map[string]string{
 	"eclipse":           "poison coarse-view exchanges with the adversary cohort and self-entries",
 	"selective-forward": "black-hole relayed operations with probability drop_rate, acknowledging receipt",
 	"free-ride":         "ignore inbound shuffle requests (shirk membership duties)",
+	"agg-lie":           "rewrite own aggregation partials/results to claim availability 100 for every contributor",
+	"agg-mangle":        "corrupt relayed aggregation partials (scale the running sum tenfold)",
+	"agg-forge":         "race every observed aggregation tree with a plausible forged result sent straight to the origin",
 }
 
 // AdversariesSpec describes the Byzantine cohort: how much of the
@@ -210,6 +213,12 @@ func (a *AdversariesSpec) config() *exp.AdversaryConfig {
 			}
 		case "free-ride":
 			prof.FreeRide = true
+		case "agg-lie":
+			prof.AggLie = true
+		case "agg-mangle":
+			prof.AggMangle = true
+		case "agg-forge":
+			prof.AggForge = true
 		}
 	}
 	return &exp.AdversaryConfig{
@@ -365,6 +374,11 @@ type AggregateBatch struct {
 	TargetHi float64 `json:"target_hi"`
 	// Flavor is hsvs (default), hs, or vs.
 	Flavor string `json:"flavor,omitempty"`
+	// Redundancy is the number of independent disjoint aggregation
+	// trees per operation (0 or 1 = single tree; max 8). The origin
+	// accepts the cross-tree median and reports disagreement as
+	// agg_divergence.
+	Redundancy int `json:"redundancy,omitempty"`
 	// Gap spaces initiations (default 10s — past tree convergence);
 	// Settle drains stragglers after the batch (default 30s).
 	Gap    Duration `json:"gap,omitempty"`
@@ -397,12 +411,16 @@ var Metrics = map[string]string{
 	"mean_degree":             "alias of mean_sliver_size (kept for symmetry with the figure harness)",
 	"online_fraction":         "fraction of the population online at run end",
 
-	"rangecast_coverage":   "mean delivered/eligible across all range-casts",
-	"rangecast_spam_ratio": "mean out-of-band receptions per eligible node across all range-casts",
-	"agg_accuracy":         "mean result-vs-ground-truth accuracy across all aggregations (1 = exact)",
-	"agg_coverage":         "mean contributing fraction of the eligible in-band population",
-	"agg_completion_rate":  "fraction of aggregations whose result reached the initiator",
-	"agg_mean_hops":        "mean tree depth (hop radius) of completed aggregations",
+	"rangecast_coverage":    "mean delivered/eligible across all range-casts",
+	"rangecast_spam_ratio":  "mean out-of-band receptions per eligible node across all range-casts",
+	"agg_accuracy":          "mean result-vs-ground-truth accuracy across all aggregations (1 = exact)",
+	"agg_coverage":          "mean contributing fraction of the eligible in-band population",
+	"agg_completion_rate":   "fraction of aggregations whose result reached the initiator",
+	"agg_mean_hops":         "mean tree depth (hop radius) of completed aggregations",
+	"agg_divergence":        "mean fraction of redundant trees disagreeing with the accepted (median) result",
+	"agg_rejected_partials": "aggregation partials dropped by the PDF sanity checks across all batches",
+	"agg_forgery_rejected":  "aggregation results refused by token/sender binding across all batches",
+	"agg_forgery_accepted":  "unbound aggregation results accepted past the binding tripwire (should be 0)",
 
 	"adversary_fraction":        "configured adversary cohort as a fraction of the population",
 	"audit_eviction_rate":       "fraction of engaged adversaries (sent traffic while armed) evicted by at least one honest node",
@@ -775,12 +793,12 @@ func (a *AdversariesSpec) problems(ps *problems) {
 		ps.add(path, "%v", err)
 	}
 	if len(a.Behaviors) == 0 {
-		ps.add(path+".behaviors", "at least one behavior is required (inflate, eclipse, selective-forward, free-ride)")
+		ps.add(path+".behaviors", "at least one behavior is required (inflate, eclipse, selective-forward, free-ride, agg-lie, agg-mangle, agg-forge)")
 	}
 	for i, b := range a.Behaviors {
 		if _, ok := AdversaryBehaviors[b]; !ok {
 			ps.add(fmt.Sprintf("%s.behaviors[%d]", path, i),
-				"unknown behavior %q (inflate, eclipse, selective-forward, free-ride)", b)
+				"unknown behavior %q (inflate, eclipse, selective-forward, free-ride, agg-lie, agg-mangle, agg-forge)", b)
 		}
 	}
 	if a.InflateTo < 0 || a.InflateTo > 1 {
@@ -945,6 +963,9 @@ func (b *AggregateBatch) validate() error {
 	}
 	if _, err := parseFlavor(b.Flavor); err != nil {
 		return err
+	}
+	if b.Redundancy < 0 || b.Redundancy > 8 {
+		return fmt.Errorf("redundancy must be in [0,8], got %d", b.Redundancy)
 	}
 	return nil
 }

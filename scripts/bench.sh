@@ -17,7 +17,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-regex="${1:-BenchmarkScenario2000Hosts|BenchmarkScenario10kHosts|BenchmarkScenario50kHosts|BenchmarkScenario100kHosts|BenchmarkScenarioMemnet600Hosts|BenchmarkScenarioEclipse600Hosts|BenchmarkDiscoverRound|BenchmarkFig7AnycastHops|BenchmarkSchedulerReschedule}"
+regex="${1:-BenchmarkScenario2000Hosts|BenchmarkScenario10kHosts|BenchmarkScenario50kHosts|BenchmarkScenario100kHosts|BenchmarkScenarioMemnet600Hosts|BenchmarkScenarioEclipse600Hosts|BenchmarkScenarioByzantineCensus600Hosts|BenchmarkDiscoverRound|BenchmarkFig7AnycastHops|BenchmarkSchedulerReschedule}"
 benchtime="${BENCHTIME:-3x}"
 
 n=0

@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # benchdiff.sh — guard against performance regressions of the headline
-# scenario benchmark.
+# scenario benchmarks.
 #
-# Extracts the recorded s/op of BenchmarkScenario2000Hosts from the
-# newest BENCH_<n>.json baseline, reruns the benchmark fresh, and fails
-# when the fresh run is more than THRESHOLD_PCT slower than the
-# recording (default 20%). A benchstat-style one-line comparison is
-# printed either way.
+# Extracts the recorded s/op of each gated benchmark from the newest
+# BENCH_<n>.json baseline, reruns it fresh, and fails when the fresh
+# run is more than THRESHOLD_PCT slower than the recording (default
+# 20%). A benchstat-style one-line comparison is printed either way.
+# A gated benchmark absent from the baseline is skipped with a notice
+# (older recordings predate it), never silently.
 #
 # Usage:
 #   scripts/benchdiff.sh                      # compare vs newest BENCH_<n>.json
@@ -15,7 +16,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-bench="BenchmarkScenario2000Hosts"
+benches="BenchmarkScenario2000Hosts BenchmarkScenarioByzantineCensus600Hosts"
 threshold="${THRESHOLD_PCT:-20}"
 
 baseline="${1:-}"
@@ -43,28 +44,34 @@ extract_ns() { # extract_ns <bench-name>  (reads plain bench text on stdin)
     }'
 }
 
-old_ns=$(grep -o '"Output":"[^"]*"' "${baseline}" \
+baseline_text=$(grep -o '"Output":"[^"]*"' "${baseline}" \
   | sed 's/^"Output":"//; s/"$//' | tr -d '\n' \
-  | sed 's/\\n/\n/g; s/\\t/\t/g' | extract_ns "${bench}")
-if [ -z "${old_ns}" ]; then
-  echo "benchdiff: ${bench} not found in ${baseline}" >&2
-  exit 2
-fi
+  | sed 's/\\n/\n/g; s/\\t/\t/g')
 
-echo "baseline ${baseline}: ${bench} $(awk -v ns="${old_ns}" 'BEGIN { printf "%.3f", ns / 1e9 }') s/op; rerunning..." >&2
-fresh=$(go test -run=NONE -bench="^${bench}\$" -benchtime=3x .)
-echo "${fresh}" >&2
-new_ns=$(echo "${fresh}" | extract_ns "${bench}")
-if [ -z "${new_ns}" ]; then
-  echo "benchdiff: fresh run produced no ${bench} result" >&2
-  exit 2
-fi
+failed=0
+for bench in ${benches}; do
+  old_ns=$(echo "${baseline_text}" | extract_ns "${bench}")
+  if [ -z "${old_ns}" ]; then
+    echo "benchdiff: ${bench} not in ${baseline} (predates it?); skipping" >&2
+    continue
+  fi
 
-awk -v old="${old_ns}" -v new="${new_ns}" -v limit="${threshold}" -v bench="${bench}" 'BEGIN {
-  delta = (new - old) / old * 100
-  printf "%s: %.3f s/op -> %.3f s/op (%+.1f%%, gate +%s%%)\n", bench, old / 1e9, new / 1e9, delta, limit
-  if (delta > limit) {
-    printf "REGRESSION: %s is %.1f%% slower than the recorded baseline\n", bench, delta
-    exit 1
-  }
-}'
+  echo "baseline ${baseline}: ${bench} $(awk -v ns="${old_ns}" 'BEGIN { printf "%.3f", ns / 1e9 }') s/op; rerunning..." >&2
+  fresh=$(go test -run=NONE -bench="^${bench}\$" -benchtime=3x .)
+  echo "${fresh}" >&2
+  new_ns=$(echo "${fresh}" | extract_ns "${bench}")
+  if [ -z "${new_ns}" ]; then
+    echo "benchdiff: fresh run produced no ${bench} result" >&2
+    exit 2
+  fi
+
+  awk -v old="${old_ns}" -v new="${new_ns}" -v limit="${threshold}" -v bench="${bench}" 'BEGIN {
+    delta = (new - old) / old * 100
+    printf "%s: %.3f s/op -> %.3f s/op (%+.1f%%, gate +%s%%)\n", bench, old / 1e9, new / 1e9, delta, limit
+    if (delta > limit) {
+      printf "REGRESSION: %s is %.1f%% slower than the recorded baseline\n", bench, delta
+      exit 1
+    }
+  }' || failed=1
+done
+exit "${failed}"
