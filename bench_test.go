@@ -475,7 +475,16 @@ func scaleSpec(hosts int, days float64, warmup time.Duration, shards int) (*scen
 }
 
 func benchScale(b *testing.B, hosts int, days float64, warmup time.Duration, shards int) {
+	benchScaleThreads(b, hosts, days, warmup, shards, 0)
+}
+
+// benchScaleThreads is benchScale on the thread-parallel engine:
+// the same sharded world driven by the given number of worker threads
+// (0 or 1 never enters the parallel executor, so those rungs measure
+// the serial tournament baseline the speedups are quoted against).
+func benchScaleThreads(b *testing.B, hosts int, days float64, warmup time.Duration, shards, threads int) {
 	spec, opts := scaleSpec(hosts, days, warmup, shards)
+	opts.ShardThreads = threads
 	b.ReportAllocs()
 	b.ResetTimer()
 	var delivered float64
@@ -512,6 +521,50 @@ func BenchmarkScenario100kHosts(b *testing.B) {
 		b.Skip("100k-host scale run; use scripts/bench.sh or run without -short")
 	}
 	benchScale(b, 100000, 0.25, 90*time.Minute, 16)
+}
+
+// benchThreadSweep runs the worker-thread scaling series (1/2/4/8
+// threads over a fixed shard count) as sub-benchmarks, so one bench.sh
+// recording captures the whole curve. threads=1 is the serial-engine
+// rung: the parallel executor requires at least two workers, so that
+// sub-benchmark falls back to the tournament merge and anchors the
+// speedup ratios.
+func benchThreadSweep(b *testing.B, hosts int, days float64, warmup time.Duration, shards int) {
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run("threads="+strconv.Itoa(threads), func(b *testing.B) {
+			benchScaleThreads(b, hosts, days, warmup, shards, threads)
+		})
+	}
+}
+
+// BenchmarkScenario10kHostsParallel is the thread-scaling sweep on the
+// 10k rung. Skipped under -short: the sweep is four full scenario runs.
+func BenchmarkScenario10kHostsParallel(b *testing.B) {
+	if testing.Short() {
+		b.Skip("thread-scaling sweep; use scripts/bench.sh or run without -short")
+	}
+	benchThreadSweep(b, 10000, 0.5, 2*time.Hour, 8)
+}
+
+// BenchmarkScenario50kHostsParallel is the thread-scaling sweep on the
+// 50k rung.
+func BenchmarkScenario50kHostsParallel(b *testing.B) {
+	if testing.Short() {
+		b.Skip("thread-scaling sweep; use scripts/bench.sh or run without -short")
+	}
+	benchThreadSweep(b, 50000, 0.25, 90*time.Minute, 16)
+}
+
+// BenchmarkScenario100kHostsParallel is the headline thread-scaling
+// sweep: the BenchmarkScenario100kHosts world at 1/2/4/8 worker
+// threads. The CI bench smoke runs only the threads=8 sub-benchmark
+// (the tentpole configuration); the full sweep is recorded by
+// scripts/bench.sh into BENCH_<n>.json.
+func BenchmarkScenario100kHostsParallel(b *testing.B) {
+	if testing.Short() {
+		b.Skip("100k-host thread-scaling sweep; use scripts/bench.sh or run without -short")
+	}
+	benchThreadSweep(b, 100000, 0.25, 90*time.Minute, 16)
 }
 
 // BenchmarkScenarioEclipse600Hosts runs a full adversary-and-audit

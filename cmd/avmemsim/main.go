@@ -65,16 +65,20 @@ func runScenario(args []string, out io.Writer) error {
 	backend := fs.String("backend", scenario.BackendSim,
 		"execution engine: 'sim' (virtual-time simulator) or 'memnet' (real nodes on a deterministic in-process network)")
 	shards := fs.Int("shards", 0, "event-queue shards for the sim backend (0/1 = single heap; output is bit-identical for any value)")
+	shardThreads := fs.Int("shard-threads", 0,
+		"worker threads draining the shard heaps inside conservative lookahead windows (0/1 = serial; needs -shards > 1; output is reproducible per (spec, shards) but ordered differently than serial — see DESIGN.md §14)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write an end-of-run heap profile to this file")
 	tracefile := fs.String("trace", "", "write a runtime execution trace to this file")
+	mutexprofile := fs.String("mutexprofile", "", "write a mutex-contention profile to this file")
+	blockprofile := fs.String("blockprofile", "", "write a goroutine-blocking profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: avmemsim run [-q] [-backend sim|memnet] [-seeds N] [-parallel P] [-shards S] [-cpuprofile f] [-memprofile f] [-trace f] <scenario.json>")
+		return fmt.Errorf("usage: avmemsim run [-q] [-backend sim|memnet] [-seeds N] [-parallel P] [-shards S] [-shard-threads T] [-cpuprofile f] [-memprofile f] [-mutexprofile f] [-blockprofile f] [-trace f] <scenario.json>")
 	}
-	stopProf, err := startProfiles(*cpuprofile, *memprofile, *tracefile)
+	stopProf, err := startProfiles(*cpuprofile, *memprofile, *tracefile, *mutexprofile, *blockprofile)
 	if err != nil {
 		return err
 	}
@@ -92,7 +96,7 @@ func runScenario(args []string, out io.Writer) error {
 	}
 	if *seeds > 1 {
 		multi, err := scenario.RunMany(spec, scenario.SeedRange(spec.Seed, *seeds), *parallel,
-			scenario.Options{Log: log, Backend: *backend, Shards: *shards})
+			scenario.Options{Log: log, Backend: *backend, Shards: *shards, ShardThreads: *shardThreads})
 		if err != nil {
 			return err
 		}
@@ -103,7 +107,7 @@ func runScenario(args []string, out io.Writer) error {
 		}
 		return nil
 	}
-	res, err := scenario.Run(spec, scenario.Options{Log: log, Backend: *backend, Shards: *shards})
+	res, err := scenario.Run(spec, scenario.Options{Log: log, Backend: *backend, Shards: *shards, ShardThreads: *shardThreads})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"avmem/internal/trace"
+)
+
+// parallelTestWorld builds a small parallel-eligible deployment.
+func parallelTestWorld(t *testing.T, threads int) *World {
+	t.Helper()
+	cfg := trace.DefaultGenConfig(11)
+	cfg.Hosts = 120
+	cfg.Epochs = 72 // one day at 20-minute epochs
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(WorldConfig{
+		Seed:         11,
+		Trace:        tr,
+		Shards:       4,
+		ShardThreads: threads,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestParallelWorldRunsWindows pins that a parallel-eligible
+// configuration actually executes conservative windows — the engine
+// must not silently degrade to the serial tournament.
+func TestParallelWorldRunsWindows(t *testing.T) {
+	w := parallelTestWorld(t, 2)
+	defer w.Stop()
+	if !w.Sim.ParallelActive() {
+		t.Fatal("parallel engine not active on an eligible configuration")
+	}
+	w.RunFor(2 * time.Hour)
+	if got := w.Sim.ParallelWindows(); got == 0 {
+		t.Fatal("no parallel windows executed in 2h of simulated protocol traffic")
+	}
+}
+
+// TestParallelNoiseFallback pins the mid-run escape hatch: installing a
+// monitor-noise layer must permanently fall the engine back to serial
+// execution (noise layers draw shared randomness per query).
+func TestParallelNoiseFallback(t *testing.T) {
+	w := parallelTestWorld(t, 2)
+	defer w.Stop()
+	w.RunFor(30 * time.Minute)
+	if err := w.SetMonitorNoise(0.2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if w.Sim.ParallelActive() {
+		t.Fatal("parallel engine still active after a monitor-noise ramp")
+	}
+	before := w.Sim.ParallelWindows()
+	w.RunFor(30 * time.Minute)
+	if got := w.Sim.ParallelWindows(); got != before {
+		t.Fatalf("windows advanced after DisableParallel: %d -> %d", before, got)
+	}
+}

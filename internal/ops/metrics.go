@@ -3,6 +3,7 @@ package ops
 import (
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"avmem/internal/agg"
@@ -264,9 +265,12 @@ func ratioAccuracy(a, b float64) float64 {
 
 // Collector aggregates operation outcomes across an experiment run.
 // The Router reports into it; experiments read it after the run.
-// Collector is not safe for concurrent use (the simulator is
-// single-threaded; the live runtime wraps it).
+// A single mutex serializes every method: one collector is shared by
+// the whole fleet, and in a thread-parallel world report calls arrive
+// from concurrent shard workers. Operations are rare next to protocol
+// traffic, so the lock is uncontended in practice.
 type Collector struct {
+	mu         sync.Mutex
 	anycasts   map[MsgID]*AnycastRecord
 	multicasts map[MsgID]*MulticastRecord
 	rangecasts map[MsgID]*RangecastRecord
@@ -298,12 +302,16 @@ func NewCollector() *Collector {
 
 // StartAnycast registers an anycast before initiation.
 func (c *Collector) StartAnycast(id MsgID, target Target) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.anycasts[id] = &AnycastRecord{ID: id, Target: target, Outcome: OutcomePending}
 }
 
 // StartMulticast registers a multicast before initiation. eligible is
 // the online in-range population at initiation.
 func (c *Collector) StartMulticast(id MsgID, target Target, eligible int, sentAt time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.multicasts[id] = &MulticastRecord{
 		ID:        id,
 		Target:    target,
@@ -315,12 +323,16 @@ func (c *Collector) StartMulticast(id MsgID, target Target, eligible int, sentAt
 
 // Anycast returns the record for id, if registered.
 func (c *Collector) Anycast(id MsgID) (*AnycastRecord, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	r, ok := c.anycasts[id]
 	return r, ok
 }
 
 // Multicast returns the record for id, if registered.
 func (c *Collector) Multicast(id MsgID) (*MulticastRecord, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	r, ok := c.multicasts[id]
 	return r, ok
 }
@@ -328,6 +340,8 @@ func (c *Collector) Multicast(id MsgID) (*MulticastRecord, bool) {
 // Anycasts returns all anycast records (map iteration order; callers
 // aggregate, never enumerate positionally).
 func (c *Collector) Anycasts() []*AnycastRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]*AnycastRecord, 0, len(c.anycasts))
 	for _, r := range c.anycasts {
 		out = append(out, r)
@@ -337,6 +351,8 @@ func (c *Collector) Anycasts() []*AnycastRecord {
 
 // Multicasts returns all multicast records.
 func (c *Collector) Multicasts() []*MulticastRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]*MulticastRecord, 0, len(c.multicasts))
 	for _, r := range c.multicasts {
 		out = append(out, r)
@@ -347,6 +363,8 @@ func (c *Collector) Multicasts() []*MulticastRecord {
 // anycastDelivered records the terminal delivered state (first success
 // wins; later duplicates are ignored).
 func (c *Collector) anycastDelivered(id MsgID, hops int, latency time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	r, ok := c.anycasts[id]
 	if !ok || r.Outcome != OutcomePending {
 		return
@@ -359,6 +377,8 @@ func (c *Collector) anycastDelivered(id MsgID, hops int, latency time.Duration) 
 // anycastFailed records a terminal failure if the operation is still
 // pending. An anycast that already succeeded stays delivered.
 func (c *Collector) anycastFailed(id MsgID, outcome AnycastOutcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	r, ok := c.anycasts[id]
 	if !ok || r.Outcome != OutcomePending {
 		return
@@ -368,6 +388,8 @@ func (c *Collector) anycastFailed(id MsgID, outcome AnycastOutcome) {
 
 // multicastEntered flags stage-one success.
 func (c *Collector) multicastEntered(id MsgID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if r, ok := c.multicasts[id]; ok {
 		r.EnteredRange = true
 	}
@@ -376,6 +398,8 @@ func (c *Collector) multicastEntered(id MsgID) {
 // StartRangecast registers a range-cast before initiation. eligible is
 // the online in-band population at initiation.
 func (c *Collector) StartRangecast(id MsgID, band Band, eligible int, sentAt time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.rangecasts[id] = &RangecastRecord{
 		ID:        id,
 		Band:      band,
@@ -389,6 +413,8 @@ func (c *Collector) StartRangecast(id MsgID, band Band, eligible int, sentAt tim
 // and truth are the experiment-supplied ground truth (truth may be
 // NaN).
 func (c *Collector) StartAggregate(id MsgID, op agg.Op, band Band, eligible int, truth float64, sentAt time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.aggregates[id] = &AggregateRecord{
 		ID:       id,
 		Op:       op,
@@ -401,18 +427,24 @@ func (c *Collector) StartAggregate(id MsgID, op agg.Op, band Band, eligible int,
 
 // Rangecast returns the record for id, if registered.
 func (c *Collector) Rangecast(id MsgID) (*RangecastRecord, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	r, ok := c.rangecasts[id]
 	return r, ok
 }
 
 // Aggregate returns the record for id, if registered.
 func (c *Collector) Aggregate(id MsgID) (*AggregateRecord, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	r, ok := c.aggregates[id]
 	return r, ok
 }
 
 // Rangecasts returns all range-cast records.
 func (c *Collector) Rangecasts() []*RangecastRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]*RangecastRecord, 0, len(c.rangecasts))
 	for _, r := range c.rangecasts {
 		out = append(out, r)
@@ -426,11 +458,15 @@ func (c *Collector) Rangecasts() []*RangecastRecord {
 // forgeryAccepted — results accepted without a verifiable binding
 // (zero unless the binding regresses; scenario-asserted).
 func (c *Collector) AggCounters() (rejectedPartials, forgeryRejected, forgeryAccepted int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.aggRejectedPartials, c.aggForgeryRejected, c.aggForgeryAccepted
 }
 
 // Aggregates returns all aggregation records.
 func (c *Collector) Aggregates() []*AggregateRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]*AggregateRecord, 0, len(c.aggregates))
 	for _, r := range c.aggregates {
 		out = append(out, r)
@@ -440,6 +476,8 @@ func (c *Collector) Aggregates() []*AggregateRecord {
 
 // rangecastEntered flags stage-one success.
 func (c *Collector) rangecastEntered(id MsgID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if r, ok := c.rangecasts[id]; ok {
 		r.EnteredRange = true
 	}
@@ -448,6 +486,8 @@ func (c *Collector) rangecastEntered(id MsgID) {
 // rangecastDelivered records a first delivery at node, in band or
 // spam, at dissemination depth.
 func (c *Collector) rangecastDelivered(id MsgID, node string, at time.Duration, inBand bool, depth int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	r, ok := c.rangecasts[id]
 	if !ok {
 		return
@@ -471,6 +511,8 @@ func (c *Collector) rangecastDelivered(id MsgID, node string, at time.Duration, 
 // addAggInstance registers one redundant tree instance under a logical
 // aggregation (primary is the id StartAggregate was called with).
 func (c *Collector) addAggInstance(primary, instance MsgID, token uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	r, ok := c.aggregates[primary]
 	if !ok {
 		return
@@ -483,6 +525,8 @@ func (c *Collector) addAggInstance(primary, instance MsgID, token uint64) {
 // records the entry node that became its root — the identity result
 // binding checks senders against.
 func (c *Collector) aggregateEntered(instance MsgID, by ids.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.sawEntry = true
 	primary, ok := c.aggOf[instance]
 	if !ok {
@@ -505,6 +549,8 @@ func (c *Collector) aggregateEntered(instance MsgID, by ids.NodeID) {
 // instance wins; the logical operation resolves when every instance
 // returned or the origin's deadline fires (aggregateFinalize).
 func (c *Collector) aggregateResult(instance MsgID, from ids.NodeID, token uint64, p agg.Partial, at time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	primary, ok := c.aggOf[instance]
 	if !ok {
 		return
@@ -545,7 +591,7 @@ func (c *Collector) aggregateResult(instance MsgID, from ids.NodeID, token uint6
 			return
 		}
 	}
-	c.aggregateFinalize(primary, at)
+	c.finalizeLocked(primary, at)
 }
 
 // aggAgree reports whether an instance value agrees with the
@@ -563,6 +609,14 @@ func aggAgree(v, median float64) bool {
 // Divergence. With nothing returned the operation stays pending (the
 // legacy timeout shape); idempotent once resolved.
 func (c *Collector) aggregateFinalize(primary MsgID, at time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.finalizeLocked(primary, at)
+}
+
+// finalizeLocked is aggregateFinalize with the lock already held
+// (aggregateResult resolves inline when the last instance returns).
+func (c *Collector) finalizeLocked(primary MsgID, at time.Duration) {
 	r, ok := c.aggregates[primary]
 	if !ok || r.Done {
 		return
@@ -609,6 +663,8 @@ func (c *Collector) aggregateFinalize(primary MsgID, at time.Duration) {
 // aggregateDone resolves a logical aggregation directly, bypassing the
 // instance slots — the empty-band short circuit, where no tree exists.
 func (c *Collector) aggregateDone(id MsgID, p agg.Partial, at time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	r, ok := c.aggregates[id]
 	if !ok || r.Done {
 		return
@@ -622,11 +678,15 @@ func (c *Collector) aggregateDone(id MsgID, p agg.Partial, at time.Duration) {
 // sanity checks somewhere in a tree (instance may belong to another
 // origin's operation; the counter is collector-wide).
 func (c *Collector) aggregatePartialRejected(instance MsgID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.aggRejectedPartials++
 }
 
 // multicastDelivered records a first delivery at node, inRange or spam.
 func (c *Collector) multicastDelivered(id MsgID, node string, at time.Duration, inRange bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	r, ok := c.multicasts[id]
 	if !ok {
 		return

@@ -36,6 +36,15 @@ type Options struct {
 	// for every value — sharding is a queue-shape choice, not a
 	// semantic one (DESIGN.md §14). Rejected on the memnet backend.
 	Shards int
+	// ShardThreads > 1 drains the shard heaps on that many worker
+	// threads inside conservative lookahead windows (DESIGN.md §14).
+	// Output is reproducible for a fixed (spec, Shards) — identical
+	// across runs, GOMAXPROCS, and any thread count ≥ 2 — but follows a
+	// different canonical order than ShardThreads ≤ 1. Worlds whose
+	// configuration rules out lane-safe execution (adversaries, audit,
+	// monitor noise, distributed monitor, unbounded latency) silently
+	// run serial. Rejected on the memnet backend.
+	ShardThreads int
 }
 
 // Result is the outcome of one scenario run.
@@ -126,6 +135,9 @@ func buildDeployment(spec *Spec, opts Options) (exp.Deployment, error) {
 	if opts.Shards > 1 && backend == BackendMemnet {
 		return nil, fmt.Errorf("scenario: -shards applies to the sim backend only (memnet runs real goroutine-per-node agents)")
 	}
+	if opts.ShardThreads > 1 && backend == BackendMemnet {
+		return nil, fmt.Errorf("scenario: -shard-threads applies to the sim backend only (memnet runs real goroutine-per-node agents)")
+	}
 	var tr *trace.Trace
 	if spec.Fleet.Trace != "" {
 		f, err := os.Open(spec.Fleet.Trace)
@@ -168,6 +180,7 @@ func buildDeployment(spec *Spec, opts Options) (exp.Deployment, error) {
 		Audit:              spec.Fleet.Audit.params(),
 		Adversary:          spec.Adversaries.config(),
 		Shards:             opts.Shards,
+		ShardThreads:       opts.ShardThreads,
 	}
 	if cfg.Adversary != nil {
 		// Select the cohort by what the monitor reports when the attack

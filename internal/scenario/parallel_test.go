@@ -1,0 +1,87 @@
+package scenario
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// renderRunParallel executes spec with the given shard and worker-thread
+// counts and renders the full report to bytes (renderRun's parallel
+// sibling).
+func renderRunParallel(t *testing.T, spec *Spec, shards, threads int) []byte {
+	t.Helper()
+	res, err := Run(spec, Options{Shards: shards, ShardThreads: threads})
+	if err != nil {
+		t.Fatalf("shards=%d threads=%d: %v", shards, threads, err)
+	}
+	var buf bytes.Buffer
+	res.WriteReport(&buf)
+	for _, line := range res.EventLog {
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// TestParallelRunReproducible pins the thread-parallel determinism
+// contract end to end on the checked-in mixed workload: a fixed
+// (spec, shards) produces byte-identical reports across repeated runs,
+// any worker-thread count >= 2, and GOMAXPROCS ∈ {1, 4}. (shards ≤ 1
+// worlds never enter the parallel engine, so their byte-identity with
+// the legacy order is already pinned by TestShardCountInvariance.)
+func TestParallelRunReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run full-scenario sweep")
+	}
+	spec, err := LoadFile("../../scenarios/mixed-workload.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderRunParallel(t, spec, 8, 2)
+	if got := renderRunParallel(t, spec, 8, 2); !bytes.Equal(got, want) {
+		t.Fatal("repeated parallel run diverged")
+	}
+	if got := renderRunParallel(t, spec, 8, 8); !bytes.Equal(got, want) {
+		t.Fatal("threads=8 diverged from threads=2")
+	}
+	for _, procs := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		got := renderRunParallel(t, spec, 8, 4)
+		runtime.GOMAXPROCS(old)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("GOMAXPROCS=%d diverged", procs)
+		}
+	}
+}
+
+// TestParallelIneligibleMatchesSerial pins the silent-fallback rule:
+// a spec whose configuration rules out lane-safe execution (here the
+// byzantine scenario: adversaries + audit) must produce byte-identical
+// output with and without -shard-threads.
+func TestParallelIneligibleMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scenario sweep")
+	}
+	spec, err := LoadFile("../../scenarios/byzantine-census.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderRunParallel(t, spec, 8, 0)
+	if got := renderRunParallel(t, spec, 8, 4); !bytes.Equal(got, want) {
+		t.Fatal("-shard-threads changed output of a parallel-ineligible spec")
+	}
+}
+
+// TestShardThreadsRejectedOnMemnet keeps the flag honest on the
+// live-runtime backend.
+func TestShardThreadsRejectedOnMemnet(t *testing.T) {
+	spec := &Spec{
+		Name:  "memnet-shard-threads",
+		Seed:  1,
+		Fleet: Fleet{Hosts: 20, Days: 0.5},
+	}
+	if _, err := Run(spec, Options{Backend: BackendMemnet, ShardThreads: 4}); err == nil {
+		t.Fatal("want error for -shard-threads on memnet backend")
+	}
+}

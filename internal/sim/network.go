@@ -103,12 +103,57 @@ func (n *Network) Register(id ids.NodeID, h Handler) {
 	n.handlers[id] = h
 }
 
-// Stats returns a copy of the activity counters.
-func (n *Network) Stats() NetworkStats { return n.stats }
+// Stats returns a copy of the activity counters. In a parallel world
+// the per-lane slices are folded in (quiesced context only).
+func (n *Network) Stats() NetworkStats {
+	s := n.stats
+	if p := n.world.par; p != nil {
+		for i := range p.lanes {
+			st := &p.lanes[i].stats
+			s.Sent += st.Sent
+			s.Delivered += st.Delivered
+			s.Dropped += st.Dropped
+		}
+	}
+	return s
+}
 
 // ResetStats zeroes the activity counters (used between experiment
 // phases so warmup traffic does not pollute measurements).
-func (n *Network) ResetStats() { n.stats = NetworkStats{} }
+func (n *Network) ResetStats() {
+	n.stats = NetworkStats{}
+	if p := n.world.par; p != nil {
+		for i := range p.lanes {
+			p.lanes[i].stats = NetworkStats{}
+		}
+	}
+}
+
+// laneIdx resolves id's lane in a parallel world, or -1 for hosts
+// outside the bound universe.
+func (n *Network) laneIdx(p *parallelExec, id ids.NodeID) int {
+	if i, ok := n.idx[id]; ok {
+		return p.laneFor(i)
+	}
+	return -1
+}
+
+// statsFor picks the counter slice a delivery-side event should write:
+// the target's lane, the sender's lane for unbound targets (the event
+// runs on the sender's lane then), or the global counters.
+func (n *Network) statsFor(from, to ids.NodeID) *NetworkStats {
+	p := n.world.par
+	if p == nil {
+		return &n.stats
+	}
+	if l := n.laneIdx(p, to); l >= 0 {
+		return &p.lanes[l].stats
+	}
+	if l := n.laneIdx(p, from); l >= 0 {
+		return &p.lanes[l].stats
+	}
+	return &n.stats
+}
 
 // Online reports whether the network considers id online right now.
 func (n *Network) Online(id ids.NodeID) bool {
@@ -137,12 +182,16 @@ func (n *Network) handlerFor(to ids.NodeID) Handler {
 // counting drops for offline or unregistered targets. It is the firing
 // half of Send, invoked by the scheduler's value events.
 func (n *Network) deliver(from, to ids.NodeID, msg any) {
+	st := &n.stats
+	if n.world.par != nil {
+		st = n.statsFor(from, to)
+	}
 	h := n.handlerFor(to)
 	if h == nil {
-		n.stats.Dropped++
+		st.Dropped++
 		return
 	}
-	n.stats.Delivered++
+	st.Delivered++
 	h(from, msg)
 }
 
@@ -151,6 +200,10 @@ func (n *Network) deliver(from, to ids.NodeID, msg any) {
 // drop the message (counted in stats). The delivery is scheduled as a
 // closure-free value event.
 func (n *Network) Send(from, to ids.NodeID, msg any) {
+	if p := n.world.par; p != nil {
+		n.sendLane(p, from, to, msg)
+		return
+	}
 	n.stats.Sent++
 	lat := n.latency.Sample(n.world.Rand())
 	host := int32(-1)
@@ -164,12 +217,54 @@ func (n *Network) Send(from, to ids.NodeID, msg any) {
 	n.world.atDelivery(n.world.now+lat, n, from, to, msg, host)
 }
 
+// sendLane is Send in a parallel world: the latency draw, sequence
+// number, and Sent counter all come from the sender's lane, and the
+// delivery lands on the target's lane — directly for same-lane sends,
+// through the deterministic src→dst outbox otherwise. Senders outside
+// the bound universe use the coordinator context (quiesced callers
+// only).
+func (n *Network) sendLane(p *parallelExec, from, to ids.NodeID, msg any) {
+	w := n.world
+	sl := n.laneIdx(p, from)
+	if sl < 0 {
+		n.stats.Sent++
+		lat := n.latency.Sample(w.rng)
+		ev := event{at: w.now + lat, seq: w.globalSeq(), net: n, from: from, to: to, msg: msg}
+		if tl := n.laneIdx(p, to); tl >= 0 {
+			w.sh.shards[tl].push(ev)
+		} else {
+			w.events.push(ev)
+		}
+		return
+	}
+	ls := &p.lanes[sl]
+	ls.stats.Sent++
+	lat := n.latency.Sample(ls.rng)
+	tl := n.laneIdx(p, to)
+	if tl < 0 {
+		// Unbound target: deliver on the sender's own lane via the
+		// handler-map path.
+		tl = sl
+	}
+	ev := event{at: p.laneNow(sl) + lat, seq: p.laneSeq(sl), net: n, from: from, to: to, msg: msg}
+	p.pushFrom(sl, tl, ev)
+}
+
 // SendCall delivers msg like Send but also reports the outcome to the
 // sender: onResult(true) fires when the target acknowledged (one
 // round-trip after sending), onResult(false) fires after ackTimeout when
 // the target was offline or unregistered. This models the paper's
 // "each next-hop node is required to acknowledge receipt" rule.
 func (n *Network) SendCall(from, to ids.NodeID, msg any, onResult func(ok bool)) {
+	if p := n.world.par; p != nil {
+		if sl := n.laneIdx(p, from); sl >= 0 {
+			n.callLane(p, sl, from, to, msg, onResult)
+			return
+		}
+		// Unbound sender: fall through to the serial path, which runs in
+		// coordinator context (quiesced callers only) — After and the
+		// world RNG are coordinator-owned there.
+	}
 	n.stats.Sent++
 	out := n.latency.Sample(n.world.Rand())
 	back := n.latency.Sample(n.world.Rand())
@@ -189,4 +284,46 @@ func (n *Network) SendCall(from, to ids.NodeID, msg any, onResult func(ok bool))
 			n.world.After(back, func() { onResult(true) })
 		}
 	})
+}
+
+// callLane is SendCall in a parallel world. Both latency draws come
+// from the sender's lane at send time (mirroring the serial path); the
+// delivery closure runs on the target's lane, and the ack / timeout
+// closures hop back to the sender's lane through the outboxes. Every
+// cross-lane hop is at least one lookahead long (out ≥ lookahead,
+// back ≥ lookahead, and the failure report fires ackTimeout − out ≥
+// lookahead after the delivery attempt), so the conservative window
+// invariant holds on every edge.
+func (n *Network) callLane(p *parallelExec, sl int, from, to ids.NodeID, msg any, onResult func(ok bool)) {
+	ls := &p.lanes[sl]
+	ls.stats.Sent++
+	out := n.latency.Sample(ls.rng)
+	back := n.latency.Sample(ls.rng)
+	t0 := p.laneNow(sl)
+	tl := n.laneIdx(p, to)
+	if tl < 0 {
+		tl = sl
+	}
+	attempt := func() {
+		// Runs on lane tl at t0+out.
+		h := n.handlerFor(to)
+		st := &p.lanes[tl].stats
+		if h == nil {
+			st.Dropped++
+			if onResult != nil {
+				// Failure is detected only after the ack timeout expires,
+				// back on the sender's lane.
+				fail := event{at: t0 + n.ackTimeout, seq: p.laneSeq(tl), fn: func() { onResult(false) }}
+				p.pushFrom(tl, sl, fail)
+			}
+			return
+		}
+		st.Delivered++
+		h(from, msg)
+		if onResult != nil {
+			ack := event{at: p.laneNow(tl) + back, seq: p.laneSeq(tl), fn: func() { onResult(true) }}
+			p.pushFrom(tl, sl, ack)
+		}
+	}
+	p.pushFrom(sl, tl, event{at: t0 + out, seq: p.laneSeq(sl), fn: attempt})
 }

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"avmem/internal/ids"
+)
+
+// parallelPingWorld builds a sharded+parallel world with a bound host
+// universe and lane-affine periodic traffic: every host pings its
+// successor each period through the network (cross-lane by
+// construction), and every delivery appends to a shared transcript from
+// the receiving lane's Defer (barrier-serialized, so the transcript
+// order is part of the deterministic contract).
+func parallelPingWorld(t *testing.T, seed int64, shards, threads int) (*World, *[]string) {
+	t.Helper()
+	w := NewWorld(seed)
+	if err := w.SetShards(shards); err != nil {
+		t.Fatal(err)
+	}
+	if threads > 1 {
+		if err := w.SetParallel(threads, 20*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const n = 24
+	hosts := make([]ids.NodeID, n)
+	for i := range hosts {
+		hosts[i] = ids.Synthetic(i)
+	}
+	net := NewNetwork(w, PaperLatency(), nil, 0)
+	net.Bind(hosts, func(int) bool { return true })
+	transcript := &[]string{}
+	for i := range hosts {
+		i := i
+		net.Register(hosts[i], func(from ids.NodeID, msg any) {
+			w.Defer(int32(i), func() {
+				*transcript = append(*transcript,
+					fmt.Sprintf("%v %s->%s %v", w.Now(), from, hosts[i], msg))
+			})
+			// Every third ping answers with a lane-RNG-jittered call.
+			if msg.(int)%3 == 0 {
+				d := time.Duration(w.LaneRand(int32(i)).Intn(50)) * time.Millisecond
+				w.AfterHost(d, int32(i), func() {
+					net.Send(hosts[i], from, -1)
+				})
+			}
+		})
+	}
+	for i := range hosts {
+		i := i
+		k := 0
+		err := w.EveryHost(time.Duration(i)*7*time.Millisecond, 250*time.Millisecond,
+			int32(i), nil, func() {
+				k++
+				net.Send(hosts[i], hosts[(i+1)%n], k)
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w, transcript
+}
+
+// runPingTranscript runs the ping world for 30s of virtual time and
+// returns the transcript.
+func runPingTranscript(t *testing.T, seed int64, shards, threads int) []string {
+	t.Helper()
+	w, tr := parallelPingWorld(t, seed, shards, threads)
+	defer w.Close()
+	w.Run(30 * time.Second)
+	return *tr
+}
+
+func equalTranscripts(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelReproducible pins the relaxed determinism contract at the
+// engine level: a fixed (seed, shards, lookahead) produces an identical
+// event transcript across repeated runs, any worker-thread count >= 2,
+// and any GOMAXPROCS.
+func TestParallelReproducible(t *testing.T) {
+	want := runPingTranscript(t, 7, 8, 2)
+	if len(want) == 0 {
+		t.Fatal("empty transcript")
+	}
+	if got := runPingTranscript(t, 7, 8, 2); !equalTranscripts(got, want) {
+		t.Fatal("repeated run diverged")
+	}
+	if got := runPingTranscript(t, 7, 8, 8); !equalTranscripts(got, want) {
+		t.Fatal("threads=8 diverged from threads=2")
+	}
+	old := runtime.GOMAXPROCS(1)
+	got := runPingTranscript(t, 7, 8, 4)
+	runtime.GOMAXPROCS(old)
+	if !equalTranscripts(got, want) {
+		t.Fatal("GOMAXPROCS=1 diverged")
+	}
+}
+
+// TestParallelExecutesWindows makes sure the contract test above
+// actually exercises window execution rather than the serial fallback.
+func TestParallelExecutesWindows(t *testing.T) {
+	w, _ := parallelPingWorld(t, 7, 8, 2)
+	defer w.Close()
+	w.Run(30 * time.Second)
+	if w.ParallelWindows() == 0 {
+		t.Fatal("no parallel windows executed")
+	}
+}
+
+// TestParallelDisableFallsBackDeterministically pins that disabling
+// windows mid-run keeps the run going (serial merged order) and stops
+// window execution.
+func TestParallelDisableFallsBackDeterministically(t *testing.T) {
+	run := func() ([]string, uint64) {
+		w, tr := parallelPingWorld(t, 9, 4, 2)
+		defer w.Close()
+		w.Run(10 * time.Second)
+		w.DisableParallel()
+		w.Run(20 * time.Second)
+		return *tr, w.ParallelWindows()
+	}
+	a, wa := run()
+	b, wb := run()
+	if !equalTranscripts(a, b) {
+		t.Fatal("disable-mid-run runs diverged")
+	}
+	if wa != wb {
+		t.Fatalf("window counts diverged: %d vs %d", wa, wb)
+	}
+	if len(a) == 0 || wa == 0 {
+		t.Fatal("test exercised nothing")
+	}
+}
+
+// TestWorldCloseStopsWorkers pins that Close tears the worker pool down
+// completely: the goroutine count returns to its pre-world baseline.
+func TestWorldCloseStopsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	w, _ := parallelPingWorld(t, 3, 8, 4)
+	w.Run(5 * time.Second)
+	if w.ParallelWindows() == 0 {
+		t.Fatal("no windows, workers never spawned")
+	}
+	w.Close()
+	w.Close() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("goroutines leaked after Close: %d before, %d after", before, got)
+	}
+}
+
+// TestSetParallelValidation pins the configuration errors.
+func TestSetParallelValidation(t *testing.T) {
+	w := NewWorld(1)
+	if err := w.SetParallel(4, 20*time.Millisecond); err == nil {
+		t.Fatal("want error without SetShards")
+	}
+	if err := w.SetShards(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetParallel(1, 20*time.Millisecond); err == nil {
+		t.Fatal("want error for threads < 2")
+	}
+	if err := w.SetParallel(4, 0); err == nil {
+		t.Fatal("want error for zero lookahead")
+	}
+	if err := w.SetParallel(4, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetParallel(4, 20*time.Millisecond); err == nil {
+		t.Fatal("want error for double SetParallel")
+	}
+	if err := w.SetShards(8); err == nil {
+		t.Fatal("want error reshaping the queue after SetParallel")
+	}
+	w2 := NewWorld(1)
+	if err := w2.SetShards(2); err != nil {
+		t.Fatal(err)
+	}
+	w2.At(time.Second, func() {})
+	if err := w2.SetParallel(2, 20*time.Millisecond); err == nil {
+		t.Fatal("want error with events already scheduled")
+	}
+}
+
+// TestLookaheadOf pins the latency-model lookahead derivation.
+func TestLookaheadOf(t *testing.T) {
+	if got := LookaheadOf(PaperLatency()); got != 20*time.Millisecond {
+		t.Fatalf("PaperLatency lookahead = %v, want 20ms", got)
+	}
+	if got := LookaheadOf(FixedLatency(5 * time.Millisecond)); got != 5*time.Millisecond {
+		t.Fatalf("FixedLatency lookahead = %v, want 5ms", got)
+	}
+	var unbounded LatencyModel = latencyFunc(func() time.Duration { return 0 })
+	if got := LookaheadOf(unbounded); got != 0 {
+		t.Fatalf("unbounded model lookahead = %v, want 0", got)
+	}
+}
+
+// latencyFunc is a minimal LatencyModel without a bound.
+type latencyFunc func() time.Duration
+
+func (f latencyFunc) Sample(*rand.Rand) time.Duration { return f() }

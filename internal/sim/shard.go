@@ -84,6 +84,9 @@ func (w *World) SetShards(n int) error {
 	if n > maxShards {
 		return fmt.Errorf("sim: shard count %d exceeds max %d", n, maxShards)
 	}
+	if w.par != nil {
+		return fmt.Errorf("sim: cannot reshape the queue after SetParallel")
+	}
 	var old []event
 	old = append(old, w.events.evs...)
 	if w.sh != nil {

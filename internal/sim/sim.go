@@ -4,9 +4,17 @@
 // semantics.
 //
 // All of the paper's experiments execute on this engine. Determinism is
-// a design goal (DESIGN.md §5): the world is single-threaded and events
-// with equal timestamps fire in scheduling order, so a (trace, seed)
-// pair regenerates every figure bit-identically.
+// a design goal (DESIGN.md §5): by default the world is single-threaded
+// and events with equal timestamps fire in scheduling order, so a
+// (trace, seed) pair regenerates every figure bit-identically.
+//
+// Worlds upgraded with SetShards + SetParallel execute under the
+// conservative-window thread-parallel engine (parallel.go): per-shard
+// worker threads drain their own heaps inside lookahead-bounded windows.
+// That engine keeps a relaxed determinism contract — bit-identical for a
+// fixed (trace, seed, shards, lookahead) across repeated runs and any
+// GOMAXPROCS, but a different canonical order than the serial engine.
+// See DESIGN.md §14.
 package sim
 
 import (
@@ -23,17 +31,24 @@ type World struct {
 	now    time.Duration
 	events eventHeap
 	seq    uint64
+	seed   int64
 	rng    *rand.Rand
 	// sh, when non-nil, replaces the single global heap with per-shard
 	// heaps merged in (at, seq) order (SetShards; shard.go). The merged
 	// schedule is identical either way — sharding changes the queue's
 	// shape, never its order.
 	sh *shardedQueue
+	// par, when non-nil, is the conservative-window thread-parallel
+	// executor (SetParallel; parallel.go). The shard heaps become lanes,
+	// the global heap keeps coordinator-context events, and sequence
+	// numbers carry a context tag — a different (still deterministic)
+	// canonical order than the serial engines.
+	par *parallelExec
 }
 
 // NewWorld creates a world at time zero with a deterministic RNG.
 func NewWorld(seed int64) *World {
-	return &World{rng: rand.New(rand.NewSource(seed))}
+	return &World{seed: seed, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Now returns the current virtual time.
@@ -44,12 +59,19 @@ func (w *World) Rand() *rand.Rand { return w.rng }
 
 // At schedules fn to run at virtual time at. Times in the past run at
 // the current instant (never before already-queued same-time events).
+// In a parallel world, At is coordinator-context: it may only be called
+// while the world is quiesced or from a global/deferred callback, never
+// from lane code inside a window (lane code uses AtHost).
 func (w *World) At(at time.Duration, fn func()) {
 	if fn == nil {
 		return
 	}
 	if at < w.now {
 		at = w.now
+	}
+	if w.par != nil {
+		w.events.push(event{at: at, seq: w.globalSeq(), fn: fn})
+		return
 	}
 	w.seq++
 	ev := event{at: at, seq: w.seq, fn: fn}
@@ -109,6 +131,9 @@ func (w *World) Every(offset, period time.Duration, stop func() bool, fn func())
 // event by event, and leaves the clock at until. It returns the number
 // of events processed.
 func (w *World) Run(until time.Duration) int {
+	if w.par != nil {
+		return w.runParallel(until, 0)
+	}
 	if w.sh != nil {
 		n := w.runSharded(until)
 		if until > w.now {
@@ -134,6 +159,9 @@ func (w *World) Run(until time.Duration) int {
 // bounds runaway execution (<= 0 means no bound). It returns the number
 // of events processed.
 func (w *World) RunAll(maxEvents int) int {
+	if w.par != nil {
+		return w.runParallel(maxDuration, maxEvents)
+	}
 	if w.sh != nil {
 		return w.runAllSharded(maxEvents)
 	}
@@ -153,7 +181,9 @@ func (w *World) RunAll(maxEvents int) int {
 // Pending returns the number of queued events.
 func (w *World) Pending() int {
 	if w.sh != nil {
-		return w.sh.pending()
+		// A parallel world keeps coordinator-context events in the
+		// global heap alongside the lane heaps (empty otherwise).
+		return w.sh.pending() + len(w.events.evs)
 	}
 	return len(w.events.evs)
 }

@@ -7,7 +7,10 @@
 # run is more than THRESHOLD_PCT slower than the recording (default
 # 20%). A benchstat-style one-line comparison is printed either way.
 # A gated benchmark absent from the baseline is skipped with a notice
-# (older recordings predate it), never silently.
+# (older recordings predate it), never silently. The same applies in
+# the other direction: a baseline benchmark the current tree no longer
+# produces (renamed or retired since the recording) logs a warning and
+# is skipped — the gate only compares benchmarks both sides have.
 #
 # Usage:
 #   scripts/benchdiff.sh                      # compare vs newest BENCH_<n>.json
@@ -61,8 +64,8 @@ for bench in ${benches}; do
   echo "${fresh}" >&2
   new_ns=$(echo "${fresh}" | extract_ns "${bench}")
   if [ -z "${new_ns}" ]; then
-    echo "benchdiff: fresh run produced no ${bench} result" >&2
-    exit 2
+    echo "benchdiff: WARNING: fresh run produced no ${bench} result (renamed or retired since ${baseline}?); skipping" >&2
+    continue
   fi
 
   awk -v old="${old_ns}" -v new="${new_ns}" -v limit="${threshold}" -v bench="${bench}" 'BEGIN {
