@@ -20,6 +20,7 @@ import (
 	"avmem/internal/core"
 	"avmem/internal/exp"
 	"avmem/internal/ids"
+	"avmem/internal/obs"
 	"avmem/internal/ops"
 	"avmem/internal/scenario"
 	"avmem/internal/trace"
@@ -369,11 +370,10 @@ func BenchmarkDiscoverRound(b *testing.B) {
 	}
 }
 
-// BenchmarkScenario2000Hosts runs a complete declarative scenario —
-// 2000 hosts, a churn burst, and a mixed anycast/multicast workload —
-// end to end, the scale the allocation-lean core is built for.
-func BenchmarkScenario2000Hosts(b *testing.B) {
-	spec := &scenario.Spec{
+// spec2000 is the 2000-host mixed-workload benchmark scenario shared
+// by the plain and observability-enabled variants.
+func spec2000() *scenario.Spec {
+	return &scenario.Spec{
 		Name: "bench-2000",
 		Seed: 1,
 		Fleet: scenario.Fleet{
@@ -391,6 +391,13 @@ func BenchmarkScenario2000Hosts(b *testing.B) {
 				Count: 10, BandLo: 0.66, BandHi: 1.01, TargetLo: 0.7, TargetHi: 1}},
 		},
 	}
+}
+
+// BenchmarkScenario2000Hosts runs a complete declarative scenario —
+// 2000 hosts, a churn burst, and a mixed anycast/multicast workload —
+// end to end, the scale the allocation-lean core is built for.
+func BenchmarkScenario2000Hosts(b *testing.B) {
+	spec := spec2000()
 	b.ReportAllocs()
 	b.ResetTimer()
 	var delivered float64
@@ -402,6 +409,23 @@ func BenchmarkScenario2000Hosts(b *testing.B) {
 		delivered = res.Metrics["anycast_delivery_rate"]
 	}
 	b.ReportMetric(delivered, "delivered")
+}
+
+// BenchmarkScenario2000HostsObs is BenchmarkScenario2000Hosts with the
+// full observability stack armed — metrics registry and op tracer —
+// guarding the enabled-path cost budget (DESIGN.md §15: ≤5% over the
+// plain run; the disabled path is a nil check and is covered by the
+// plain benchmark staying on its recorded baseline).
+func BenchmarkScenario2000HostsObs(b *testing.B) {
+	spec := spec2000()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := scenario.Options{Metrics: obs.NewRegistry(), OpTrace: obs.NewTracer(0)}
+		if _, err := scenario.Run(spec, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkScenarioMemnet600Hosts runs a complete declarative scenario

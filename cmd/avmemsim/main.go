@@ -14,6 +14,12 @@
 //	                                              # same scenario on the live runtime
 //	avmemsim run -seeds 8 -parallel 4 scenarios/churn-storm.json
 //	                                              # multi-seed sweep, 4 worlds at once
+//	avmemsim run -metrics-addr :9090 -progress scenarios/mixed-workload.json
+//	                                              # watch it live: /metrics, /healthz,
+//	                                              # /debug/pprof + stderr progress line
+//	avmemsim run -trace-ops out.trace.json scenarios/mixed-workload.json
+//	                                              # causal op trace for Perfetto
+//	avmemsim tracecheck out.trace.json            # schema-check an emitted trace
 //	avmemsim validate scenarios/churn-storm.json  # check a scenario file
 //
 // Full scale means the paper's setting: a 1442-host, 7-day Overnet-like
@@ -72,11 +78,24 @@ func runScenario(args []string, out io.Writer) error {
 	tracefile := fs.String("trace", "", "write a runtime execution trace to this file")
 	mutexprofile := fs.String("mutexprofile", "", "write a mutex-contention profile to this file")
 	blockprofile := fs.String("blockprofile", "", "write a goroutine-blocking profile to this file")
+	var of obsFlags
+	fs.StringVar(&of.metricsAddr, "metrics-addr", "",
+		"serve /metrics (Prometheus text), /healthz, and /debug/pprof on this address for the duration of the run (e.g. :9090)")
+	fs.StringVar(&of.metricsOut, "metrics-out", "",
+		"write the end-of-run metrics dump (Prometheus text, fully sorted) to this file ('-' = stderr)")
+	fs.DurationVar(&of.metricsHold, "metrics-hold", 0,
+		"keep serving -metrics-addr this long after the run completes, so scrapers can collect the final counters")
+	fs.StringVar(&of.traceOps, "trace-ops", "",
+		"write the causal op trace in Chrome trace-event format to this file (load in Perfetto; virtual-time axis)")
+	fs.StringVar(&of.traceJSONL, "trace-jsonl", "",
+		"write the causal op trace as JSON Lines (one span per line) to this file")
+	fs.BoolVar(&of.progress, "progress", false,
+		"print a periodic stderr line with virtual time, events processed, and events/sec")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: avmemsim run [-q] [-backend sim|memnet] [-seeds N] [-parallel P] [-shards S] [-shard-threads T] [-cpuprofile f] [-memprofile f] [-mutexprofile f] [-blockprofile f] [-trace f] <scenario.json>")
+		return fmt.Errorf("usage: avmemsim run [-q] [-backend sim|memnet] [-seeds N] [-parallel P] [-shards S] [-shard-threads T] [-metrics-addr a] [-metrics-out f] [-metrics-hold d] [-trace-ops f] [-trace-jsonl f] [-progress] [-cpuprofile f] [-memprofile f] [-mutexprofile f] [-blockprofile f] [-trace f] <scenario.json>")
 	}
 	stopProf, err := startProfiles(*cpuprofile, *memprofile, *tracefile, *mutexprofile, *blockprofile)
 	if err != nil {
@@ -94,24 +113,43 @@ func runScenario(args []string, out io.Writer) error {
 	if *quiet {
 		log = nil
 	}
+	ob, err := startObs(of, os.Stderr)
+	if err != nil {
+		return err
+	}
+	opts := scenario.Options{Log: log, Backend: *backend, Shards: *shards, ShardThreads: *shardThreads}
+	if ob != nil {
+		// One registry/tracer serves the whole invocation; with
+		// -seeds > 1 the counters aggregate across every world of the
+		// sweep (instruments are atomic, so concurrent worlds are safe).
+		opts.Metrics = ob.reg
+		opts.OpTrace = ob.tracer
+	}
 	if *seeds > 1 {
-		multi, err := scenario.RunMany(spec, scenario.SeedRange(spec.Seed, *seeds), *parallel,
-			scenario.Options{Log: log, Backend: *backend, Shards: *shards, ShardThreads: *shardThreads})
+		multi, err := scenario.RunMany(spec, scenario.SeedRange(spec.Seed, *seeds), *parallel, opts)
 		if err != nil {
+			ob.finish()
 			return err
 		}
 		multi.WriteReport(out)
+		if err := ob.finish(); err != nil {
+			return err
+		}
 		if !multi.Passed() {
 			return fmt.Errorf("scenario %q: %d assertion failure(s) across %d seeds",
 				multi.Name, len(multi.Failures), *seeds)
 		}
 		return nil
 	}
-	res, err := scenario.Run(spec, scenario.Options{Log: log, Backend: *backend, Shards: *shards, ShardThreads: *shardThreads})
+	res, err := scenario.Run(spec, opts)
 	if err != nil {
+		ob.finish()
 		return err
 	}
 	res.WriteReport(out)
+	if err := ob.finish(); err != nil {
+		return err
+	}
 	if !res.Passed() {
 		return fmt.Errorf("scenario %q: %d assertion(s) failed", res.Name, len(res.Failures))
 	}
@@ -160,6 +198,8 @@ func run(args []string, out io.Writer) error {
 			return runScenario(args[1:], out)
 		case "validate":
 			return validateScenario(args[1:], out)
+		case "tracecheck":
+			return checkTrace(args[1:], out)
 		}
 	}
 	fs := flag.NewFlagSet("avmemsim", flag.ContinueOnError)

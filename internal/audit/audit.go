@@ -184,6 +184,9 @@ type Config struct {
 	Hashes *ids.HashCache
 	// Trail optionally shares the deployment-wide eviction registry.
 	Trail *Trail
+	// Obs optionally shares the deployment-wide audit instruments
+	// (instrument.go); nil leaves the auditor unmetered.
+	Obs *Instruments
 }
 
 func (c Config) validate() error {
@@ -410,6 +413,7 @@ func (a *Auditor) hit(from ids.NodeID, weight float64, reason string) {
 	if s.evicted {
 		return
 	}
+	a.cfg.Obs.suspicion(reason)
 	s.score += weight
 	a.peers[from] = s
 	if s.score < a.cfg.Params.EvictThreshold {
@@ -418,6 +422,7 @@ func (a *Auditor) hit(from ids.NodeID, weight float64, reason string) {
 	s.evicted = true
 	a.peers[from] = s
 	a.evictions++
+	a.cfg.Obs.eviction()
 	if a.cfg.Trail != nil {
 		a.cfg.Trail.record(Eviction{
 			Observer: a.cfg.Self,
@@ -436,6 +441,7 @@ func (a *Auditor) clean(from ids.NodeID) {
 	if !ok || s.evicted || s.score == 0 {
 		return
 	}
+	a.cfg.Obs.clean()
 	s.score -= a.cfg.Params.Decay
 	if s.score < 0 {
 		s.score = 0

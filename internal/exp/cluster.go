@@ -114,6 +114,12 @@ func NewCluster(cfg WorldConfig) (*Cluster, error) {
 	if cfg.Audit != nil {
 		c.trail = audit.NewTrail()
 	}
+	var auditIns *audit.Instruments
+	if cfg.Metrics != nil {
+		c.Sched.Instrument(cfg.Metrics)
+		c.Col.Instrument(cfg.Metrics)
+		auditIns = audit.NewInstruments(cfg.Metrics)
+	}
 	// The same band-census estimator the sim engine arms its routers
 	// with (see installNodes): keeps the two engines' PDF sanity checks
 	// — and therefore their metrics — in lockstep.
@@ -154,7 +160,9 @@ func NewCluster(cfg WorldConfig) (*Cluster, error) {
 			Behavior:       c.adv.behavior(h),
 			Audit:          cfg.Audit,
 			AuditTrail:     c.trail,
+			AuditObs:       auditIns,
 			BandCensus:     bandCensus,
+			OpTrace:        cfg.OpTrace,
 		})
 		if err != nil {
 			return nil, err

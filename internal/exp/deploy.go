@@ -316,6 +316,7 @@ func (w *World) installNodes(pred *core.Predicate) error {
 				Clock:     w.Sim.Now,
 				Hashes:    w.Hashes,
 				Trail:     w.trail,
+				Obs:       w.auditIns,
 			})
 			if err != nil {
 				return err
@@ -352,6 +353,7 @@ func (w *World) installNodes(pred *core.Predicate) error {
 			VerifyInbound: w.Cfg.VerifyInbound,
 			Hashes:        w.Hashes,
 			BandCensus:    bandCensus,
+			OpTrace:       w.Cfg.OpTrace,
 		}
 		if auditor != nil {
 			routerCfg.Auditor = auditor

@@ -24,6 +24,7 @@ import (
 	"avmem/internal/avmon"
 	"avmem/internal/core"
 	"avmem/internal/ids"
+	"avmem/internal/obs"
 	"avmem/internal/ops"
 	"avmem/internal/shuffle"
 	"avmem/internal/sim"
@@ -94,6 +95,13 @@ type WorldConfig struct {
 	// population misbehave (internal/adversary behaviors injected under
 	// the Runtime/Env contract).
 	Adversary *AdversaryConfig
+	// Metrics, when non-nil, instruments the deployment (engine event
+	// counters, op outcomes, audit verdicts) into this registry.
+	// Determinism-neutral: enabling it cannot change scenario output.
+	Metrics *obs.Registry
+	// OpTrace, when non-nil, records causal op spans from every router
+	// into this shared tracer. Determinism-neutral like Metrics.
+	OpTrace *obs.Tracer
 }
 
 func (c *WorldConfig) applyDefaults() error {
@@ -174,6 +182,9 @@ type World struct {
 	adv      *advState
 	auditors []*audit.Auditor
 	trail    *audit.Trail
+	// auditIns is the deployment-shared audit instrument set (nil when
+	// Cfg.Metrics is nil).
+	auditIns *audit.Instruments
 
 	// mon is the monitoring plumbing: the stable indirection the whole
 	// deployment queries plus the pre-noise base SetMonitorNoise rewraps.
@@ -296,6 +307,13 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		}
 	}
 	w.Monitor = mon.monitor
+	if cfg.Metrics != nil {
+		// Instrument after the engine topology (shards, parallel lanes)
+		// is final: the lane instruments are sized from it.
+		w.Sim.Instrument(cfg.Metrics)
+		w.Col.Instrument(cfg.Metrics)
+		w.auditIns = audit.NewInstruments(cfg.Metrics)
+	}
 	cyc, err := shuffle.NewCyclon(cfg.ViewSize, cfg.ShuffleLen, w.nodeOnline, w.Sim.Rand())
 	if err != nil {
 		return nil, err

@@ -23,6 +23,7 @@ import (
 	"avmem/internal/avmon"
 	"avmem/internal/core"
 	"avmem/internal/ids"
+	"avmem/internal/obs"
 	"avmem/internal/ops"
 	"avmem/internal/runtime"
 	"avmem/internal/shuffle"
@@ -115,6 +116,12 @@ type Config struct {
 	// (see ops.RouterConfig.BandCensus). Deployment harnesses derive it
 	// from the trace's availability PDF and N*.
 	BandCensus func(lo, hi float64) float64
+	// AuditObs optionally shares deployment-wide audit instruments
+	// (suspicion/eviction counters); nil leaves auditing unmetered.
+	AuditObs *audit.Instruments
+	// OpTrace optionally records causal op spans from this node's
+	// router into a deployment-shared tracer.
+	OpTrace *obs.Tracer
 }
 
 func (c *Config) validate() error {
@@ -239,6 +246,7 @@ func New(cfg Config) (*Node, error) {
 			Clock:     n.env.Now,
 			Hashes:    cfg.Hashes,
 			Trail:     cfg.AuditTrail,
+			Obs:       cfg.AuditObs,
 		})
 		if err != nil {
 			return nil, err
@@ -276,6 +284,7 @@ func New(cfg Config) (*Node, error) {
 		VerifyInbound: cfg.VerifyInbound,
 		Hashes:        cfg.Hashes,
 		BandCensus:    cfg.BandCensus,
+		OpTrace:       cfg.OpTrace,
 	}
 	if n.auditor != nil {
 		routerCfg.Auditor = n.auditor

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns an http.Handler exposing the live telemetry
+// surface: /metrics (Prometheus text exposition of reg), /healthz,
+// and /debug/pprof. Every endpoint only *reads* snapshots — serving
+// a request never mutates simulation state, so the surface is safe to
+// scrape while a run is in flight.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running telemetry listener. Close shuts it down.
+type Server struct {
+	Addr string // actual listen address (useful with ":0")
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{}
+}
+
+// Serve starts the telemetry surface on addr in a background
+// goroutine and returns once the listener is bound. The server shares
+// nothing mutable with the simulation: handlers read atomic snapshots
+// from reg only.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Close stops the listener and waits for the serve goroutine to exit.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	return err
+}

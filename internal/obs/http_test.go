@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServeEndpoints boots the telemetry surface on an ephemeral port
+// and exercises /metrics, /healthz, and /debug/pprof end to end.
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim_events_total").Add(42)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.Contains(ctype, "version=0.0.4") {
+		t.Errorf("metrics content-type %q lacks exposition version", ctype)
+	}
+	if !strings.Contains(body, "# TYPE sim_events_total counter\nsim_events_total 42\n") {
+		t.Errorf("metrics body missing counter:\n%s", body)
+	}
+
+	if body, _ := get("/healthz"); body != "ok\n" {
+		t.Errorf("healthz body %q", body)
+	}
+
+	if body, _ := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index missing profiles:\n%.200s", body)
+	}
+
+	// Scrapes observe live counter updates (read-only snapshot path).
+	reg.Counter("sim_events_total").Add(8)
+	if body, _ := get("/metrics"); !strings.Contains(body, "sim_events_total 50") {
+		t.Errorf("metrics not live:\n%s", body)
+	}
+}

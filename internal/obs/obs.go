@@ -1,0 +1,19 @@
+// Package obs is the deterministic observability layer: a metrics
+// registry (counters, gauges, fixed-bucket histograms addressable by
+// name), a causal per-operation tracer with virtual timestamps, and a
+// live HTTP telemetry surface (/metrics, /healthz, /debug/pprof).
+//
+// The package is deliberately a leaf: it imports only the standard
+// library, so every layer of the system — the simulator core, the op
+// router, the audit subsystem, the scenario engine — can be
+// instrumented without import cycles.
+//
+// Determinism contract: nothing in this package draws randomness,
+// schedules events, or reads wall clocks on behalf of the code it
+// observes. Instruments record values the instrumented code already
+// computed (virtual timestamps, event counts, hop counts), so enabling
+// observability cannot perturb event order — scenario reports are
+// byte-identical with the layer on or off. All instrument methods are
+// safe on nil receivers and no-op there, which is the disabled fast
+// path: an uninstrumented hot loop pays one predictable nil check.
+package obs

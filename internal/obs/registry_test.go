@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilInstrumentsNoOp(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x")
+	g := reg.Gauge("y")
+	h := reg.Histogram("z", 1, 2)
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	h.Observe(1.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if err := reg.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var tr *Tracer
+	tr.Record(Span{})
+	if tr.Snapshot() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must be empty")
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("events_total")
+	b := reg.Counter("events_total")
+	if a != b {
+		t.Fatal("same name must return same counter")
+	}
+	a.Add(3)
+	if b.Value() != 3 {
+		t.Fatalf("shared counter: got %d, want 3", b.Value())
+	}
+	h1 := reg.Histogram("lat", 1, 2, 4)
+	h2 := reg.Histogram("lat", 9, 9, 9) // bounds ignored on re-registration
+	if h1 != h2 {
+		t.Fatal("same name must return same histogram")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("hops", 1, 2, 4)
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 100} {
+		h.Observe(v)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 3 || len(counts) != 4 {
+		t.Fatalf("bounds=%v counts=%v", bounds, counts)
+	}
+	// le-semantics: 0.5 and 1 land in le=1; 1.5 and 2 in le=2; 3 in
+	// le=4; 100 in +Inf.
+	want := []int64{2, 2, 1, 1}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("bucket %d: got %d want %d (%v)", i, counts[i], w, counts)
+		}
+	}
+	if h.Count() != 6 || h.Sum() != 108 {
+		t.Fatalf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+// TestWritePrometheusSorted pins the exposition format: families
+// sorted, # TYPE lines present, labeled instances grouped under one
+// family, histograms expanded with cumulative le buckets.
+func TestWritePrometheusSorted(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(`lane_events_total{lane="1"}`).Add(7)
+	reg.Counter(`lane_events_total{lane="0"}`).Add(5)
+	reg.Counter("events_total").Add(12)
+	reg.Gauge("virtual_time_seconds").Set(3600)
+	h := reg.Histogram("anycast_hops", 1, 2, 4)
+	h.Observe(1)
+	h.Observe(3)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := strings.Join([]string{
+		`# TYPE anycast_hops histogram`,
+		`anycast_hops_bucket{le="1"} 1`,
+		`anycast_hops_bucket{le="2"} 1`,
+		`anycast_hops_bucket{le="4"} 2`,
+		`anycast_hops_bucket{le="+Inf"} 2`,
+		`anycast_hops_sum 4`,
+		`anycast_hops_count 2`,
+		`# TYPE events_total counter`,
+		`events_total 12`,
+		`# TYPE lane_events_total counter`,
+		`lane_events_total{lane="0"} 5`,
+		`lane_events_total{lane="1"} 7`,
+		`# TYPE virtual_time_seconds gauge`,
+		`virtual_time_seconds 3600`,
+	}, "\n") + "\n"
+	if got != want {
+		t.Fatalf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	// Dumps must be byte-stable across calls (map order independence).
+	var buf2 bytes.Buffer
+	if err := reg.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("two dumps of the same state differ")
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("n")
+	h := reg.Histogram("d", 10, 100)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 200))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter: got %d want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count: got %d want 8000", h.Count())
+	}
+}

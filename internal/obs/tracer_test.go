@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleSpans() []Span {
+	return []Span{
+		{At: 10 * time.Millisecond, Op: "h1#1", Kind: "anycast", Ev: "init", Dst: "h1"},
+		{At: 40 * time.Millisecond, Op: "h1#1", Kind: "anycast", Ev: "hop", Hop: 1, Src: "h1", Dst: "h7"},
+		{At: 90 * time.Millisecond, Op: "h1#1", Kind: "anycast", Ev: "deliver", Hop: 2, Src: "h7", Dst: "h3"},
+		{At: 20 * time.Millisecond, Op: "h2#1", Kind: "rangecast", Ev: "init", Dst: "h2"},
+	}
+}
+
+func TestSnapshotSortedAndOrderIndependent(t *testing.T) {
+	a := NewTracer(16)
+	b := NewTracer(16)
+	spans := sampleSpans()
+	for _, s := range spans {
+		a.Record(s)
+	}
+	// Reverse arrival order into b — snapshot must still agree.
+	for i := len(spans) - 1; i >= 0; i-- {
+		b.Record(spans[i])
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if len(sa) != len(spans) {
+		t.Fatalf("snapshot lost spans: %d", len(sa))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("snapshot order depends on arrival order at %d: %+v vs %+v", i, sa[i], sb[i])
+		}
+	}
+	for i := 1; i < len(sa); i++ {
+		if sa[i].At < sa[i-1].At {
+			t.Fatal("snapshot not sorted by virtual time")
+		}
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Span{At: time.Duration(i), Op: "x"})
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("ring held %d spans, want 4", len(snap))
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped=%d, want 6", tr.Dropped())
+	}
+	if snap[0].At != 6 || snap[3].At != 9 {
+		t.Fatalf("ring kept wrong spans: %+v", snap)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(16)
+	for _, s := range sampleSpans() {
+		tr.Record(s)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var s Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != 4 {
+		t.Fatalf("got %d JSONL lines, want 4", lines)
+	}
+}
+
+// TestChromeTraceRoundTrip writes a trace and validates it with the
+// same schema check CI uses; also pins the async begin/end pairing
+// per op id that makes Perfetto render one track per operation.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tr := NewTracer(16)
+	for _, s := range sampleSpans() {
+		tr.Record(s)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3-span op → b, n, e; 1-span op → b + synthesized e.
+	if n != 5 {
+		t.Fatalf("got %d trace events, want 5", n)
+	}
+	var container struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &container); err != nil {
+		t.Fatal(err)
+	}
+	phases := map[string][]string{}
+	for _, ev := range container.TraceEvents {
+		phases[ev.ID] = append(phases[ev.ID], ev.Phase)
+	}
+	if got := strings.Join(phases["h1#1"], ""); got != "bne" {
+		t.Fatalf("h1#1 phases=%v", phases["h1#1"])
+	}
+	if got := strings.Join(phases["h2#1"], ""); got != "be" {
+		t.Fatalf("h2#1 phases=%v", phases["h2#1"])
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := []string{
+		`{}`,
+		`{"traceEvents":[{"ph":"b","ts":1}]}`,
+		`{"traceEvents":[{"name":"x","ts":1}]}`,
+		`{"traceEvents":[{"name":"x","ph":"b"}]}`,
+		`not json`,
+	}
+	for _, c := range cases {
+		if _, err := ValidateChromeTrace(strings.NewReader(c)); err == nil {
+			t.Fatalf("accepted invalid trace %q", c)
+		}
+	}
+}

@@ -287,6 +287,9 @@ type Collector struct {
 	aggRejectedPartials int
 	aggForgeryRejected  int
 	aggForgeryAccepted  int
+	// ins, when non-nil, mirrors record mutations into the obs metrics
+	// registry (instrument.go).
+	ins *collectorObs
 }
 
 // NewCollector creates an empty collector.
@@ -372,6 +375,11 @@ func (c *Collector) anycastDelivered(id MsgID, hops int, latency time.Duration) 
 	r.Outcome = OutcomeDelivered
 	r.Hops = hops
 	r.Latency = latency
+	if c.ins != nil {
+		c.ins.anycastDelivered.Inc()
+		c.ins.anycastHops.Observe(float64(hops))
+		c.ins.anycastLatencyMs.Observe(obsAnycastLatencyMs(latency))
+	}
 }
 
 // anycastFailed records a terminal failure if the operation is still
@@ -384,6 +392,14 @@ func (c *Collector) anycastFailed(id MsgID, outcome AnycastOutcome) {
 		return
 	}
 	r.Outcome = outcome
+	if c.ins != nil {
+		switch outcome {
+		case OutcomeTTLExpired:
+			c.ins.anycastTTLExpired.Inc()
+		case OutcomeRetryExpired:
+			c.ins.anycastRetryExpired.Inc()
+		}
+	}
 }
 
 // multicastEntered flags stage-one success.
@@ -494,6 +510,9 @@ func (c *Collector) rangecastDelivered(id MsgID, node string, at time.Duration, 
 	}
 	if !inBand {
 		r.Spam++
+		if c.ins != nil {
+			c.ins.rangecastSpam.Inc()
+		}
 		return
 	}
 	if _, seen := r.Delivered[node]; seen {
@@ -505,6 +524,10 @@ func (c *Collector) rangecastDelivered(id MsgID, node string, at time.Duration, 
 	}
 	if depth > r.MaxDepth {
 		r.MaxDepth = depth
+	}
+	if c.ins != nil {
+		c.ins.rangecastDelivered.Inc()
+		c.ins.rangecastDepth.Observe(float64(depth))
 	}
 }
 
@@ -568,10 +591,16 @@ func (c *Collector) aggregateResult(instance MsgID, from ids.NodeID, token uint6
 	}
 	if token != slot.Token {
 		c.aggForgeryRejected++
+		if c.ins != nil {
+			c.ins.aggForgeryRejected.Inc()
+		}
 		return
 	}
 	if !slot.EnteredBy.IsNil() && !from.IsNil() && from != slot.EnteredBy {
 		c.aggForgeryRejected++
+		if c.ins != nil {
+			c.ins.aggForgeryRejected.Inc()
+		}
 		return
 	}
 	// Tripwire: in a shared-collector deployment (sawEntry) a networked
@@ -582,10 +611,16 @@ func (c *Collector) aggregateResult(instance MsgID, from ids.NodeID, token uint6
 	// agg_forgery_accepted == 0 on it.
 	if c.sawEntry && slot.EnteredBy.IsNil() && !from.IsNil() {
 		c.aggForgeryAccepted++
+		if c.ins != nil {
+			c.ins.aggForgeryAccepted.Inc()
+		}
 	}
 	slot.Done = true
 	slot.Result = p
 	slot.CompletedAt = at
+	if c.ins != nil {
+		c.ins.aggResults.Inc()
+	}
 	for i := range r.Instances {
 		if !r.Instances[i].Done {
 			return
@@ -681,6 +716,9 @@ func (c *Collector) aggregatePartialRejected(instance MsgID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.aggRejectedPartials++
+	if c.ins != nil {
+		c.ins.aggRejectedPartials.Inc()
+	}
 }
 
 // multicastDelivered records a first delivery at node, inRange or spam.
@@ -693,6 +731,9 @@ func (c *Collector) multicastDelivered(id MsgID, node string, at time.Duration, 
 	}
 	if !inRange {
 		r.Spam++
+		if c.ins != nil {
+			c.ins.multicastSpam.Inc()
+		}
 		return
 	}
 	if _, seen := r.Delivered[node]; seen {
@@ -701,5 +742,8 @@ func (c *Collector) multicastDelivered(id MsgID, node string, at time.Duration, 
 	r.Delivered[node] = at
 	if at > r.LastDelivery {
 		r.LastDelivery = at
+	}
+	if c.ins != nil {
+		c.ins.multicastDelivered.Inc()
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"avmem/internal/agg"
 	"avmem/internal/core"
 	"avmem/internal/ids"
+	"avmem/internal/obs"
 )
 
 // Env is the host environment a Router runs in. The simulator and the
@@ -61,7 +62,9 @@ type Router struct {
 	hashes *ids.HashCache
 	// auditor, when non-nil, audits inbound messages and supplies the
 	// blacklist that forwarding and dissemination honor.
-	auditor    Auditor
+	auditor Auditor
+	// otrace, when non-nil, records causal op spans (trace.go).
+	otrace     *obs.Tracer
 	rejected   int
 	seq        uint64
 	seen       map[MsgID]bool
@@ -197,6 +200,10 @@ type RouterConfig struct {
 	// Auditor optionally audits inbound messages and blacklists
 	// misbehaving peers (internal/audit).
 	Auditor Auditor
+	// OpTrace, when non-nil, records a causal span per operation step
+	// this router initiates or processes (trace.go). Deployments share
+	// one tracer fleet-wide.
+	OpTrace *obs.Tracer
 	// Agg tunes the aggregation wave timing (zero fields take the agg
 	// defaults: 1s waves, depth 8).
 	Agg agg.Params
@@ -237,6 +244,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		verifyInbound: cfg.VerifyInbound,
 		hashes:        cfg.Hashes,
 		auditor:       cfg.Auditor,
+		otrace:        cfg.OpTrace,
 		station:       station,
 		aggValue:      cfg.AggValue,
 		bandCensus:    cfg.BandCensus,
@@ -306,6 +314,9 @@ func (r *Router) Anycast(target Target, opts AnycastOptions) (MsgID, error) {
 		return MsgID{}, err
 	}
 	id := r.nextID()
+	if r.otrace != nil {
+		r.span("anycast", "init", id, 0, ids.Nil)
+	}
 	r.col.StartAnycast(id, target)
 	msg := AnycastMsg{
 		ID:          id,
@@ -382,6 +393,9 @@ func (r *Router) Multicast(target Target, opts MulticastOptions) (MsgID, error) 
 		return MsgID{}, err
 	}
 	id := r.nextID()
+	if r.otrace != nil {
+		r.span("multicast", "init", id, 0, ids.Nil)
+	}
 	now := r.env.Now()
 	r.col.StartMulticast(id, target, opts.Eligible, now)
 	spec := MulticastSpec{
@@ -449,6 +463,9 @@ func (r *Router) Rangecast(lo, hi float64, payload string, opts RangecastOptions
 		return MsgID{}, err
 	}
 	id := r.nextID()
+	if r.otrace != nil {
+		r.span("rangecast", "init", id, 0, ids.Nil)
+	}
 	now := r.env.Now()
 	r.col.StartRangecast(id, band, opts.Eligible, now)
 	if band.Empty() {
@@ -538,6 +555,9 @@ func (r *Router) Aggregate(op agg.Op, lo, hi float64, opts AggregateOptions) (Ms
 		return MsgID{}, err
 	}
 	id := r.nextID()
+	if r.otrace != nil {
+		r.span("aggregate", "init", id, 0, ids.Nil)
+	}
 	now := r.env.Now()
 	r.col.StartAggregate(id, op, band, opts.Eligible, opts.Truth, now)
 	if band.Empty() {
@@ -626,6 +646,9 @@ func (r *Router) HandleMessage(from ids.NodeID, msg any) {
 		r.rejected++
 		return
 	}
+	if r.otrace != nil {
+		r.traceInbound(from, msg)
+	}
 	// Delivery notices bypass the in-neighbor check: the delivering
 	// node is rarely the origin's neighbor. They are harmless to spoof —
 	// the collector only accepts verdicts for operations this node
@@ -697,6 +720,9 @@ func (r *Router) handleAnycast(from ids.NodeID, m AnycastMsg) {
 		case m.Aggregate != nil:
 			r.rootAggregate(m)
 		default:
+			if r.otrace != nil {
+				r.span("anycast", "deliver", m.ID, m.Hops, from)
+			}
 			r.col.anycastDelivered(m.ID, m.Hops, r.env.Now()-m.SentAt)
 			if m.ID.Origin != self.ID {
 				r.env.Send(m.ID.Origin, DeliveredMsg{ID: m.ID, Hops: m.Hops, SentAt: m.SentAt})

@@ -1,0 +1,62 @@
+package ops
+
+import (
+	"avmem/internal/ids"
+	"avmem/internal/obs"
+)
+
+// This file holds the router's causal-tracing seams. A traced router
+// records one obs.Span per operation step — initiation, every inbound
+// message that survives the audit gate, and terminal deliveries — all
+// stamped with virtual time from the router's Env, so traces are
+// deterministic per (trace, seed) and rendering them in Perfetto puts
+// every op on the simulated clock's axis. An untraced router
+// (otrace == nil) pays one nil check per message.
+
+// span records one causal step of operation id at this node.
+func (r *Router) span(kind, ev string, id MsgID, hop int, src ids.NodeID) {
+	r.otrace.Record(obs.Span{
+		At:   r.env.Now(),
+		Op:   id.String(),
+		Kind: kind,
+		Ev:   ev,
+		Hop:  hop,
+		Src:  string(src),
+		Dst:  string(r.mem.Self()),
+	})
+}
+
+// traceInbound classifies an inbound message into a span. Called from
+// HandleMessage after the audit gate: the trace shows the causal chain
+// the node actually processed.
+func (r *Router) traceInbound(from ids.NodeID, msg any) {
+	switch m := msg.(type) {
+	case DeliveredMsg:
+		r.span("anycast", "result", m.ID, m.Hops, from)
+	case AggResultMsg:
+		r.span("aggregate", "result", m.ID, 0, from)
+	case AnycastMsg:
+		kind := "anycast"
+		switch {
+		case m.Multicast != nil:
+			kind = "multicast"
+		case m.Rangecast != nil:
+			kind = "rangecast"
+		case m.Aggregate != nil:
+			kind = "aggregate"
+		}
+		r.span(kind, "hop", m.ID, m.Hops, from)
+	case MulticastMsg:
+		r.span("multicast", "deliver", m.ID, 0, from)
+	case RangecastMsg:
+		r.span("rangecast", "deliver", m.ID, m.Depth, from)
+	case AggMsg:
+		r.span("aggregate", "request", m.ID, m.Depth, from)
+	case AggReplyMsg:
+		ev := "reply"
+		if m.Decline {
+			ev = "decline"
+		}
+		r.span("aggregate", ev, m.ID, 0, from)
+	}
+}

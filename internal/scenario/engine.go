@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"avmem/internal/exp"
+	"avmem/internal/obs"
 	"avmem/internal/ops"
 	"avmem/internal/stats"
 	"avmem/internal/trace"
@@ -45,6 +46,14 @@ type Options struct {
 	// monitor noise, distributed monitor, unbounded latency) silently
 	// run serial. Rejected on the memnet backend.
 	ShardThreads int
+	// Metrics, when non-nil, instruments the deployment into this
+	// registry (internal/obs). Determinism-neutral: the report and
+	// event log are byte-identical with or without it; scenario-level
+	// verdict gauges are published here at the end of the run.
+	Metrics *obs.Registry
+	// OpTrace, when non-nil, collects causal op spans fleet-wide.
+	// Determinism-neutral like Metrics.
+	OpTrace *obs.Tracer
 }
 
 // Result is the outcome of one scenario run.
@@ -118,7 +127,24 @@ func Run(spec *Spec, opts Options) (*Result, error) {
 
 	res := &Result{Name: spec.Name, Metrics: run.metrics(), EventLog: run.events}
 	res.Failures = evaluate(spec.Assertions, res.Metrics)
+	publishMetrics(opts.Metrics, res)
 	return res, nil
+}
+
+// publishMetrics mirrors the final scenario metrics — including the
+// audit false-positive tripwire — into the obs registry as gauges, so
+// a live /metrics scrape and the end-of-run dump carry the scenario
+// verdict next to the engine counters. Names are prefixed with
+// scenario_ to keep them clear of the layer instruments; the registry
+// dump sorts, so the map order here is irrelevant to output stability.
+func publishMetrics(reg *obs.Registry, res *Result) {
+	if reg == nil {
+		return
+	}
+	for name, v := range res.Metrics {
+		reg.Gauge("scenario_" + name).Set(v)
+	}
+	reg.Gauge("scenario_failed_assertions").Set(float64(len(res.Failures)))
 }
 
 // backendName resolves the default backend label.
@@ -181,6 +207,8 @@ func buildDeployment(spec *Spec, opts Options) (exp.Deployment, error) {
 		Adversary:          spec.Adversaries.config(),
 		Shards:             opts.Shards,
 		ShardThreads:       opts.ShardThreads,
+		Metrics:            opts.Metrics,
+		OpTrace:            opts.OpTrace,
 	}
 	if cfg.Adversary != nil {
 		// Select the cohort by what the monitor reports when the attack

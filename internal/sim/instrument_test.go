@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"avmem/internal/obs"
+)
+
+// TestInstrumentSerialCounts pins the serial loop's event accounting:
+// the events counter equals the Run return value and the virtual-time
+// gauge tracks the clock.
+func TestInstrumentSerialCounts(t *testing.T) {
+	w := NewWorld(1)
+	reg := obs.NewRegistry()
+	w.Instrument(reg)
+	fired := 0
+	for i := 0; i < 10; i++ {
+		w.At(time.Duration(i)*time.Second, func() { fired++ })
+	}
+	n := w.Run(time.Minute)
+	if n != 10 || fired != 10 {
+		t.Fatalf("n=%d fired=%d", n, fired)
+	}
+	if got := reg.Counter("sim_events_total").Value(); got != 10 {
+		t.Fatalf("sim_events_total=%d, want 10", got)
+	}
+	if got := reg.Gauge("sim_virtual_time_seconds").Value(); got != 60 {
+		t.Fatalf("sim_virtual_time_seconds=%v, want 60", got)
+	}
+}
+
+// TestInstrumentNeutralTranscript is the engine-level determinism
+// guarantee: an instrumented parallel world produces exactly the
+// transcript of an uninstrumented one.
+func TestInstrumentNeutralTranscript(t *testing.T) {
+	want := runPingTranscript(t, 7, 8, 4)
+
+	w, tr := parallelPingWorld(t, 7, 8, 4)
+	defer w.Close()
+	reg := obs.NewRegistry()
+	w.Instrument(reg)
+	n := w.Run(30 * time.Second)
+	if !equalTranscripts(*tr, want) {
+		t.Fatal("instrumentation changed the event transcript")
+	}
+
+	// The window accounting must agree with the run: lane events plus
+	// serial steps equal the total, and the total matches Run's count.
+	if got := reg.Counter("sim_events_total").Value(); got != int64(n) {
+		t.Fatalf("sim_events_total=%d, Run returned %d", got, n)
+	}
+	if reg.Counter("sim_parallel_windows_total").Value() == 0 {
+		t.Fatal("no parallel windows recorded")
+	}
+	var lanes int64
+	for i := 0; i < 8; i++ {
+		lanes += reg.Counter(laneCounterName("sim_lane_events_total", i)).Value()
+	}
+	serial := reg.Counter("sim_parallel_serial_steps_total").Value()
+	if lanes+serial != int64(n) {
+		t.Fatalf("lane events %d + serial %d != total %d", lanes, serial, n)
+	}
+}
+
+func laneCounterName(fam string, lane int) string {
+	return fam + `{lane="` + string(rune('0'+lane)) + `"}`
+}
+
+// TestInstrumentDisabledFallbackCounted pins the serial-fallback trip
+// counter.
+func TestInstrumentDisabledFallbackCounted(t *testing.T) {
+	w, _ := parallelPingWorld(t, 3, 4, 2)
+	defer w.Close()
+	reg := obs.NewRegistry()
+	w.Instrument(reg)
+	w.Run(2 * time.Second)
+	w.DisableParallel()
+	w.DisableParallel() // idempotent: only the first transition counts
+	w.Run(4 * time.Second)
+	if got := reg.Counter("sim_parallel_disabled_total").Value(); got != 1 {
+		t.Fatalf("sim_parallel_disabled_total=%d, want 1", got)
+	}
+}

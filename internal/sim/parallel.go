@@ -60,8 +60,13 @@ type lane struct {
 	stats NetworkStats
 	// processed counts events fired by this lane (windows only).
 	processed uint64
+	// drainNs accumulates wall nanoseconds this lane spent draining in
+	// the current window (only timed when the world is instrumented);
+	// the coordinator folds it into the obs lane counters at the
+	// barrier. Wall-clock reads never influence event order.
+	drainNs int64
 
-	_ [24]byte // pad to 128 bytes: lanes are adjacent in one slice
+	_ [16]byte // pad to 128 bytes: lanes are adjacent in one slice
 }
 
 // deferredOp is a barrier-deferred operation with its deterministic
@@ -182,6 +187,9 @@ func (w *World) ParallelWindows() uint64 {
 // quiesced context (never from inside a running window).
 func (w *World) DisableParallel() {
 	if w.par != nil {
+		if w.par.enabled && w.obs != nil {
+			w.obs.disabled.Inc()
+		}
 		w.par.enabled = false
 	}
 }
@@ -400,11 +408,18 @@ func (p *parallelExec) drainLane(l int) {
 	ln := &p.lanes[l]
 	h := &p.w.sh.shards[l]
 	drainTo := p.drainTo
+	var t0 time.Time
+	if p.w.obs != nil {
+		t0 = time.Now()
+	}
 	for len(h.evs) > 0 && h.evs[0].at < drainTo {
 		ev := h.pop()
 		ln.now = ev.at
 		ev.fire()
 		ln.processed++
+	}
+	if p.w.obs != nil {
+		ln.drainNs += time.Since(t0).Nanoseconds()
 	}
 }
 
@@ -424,6 +439,9 @@ func (p *parallelExec) drainBarrier() {
 			box := ls.out[d]
 			if len(box) == 0 {
 				continue
+			}
+			if o := p.w.obs; o != nil {
+				o.outboxFlush.Observe(float64(len(box)))
 			}
 			for i := range box {
 				p.w.sh.shards[d].push(box[i])
@@ -498,6 +516,10 @@ func (w *World) runParallel(until time.Duration, maxEvents int) int {
 			w.now = ev.at
 			ev.fire()
 			n++
+			if w.obs != nil {
+				w.obs.serialSteps.Inc()
+				w.obs.step(w.now)
+			}
 			continue
 		}
 		if lhead == nil || lhead.at > until {
@@ -523,6 +545,10 @@ func (w *World) runParallel(until time.Duration, maxEvents int) int {
 			p.lanes[li].now = ev.at
 			ev.fire()
 			n++
+			if w.obs != nil {
+				w.obs.serialSteps.Inc()
+				w.obs.step(w.now)
+			}
 			continue
 		}
 		// One conservative window [base, end).
@@ -535,6 +561,10 @@ func (w *World) runParallel(until time.Duration, maxEvents int) int {
 		}
 		p.drainTo = end
 		p.inWindow = true
+		var wstart time.Time
+		if w.obs != nil {
+			wstart = time.Now()
+		}
 		p.runWg.Add(p.threads)
 		for j := range p.start {
 			p.start[j] <- struct{}{}
@@ -542,6 +572,10 @@ func (w *World) runParallel(until time.Duration, maxEvents int) int {
 		p.runWg.Wait()
 		p.inWindow = false
 		p.windows++
+		if w.obs != nil {
+			w.obs.flush(w.now)
+			w.obs.windowDone(w.now, p.lanes, time.Since(wstart).Nanoseconds())
+		}
 		for i := range p.lanes {
 			n += int(p.lanes[i].processed)
 			p.lanes[i].processed = 0
@@ -549,6 +583,9 @@ func (w *World) runParallel(until time.Duration, maxEvents int) int {
 	}
 	if until < maxDuration && until > w.now {
 		w.now = until
+	}
+	if w.obs != nil {
+		w.obs.flush(w.now)
 	}
 	return n
 }

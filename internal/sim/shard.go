@@ -136,6 +136,12 @@ func (w *World) runSharded(until time.Duration) int {
 		w.now = ev.at
 		ev.fire()
 		n++
+		if w.obs != nil {
+			w.obs.step(w.now)
+		}
+	}
+	if w.obs != nil {
+		w.obs.flush(w.now)
 	}
 	return n
 }
@@ -155,6 +161,12 @@ func (w *World) runAllSharded(maxEvents int) int {
 		w.now = ev.at
 		ev.fire()
 		n++
+		if w.obs != nil {
+			w.obs.step(w.now)
+		}
+	}
+	if w.obs != nil {
+		w.obs.flush(w.now)
 	}
 	return n
 }

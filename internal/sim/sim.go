@@ -44,6 +44,10 @@ type World struct {
 	// numbers carry a context tag — a different (still deterministic)
 	// canonical order than the serial engines.
 	par *parallelExec
+	// obs, when non-nil, is the metrics instrumentation installed by
+	// Instrument (instrument.go). Determinism-neutral: the run loops
+	// only record what they already computed.
+	obs *simObs
 }
 
 // NewWorld creates a world at time zero with a deterministic RNG.
@@ -147,9 +151,15 @@ func (w *World) Run(until time.Duration) int {
 		w.now = ev.at
 		ev.fire()
 		n++
+		if w.obs != nil {
+			w.obs.step(w.now)
+		}
 	}
 	if until > w.now {
 		w.now = until
+	}
+	if w.obs != nil {
+		w.obs.flush(w.now)
 	}
 	return n
 }
@@ -174,6 +184,12 @@ func (w *World) RunAll(maxEvents int) int {
 		w.now = ev.at
 		ev.fire()
 		n++
+		if w.obs != nil {
+			w.obs.step(w.now)
+		}
+	}
+	if w.obs != nil {
+		w.obs.flush(w.now)
 	}
 	return n
 }
