@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFuzzSubcommandSmoke runs a minimal campaign through the CLI: two
+// generated scenarios, every oracle, no corpus writes.
+func TestFuzzSubcommandSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full scenario worlds")
+	}
+	var out strings.Builder
+	err := run([]string{"fuzz", "-q", "-budget", "1ms", "-min", "2", "-max", "2",
+		"-max-hosts", "60", "-corpus", ""}, &out)
+	if err != nil {
+		t.Fatalf("fuzz campaign failed: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "fuzz campaign: 2 scenario(s)") && !strings.Contains(text, "infeasible") {
+		t.Errorf("report missing scenario count:\n%s", text)
+	}
+	if !strings.Contains(text, "PASS") {
+		t.Errorf("healthy campaign did not report PASS:\n%s", text)
+	}
+}
+
+// TestFuzzRejectsPositionalArgs pins the usage contract.
+func TestFuzzRejectsPositionalArgs(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"fuzz", "stray.json"}, &out); err == nil {
+		t.Fatal("positional argument accepted")
+	}
+}
+
+// TestValidateDir sweeps a directory tree: valid and invalid files in
+// nested directories are all picked up.
+func TestValidateDir(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "nested")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "good.json"), []byte(tinyScenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sub, "bad.json"), []byte(`{"name": "x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("not a scenario"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	err := run([]string{"validate", "-dir", dir}, &out)
+	if err == nil {
+		t.Fatal("directory with a bad file validated")
+	}
+	if !strings.Contains(err.Error(), "1 of 2 file(s)") {
+		t.Errorf("summary %q should count 2 json files with 1 bad", err.Error())
+	}
+	if !strings.Contains(out.String(), "cli-tiny") {
+		t.Errorf("good file not reported:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "bad.json") {
+		t.Errorf("nested bad file not reported:\n%s", out.String())
+	}
+}
+
+// TestValidateDirAllGood pins the success path and the combination of
+// -dir with positional files.
+func TestValidateDirAllGood(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.json"), []byte(tinyScenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	extra := writeScenario(t, tinyScenario)
+	var out strings.Builder
+	if err := run([]string{"validate", "-dir", dir, extra}, &out); err != nil {
+		t.Fatalf("all-good validate failed: %v\n%s", err, out.String())
+	}
+	if got := strings.Count(out.String(), "cli-tiny"); got != 2 {
+		t.Errorf("expected 2 valid reports, got %d:\n%s", got, out.String())
+	}
+}
+
+// TestValidateDirEmpty pins that an empty tree is an error, not a
+// silent pass.
+func TestValidateDirEmpty(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"validate", "-dir", t.TempDir()}, &out); err == nil {
+		t.Fatal("empty directory validated")
+	}
+}

@@ -21,6 +21,11 @@
 //	                                              # causal op trace for Perfetto
 //	avmemsim tracecheck out.trace.json            # schema-check an emitted trace
 //	avmemsim validate scenarios/churn-storm.json  # check a scenario file
+//	avmemsim validate -dir scenarios              # check every *.json in a tree
+//	avmemsim fuzz -budget 60s -seed 1             # metamorphic fuzz campaign:
+//	                                              # random worlds through every
+//	                                              # invariant oracle, failures
+//	                                              # minimized into scenarios/fuzz-corpus/
 //
 // Full scale means the paper's setting: a 1442-host, 7-day Overnet-like
 // churn trace, 24-hour warmup, 5 runs × 50 messages per point.
@@ -38,8 +43,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	iofs "io/fs"
 	"math"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -158,13 +165,31 @@ func runScenario(args []string, out io.Writer) error {
 
 // validateScenario checks scenario files without building the world.
 // Unlike `run`, it reports every spec error at once — each with its key
-// path and source line — and exits non-zero with a summary count.
+// path and source line — and exits non-zero with a summary count. With
+// -dir, every *.json under the directory is validated (the fuzz corpus
+// and the checked-in scenario library in one sweep).
 func validateScenario(args []string, out io.Writer) error {
-	if len(args) == 0 {
-		return fmt.Errorf("usage: avmemsim validate <scenario.json> [more.json ...]")
+	fs := flag.NewFlagSet("avmemsim validate", flag.ContinueOnError)
+	dir := fs.String("dir", "", "validate every *.json under this directory (recursively), in addition to any positional files")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if *dir != "" {
+		found, err := scenarioFiles(*dir)
+		if err != nil {
+			return err
+		}
+		if len(found) == 0 {
+			return fmt.Errorf("validate: no *.json files under %s", *dir)
+		}
+		paths = append(paths, found...)
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("usage: avmemsim validate [-dir directory] [scenario.json ...]")
 	}
 	total, bad := 0, 0
-	for _, path := range args {
+	for _, path := range paths {
 		spec, problems := scenario.LoadFileAll(path)
 		if len(problems) == 0 {
 			fmt.Fprintf(out, "scenario %q valid: %d event(s), %d assertion(s)\n",
@@ -178,9 +203,25 @@ func validateScenario(args []string, out io.Writer) error {
 		}
 	}
 	if total > 0 {
-		return fmt.Errorf("validate: %d error(s) in %d of %d file(s)", total, bad, len(args))
+		return fmt.Errorf("validate: %d error(s) in %d of %d file(s)", total, bad, len(paths))
 	}
 	return nil
+}
+
+// scenarioFiles walks dir and returns every *.json file under it in
+// lexical order.
+func scenarioFiles(dir string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(dir, func(path string, d iofs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".json") {
+			out = append(out, path)
+		}
+		return nil
+	})
+	return out, err
 }
 
 type config struct {
@@ -200,6 +241,8 @@ func run(args []string, out io.Writer) error {
 			return validateScenario(args[1:], out)
 		case "tracecheck":
 			return checkTrace(args[1:], out)
+		case "fuzz":
+			return fuzzScenarios(args[1:], out)
 		}
 	}
 	fs := flag.NewFlagSet("avmemsim", flag.ContinueOnError)

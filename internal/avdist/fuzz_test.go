@@ -1,0 +1,107 @@
+package avdist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fuzzPDF derives a PDF from arbitrary fuzz bytes: each byte becomes a
+// bucket weight. Returns nil when the bytes cannot form a distribution
+// (FromWeights rejects them).
+func fuzzPDF(data []byte) *PDF {
+	if len(data) == 0 || len(data) > 512 {
+		return nil
+	}
+	weights := make([]float64, len(data))
+	for i, b := range data {
+		weights[i] = float64(b)
+	}
+	p, err := FromWeights(weights)
+	if err != nil {
+		return nil
+	}
+	return p
+}
+
+// FuzzQuantile feeds arbitrary bucket weights through the PDF algebra
+// and checks the laws every caller leans on: quantiles stay in [0,1]
+// and are monotone in q, CDF is the (approximate) inverse, the total
+// mass is 1, and sampling never escapes the unit interval.
+func FuzzQuantile(f *testing.F) {
+	f.Add([]byte{1}, 0.5)
+	f.Add([]byte{0, 0, 255}, 0.0)
+	f.Add([]byte{10, 20, 30, 40}, 1.0)
+	f.Add([]byte{255, 0, 0, 0, 1}, 0.999)
+	f.Fuzz(func(t *testing.T, data []byte, q float64) {
+		p := fuzzPDF(data)
+		if p == nil {
+			return
+		}
+		const eps = 1e-9
+		if m := p.IntervalMass(0, 1); math.Abs(m-1) > 1e-6 {
+			t.Fatalf("total mass = %v, want 1", m)
+		}
+		if mean := p.Mean(); mean < -eps || mean > 1+eps {
+			t.Fatalf("Mean = %v outside [0,1]", mean)
+		}
+		if !math.IsNaN(q) && q >= 0 && q <= 1 {
+			v := p.Quantile(q)
+			if v < -eps || v > 1+eps {
+				t.Fatalf("Quantile(%v) = %v outside [0,1]", q, v)
+			}
+			// CDF must recover at least q at the quantile's bucket edge
+			// (quantiles interpolate inside a bucket, so allow one
+			// bucket of slack).
+			if c := p.CDF(math.Min(1, v+p.BucketWidth())); c+1e-6 < q {
+				t.Fatalf("CDF(Quantile(%v)+w) = %v < q", q, c)
+			}
+		}
+		// Monotonicity across a q grid.
+		prev := math.Inf(-1)
+		for _, qq := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := p.Quantile(qq)
+			if v < prev-eps {
+				t.Fatalf("Quantile not monotone: Quantile(%v)=%v < previous %v", qq, v, prev)
+			}
+			prev = v
+		}
+		// Sampling is quantile evaluation and must stay in bounds.
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 16; i++ {
+			if s := p.Sample(rng); s < 0 || s > 1 {
+				t.Fatalf("Sample escaped [0,1]: %v", s)
+			}
+		}
+	})
+}
+
+// FuzzIntervalMass checks the measure laws on arbitrary intervals:
+// non-negative, bounded by total mass, additive at a split point, and
+// consistent with CDF.
+func FuzzIntervalMass(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, 0.2, 0.8)
+	f.Add([]byte{5}, 0.0, 1.0)
+	f.Add([]byte{9, 9}, 0.7, 0.3)
+	f.Fuzz(func(t *testing.T, data []byte, lo, hi float64) {
+		p := fuzzPDF(data)
+		if p == nil || math.IsNaN(lo) || math.IsNaN(hi) {
+			return
+		}
+		const eps = 1e-6
+		m := p.IntervalMass(lo, hi)
+		if m < -eps || m > 1+eps {
+			t.Fatalf("IntervalMass(%v,%v) = %v outside [0,1]", lo, hi, m)
+		}
+		if lo <= hi {
+			mid := lo + (hi-lo)/2
+			split := p.IntervalMass(lo, mid) + p.IntervalMass(mid, hi)
+			if math.Abs(split-m) > eps {
+				t.Fatalf("IntervalMass not additive: [%v,%v]=%v but split at %v sums to %v", lo, hi, m, mid, split)
+			}
+			if d := p.CDF(hi) - p.CDF(lo); lo >= 0 && hi <= 1 && math.Abs(d-m) > eps {
+				t.Fatalf("CDF difference %v disagrees with IntervalMass %v", d, m)
+			}
+		}
+	})
+}

@@ -1,0 +1,217 @@
+package fuzzgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"avmem/internal/scenario"
+)
+
+// Options tunes a fuzz campaign.
+type Options struct {
+	// Budget is the wall-clock budget; generation stops when it is
+	// spent (default 60s). A scenario in flight when the budget expires
+	// finishes its oracle checks.
+	Budget time.Duration
+	// Seed is the first generator seed; scenario i uses Seed+i.
+	Seed int64
+	// Max stops the campaign after this many scenarios (0 = unbounded,
+	// budget-only).
+	Max int
+	// Min keeps generating past the budget until this many scenarios
+	// ran — the floor that makes a CI gate meaningful on a slow runner.
+	Min int
+	// SpecTimeout bounds one scenario's full oracle evaluation; a
+	// scenario still running after this long is reported as a hang
+	// (possible deadlock) and the campaign aborts, leaving the stuck
+	// goroutine behind (default 120s).
+	SpecTimeout time.Duration
+	// ShrinkEvals bounds the shrinker's oracle evaluations per failure
+	// (default 60).
+	ShrinkEvals int
+	// CorpusDir, when non-empty, receives one minimized spec file per
+	// failing seed (the scenarios/fuzz-corpus/ convention).
+	CorpusDir string
+	// Log receives progress lines (nil discards).
+	Log io.Writer
+	// Gen bounds the generator; Oracle tunes the invariant layer.
+	Gen    GenOptions
+	Oracle OracleConfig
+}
+
+func (o Options) withDefaults() Options {
+	if o.Budget <= 0 {
+		o.Budget = 60 * time.Second
+	}
+	if o.SpecTimeout <= 0 {
+		o.SpecTimeout = 120 * time.Second
+	}
+	if o.ShrinkEvals <= 0 {
+		o.ShrinkEvals = 60
+	}
+	return o
+}
+
+// Finding is one failing seed: the generated spec, its violations, and
+// the minimized reproduction.
+type Finding struct {
+	// Seed regenerates the original spec via Generate(Seed).
+	Seed int64
+	// Violations are the original spec's broken invariants.
+	Violations []Violation
+	// Minimized is the shrunken reproduction (never nil; at worst the
+	// original spec), MinViolations its violation set.
+	Minimized     *scenario.Spec
+	MinViolations []Violation
+	// CorpusPath is where the minimized spec was written ("" when no
+	// corpus dir was configured or the write failed).
+	CorpusPath string
+}
+
+// Report summarizes a campaign.
+type Report struct {
+	// Ran counts fully checked scenarios; Infeasible counts generated
+	// specs whose world could not be built for a benign configuration
+	// reason (counted separately so a generator regression shows up).
+	Ran, Infeasible int
+	// Findings holds one entry per failing seed.
+	Findings []Finding
+	// Elapsed is the campaign's wall-clock time.
+	Elapsed time.Duration
+}
+
+// Failed reports whether any scenario violated an oracle.
+func (r *Report) Failed() bool { return len(r.Findings) > 0 }
+
+// Campaign generates scenarios from consecutive seeds and runs every
+// oracle against each until the budget (and Min), Max, or a hang stops
+// it. Failing specs are minimized and, when a corpus dir is set,
+// written there for the regression suite to replay forever.
+func Campaign(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	logw := opts.Log
+	if logw == nil {
+		logw = io.Discard
+	}
+	start := time.Now()
+	rep := &Report{}
+	for i := 0; ; i++ {
+		if opts.Max > 0 && rep.Ran+rep.Infeasible >= opts.Max {
+			break
+		}
+		if time.Since(start) >= opts.Budget && rep.Ran+rep.Infeasible >= opts.Min {
+			break
+		}
+		seed := opts.Seed + int64(i)
+		spec := GenerateOpts(seed, opts.Gen)
+		vs, hung := checkWithTimeout(spec, opts.Oracle, opts.SpecTimeout)
+		if hung {
+			rep.Findings = append(rep.Findings, Finding{
+				Seed:       seed,
+				Violations: []Violation{{Oracle: "run", Detail: fmt.Sprintf("no result after %v (possible deadlock)", opts.SpecTimeout)}},
+				Minimized:  spec,
+			})
+			rep.Elapsed = time.Since(start)
+			return rep, fmt.Errorf("fuzzgen: seed %d hung for %v; campaign aborted", seed, opts.SpecTimeout)
+		}
+		if len(vs) == 1 && vs[0].Oracle == "run" && infeasible(vs[0]) {
+			rep.Infeasible++
+			fmt.Fprintf(logw, "seed %d: infeasible config (%s)\n", seed, vs[0].Detail)
+			continue
+		}
+		if len(vs) == 0 {
+			rep.Ran++
+			fmt.Fprintf(logw, "seed %d: ok (%d hosts, %d events)\n", seed, spec.Fleet.Hosts, len(spec.Events))
+			continue
+		}
+		rep.Ran++
+		fmt.Fprintf(logw, "seed %d: %d violation(s); shrinking (first: %s)\n", seed, len(vs), vs[0])
+		min, minVs := Shrink(spec, opts.Oracle, opts.ShrinkEvals)
+		f := Finding{Seed: seed, Violations: vs, Minimized: min, MinViolations: minVs}
+		if opts.CorpusDir != "" {
+			path, err := WriteCorpus(opts.CorpusDir, seed, min, minVs)
+			if err != nil {
+				fmt.Fprintf(logw, "seed %d: corpus write failed: %v\n", seed, err)
+			} else {
+				f.CorpusPath = path
+				fmt.Fprintf(logw, "seed %d: minimized to %d hosts, %d events → %s\n",
+					seed, min.Fleet.Hosts, len(min.Events), path)
+			}
+		}
+		rep.Findings = append(rep.Findings, f)
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// checkWithTimeout runs Check on its own goroutine so a deadlocked
+// world surfaces as a campaign finding instead of a silent hang.
+func checkWithTimeout(spec *scenario.Spec, cfg OracleConfig, timeout time.Duration) (vs []Violation, hung bool) {
+	done := make(chan []Violation, 1)
+	go func() { done <- Check(spec, cfg) }()
+	select {
+	case vs = <-done:
+		return vs, false
+	case <-time.After(timeout):
+		return nil, true
+	}
+}
+
+// infeasible recognizes run errors that condemn the configuration, not
+// the engines — the generator avoids them by construction, but a
+// random cohort band can still select zero hosts on a small fleet.
+func infeasible(v Violation) bool {
+	return strings.Contains(v.Detail, "selects no hosts")
+}
+
+// WriteCorpus serializes a minimized failing spec into dir as
+// fuzz-seed<seed>.json, annotating the description with the violated
+// oracles so the file documents why it exists. The regression suite in
+// internal/scenario replays every file in the directory.
+func WriteCorpus(dir string, seed int64, spec *scenario.Spec, vs []Violation) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	cp := cloneSpec(spec)
+	cp.Name = fmt.Sprintf("fuzz-seed%d", seed)
+	oracles := make([]string, 0, len(vs))
+	for _, v := range vs {
+		oracles = append(oracles, v.Oracle)
+	}
+	cp.Description = fmt.Sprintf(
+		"minimized by internal/fuzzgen from seed %d; violated oracle(s): %s",
+		seed, strings.Join(oracles, ", "))
+	data, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, cp.Name+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// WriteReport renders the campaign summary to w.
+func (r *Report) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "== fuzz campaign: %d scenario(s) in %v (%d infeasible config(s) skipped) ==\n",
+		r.Ran, r.Elapsed.Round(time.Millisecond), r.Infeasible)
+	if !r.Failed() {
+		fmt.Fprintf(w, "PASS: all invariant oracles held\n")
+		return
+	}
+	for _, f := range r.Findings {
+		fmt.Fprintf(w, "FAIL: seed %d\n", f.Seed)
+		for _, v := range f.Violations {
+			fmt.Fprintf(w, "  %s\n", v)
+		}
+		if f.CorpusPath != "" {
+			fmt.Fprintf(w, "  minimized spec: %s\n", f.CorpusPath)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package fuzzgen
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"avmem/internal/scenario"
+)
+
+// TestGenerateDeterministic pins that one seed always yields the
+// identical spec — a finding reproduces from its seed alone.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42, -7, 1 << 40} {
+		a, b := Generate(seed), Generate(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two generations differ:\n a: %+v\n b: %+v", seed, a, b)
+		}
+		aj, _ := json.Marshal(a)
+		bj, _ := json.Marshal(b)
+		if string(aj) != string(bj) {
+			t.Fatalf("seed %d: JSON forms differ", seed)
+		}
+	}
+}
+
+// TestGenerateAlwaysValid sweeps many seeds and requires every
+// generated spec to pass full validation — the generator's grammar
+// must stay inside the spec's legal space.
+func TestGenerateAlwaysValid(t *testing.T) {
+	for seed := int64(0); seed < 500; seed++ {
+		s := Generate(seed)
+		if ps := s.Problems(); len(ps) > 0 {
+			t.Fatalf("seed %d generated an invalid spec: %v\nspec: %s", seed, ps[0], mustJSON(s))
+		}
+		if s.Seed != seed {
+			t.Fatalf("seed %d: spec carries world seed %d", seed, s.Seed)
+		}
+	}
+}
+
+// TestGenerateRoundTripsThroughJSON pins that a generated spec
+// survives the scenario codec — what the corpus writer persists, the
+// loader reproduces.
+func TestGenerateRoundTripsThroughJSON(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		s := Generate(seed)
+		data := mustJSON(s)
+		var back scenario.Spec
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("seed %d: reparse: %v", seed, err)
+		}
+		if !reflect.DeepEqual(s, &back) {
+			t.Fatalf("seed %d: spec did not round-trip:\n a: %+v\n b: %+v", seed, s, &back)
+		}
+	}
+}
+
+// TestGenerateCoversSpace requires the generator to actually explore
+// its advertised dimensions across a modest seed budget: every event
+// kind, every adversary behavior, every availability shape, audited
+// and monitored fleets, big and small worlds.
+func TestGenerateCoversSpace(t *testing.T) {
+	kinds := map[string]bool{}
+	avail := map[string]bool{}
+	behaviors := map[string]bool{}
+	var sawSmall, sawBig, sawAudit, sawAdv, sawDistMon, sawRedundancy bool
+	for seed := int64(0); seed < 400; seed++ {
+		s := Generate(seed)
+		if s.Fleet.Hosts <= 200 {
+			sawSmall = true
+		}
+		if s.Fleet.Hosts >= 600 {
+			sawBig = true
+		}
+		avail[s.Fleet.Availability] = true
+		if s.Fleet.Audit != nil {
+			sawAudit = true
+		}
+		if s.Fleet.DistributedMonitor {
+			sawDistMon = true
+		}
+		if s.Adversaries != nil {
+			sawAdv = true
+			for _, b := range s.Adversaries.Behaviors {
+				behaviors[b] = true
+			}
+		}
+		for i := range s.Events {
+			switch e := &s.Events[i]; {
+			case e.ChurnBurst != nil:
+				kinds["churn_burst"] = true
+			case e.Attack != nil:
+				kinds["attack"] = true
+			case e.MonitorNoise != nil:
+				kinds["monitor_noise"] = true
+			case e.AnycastBatch != nil:
+				kinds["anycast_batch"] = true
+			case e.MulticastBatch != nil:
+				kinds["multicast_batch"] = true
+			case e.Rangecast != nil:
+				kinds["rangecast"] = true
+			case e.Aggregate != nil:
+				kinds["aggregate"] = true
+				if e.Aggregate.Redundancy > 1 {
+					sawRedundancy = true
+				}
+			case e.Adversary != nil:
+				kinds["adversary"] = true
+			case e.BiasProbe != nil:
+				kinds["bias_probe"] = true
+			}
+		}
+	}
+	for _, k := range []string{"churn_burst", "attack", "monitor_noise", "anycast_batch",
+		"multicast_batch", "rangecast", "aggregate", "adversary", "bias_probe"} {
+		if !kinds[k] {
+			t.Errorf("400 seeds never produced a %s event", k)
+		}
+	}
+	for _, a := range []string{"", "overnet", "uniform", "bimodal"} {
+		if !avail[a] {
+			t.Errorf("400 seeds never produced availability %q", a)
+		}
+	}
+	for b := range scenario.AdversaryBehaviors {
+		if !behaviors[b] {
+			t.Errorf("400 seeds never produced adversary behavior %q", b)
+		}
+	}
+	if !sawSmall || !sawBig {
+		t.Errorf("fleet sizes did not cover both ends: small=%v big=%v", sawSmall, sawBig)
+	}
+	if !sawAudit || !sawAdv || !sawDistMon || !sawRedundancy {
+		t.Errorf("missing structure coverage: audit=%v adversaries=%v distributed-monitor=%v redundancy=%v",
+			sawAudit, sawAdv, sawDistMon, sawRedundancy)
+	}
+}
+
+// TestGenerateRespectsBounds pins the GenOptions contract.
+func TestGenerateRespectsBounds(t *testing.T) {
+	o := GenOptions{MinHosts: 50, MaxHosts: 120, MaxEvents: 3}
+	for seed := int64(0); seed < 200; seed++ {
+		s := GenerateOpts(seed, o)
+		if s.Fleet.Hosts < 50 || s.Fleet.Hosts > 120 {
+			t.Fatalf("seed %d: hosts %d outside [50,120]", seed, s.Fleet.Hosts)
+		}
+		if len(s.Events) > 3 {
+			t.Fatalf("seed %d: %d events, want <= 3", seed, len(s.Events))
+		}
+	}
+}
+
+func mustJSON(s *scenario.Spec) []byte {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return data
+}

@@ -1,0 +1,390 @@
+package fuzzgen
+
+import (
+	"bytes"
+	"fmt"
+	"runtime/debug"
+
+	"avmem/internal/obs"
+	"avmem/internal/scenario"
+)
+
+// OracleConfig tunes the invariant layer. The zero value takes the
+// defaults noted on each field.
+type OracleConfig struct {
+	// Shards is the shard count of the shard-invariance oracle
+	// (default 4).
+	Shards int
+	// ShardThreads is the worker count of the thread-parallel
+	// reproducibility oracle (default 2; < 2 disables it).
+	ShardThreads int
+	// MemnetMaxHosts caps the fleet size the memnet cross-engine
+	// oracle runs at — real node agents cost real memory (default 300;
+	// < 0 disables the oracle).
+	MemnetMaxHosts int
+	// RunManyMaxHosts caps the fleet size the serial-vs-parallel
+	// RunMany oracle runs at (default 300; < 0 disables); it multiplies
+	// the run count by 2×RunManySeeds.
+	RunManyMaxHosts int
+	// RunManySeeds is the sweep width of the RunMany oracle (default 2).
+	RunManySeeds int
+}
+
+func (c OracleConfig) withDefaults() OracleConfig {
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.ShardThreads == 0 {
+		c.ShardThreads = 2
+	}
+	if c.MemnetMaxHosts == 0 {
+		c.MemnetMaxHosts = 300
+	}
+	if c.RunManyMaxHosts == 0 {
+		c.RunManyMaxHosts = 300
+	}
+	if c.RunManySeeds < 2 {
+		c.RunManySeeds = 2
+	}
+	return c
+}
+
+// Violation is one broken invariant: which oracle tripped and how.
+type Violation struct {
+	// Oracle names the invariant: run, determinism, shards, obs,
+	// threads, memnet, runmany, semantic.
+	Oracle string
+	// Detail describes the observed breakage.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Oracle + ": " + v.Detail }
+
+// Check runs every metamorphic oracle against the spec and returns all
+// violations found (nil means the spec upholds the full contract):
+//
+//   - run: the spec executes on the sim engine without error or panic.
+//   - determinism: two identical sim runs render byte-identical
+//     reports (metrics + event log).
+//   - shards: sharding the event queue (Shards=k, single thread) is
+//     byte-identical to the single-heap run.
+//   - obs: arming a metrics registry and op tracer changes nothing.
+//   - threads: the thread-parallel engine is reproducible per
+//     (spec, shards), and silently serial (byte-identical to the
+//     single-thread order) for lane-unsafe specs.
+//   - memnet: the live-runtime backend executes the same spec without
+//     error, is itself deterministic, and produces the always-present
+//     overlay metrics. (Sim and memnet agree on shape and verdicts,
+//     not bytes — they are different engines by design.)
+//   - runmany: a multi-seed sweep folds to a byte-identical aggregate
+//     report at parallelism 1 and N.
+//   - semantic: bounds that hold in any world — rates and fractions
+//     in [0,1], non-negative counters, the forgery-acceptance
+//     tripwire at zero, honest-false-positive and zero-adversary
+//     cleanliness bounds.
+func Check(spec *scenario.Spec, cfg OracleConfig) []Violation {
+	cfg = cfg.withDefaults()
+	var vs []Violation
+	fail := func(oracle, format string, args ...any) {
+		vs = append(vs, Violation{Oracle: oracle, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	base, res, err := renderRun(spec, scenario.Options{})
+	if err != nil {
+		fail("run", "%v", err)
+		return vs // nothing downstream is meaningful
+	}
+
+	again, _, err := renderRun(spec, scenario.Options{})
+	switch {
+	case err != nil:
+		fail("determinism", "second identical run errored: %v", err)
+	case !bytes.Equal(base, again):
+		fail("determinism", "two identical sim runs rendered different reports:\n%s", firstDiff(base, again))
+	}
+
+	sharded, _, err := renderRun(spec, scenario.Options{Shards: cfg.Shards})
+	switch {
+	case err != nil:
+		fail("shards", "shards=%d run errored: %v", cfg.Shards, err)
+	case !bytes.Equal(base, sharded):
+		fail("shards", "shards=%d diverged from the single heap:\n%s", cfg.Shards, firstDiff(base, sharded))
+	}
+
+	obsRender, _, err := renderRunObserved(spec)
+	switch {
+	case err != nil:
+		fail("obs", "instrumented run errored: %v", err)
+	case !bytes.Equal(base, obsRender):
+		fail("obs", "metrics+trace instrumentation changed the report:\n%s", firstDiff(base, obsRender))
+	}
+
+	if cfg.ShardThreads >= 2 {
+		checkThreads(spec, cfg, base, fail)
+	}
+	if cfg.MemnetMaxHosts >= 0 && specHosts(spec) <= cfg.MemnetMaxHosts {
+		checkMemnet(spec, fail)
+	}
+	if cfg.RunManyMaxHosts >= 0 && specHosts(spec) <= cfg.RunManyMaxHosts {
+		checkRunMany(spec, cfg, fail)
+	}
+	checkSemantics(spec, res, fail)
+	return vs
+}
+
+// checkThreads pins the thread-parallel contract: reproducible per
+// (spec, shards) across repeats and thread counts, and byte-identical
+// to the serial order when the configuration rules out lane-safe
+// execution (the silent-fallback rule, DESIGN.md §14).
+func checkThreads(spec *scenario.Spec, cfg OracleConfig, serial []byte, fail func(string, string, ...any)) {
+	opts := scenario.Options{Shards: cfg.Shards, ShardThreads: cfg.ShardThreads}
+	a, _, err := renderRun(spec, opts)
+	if err != nil {
+		fail("threads", "shards=%d threads=%d run errored: %v", cfg.Shards, cfg.ShardThreads, err)
+		return
+	}
+	b, _, err := renderRun(spec, opts)
+	switch {
+	case err != nil:
+		fail("threads", "repeated parallel run errored: %v", err)
+	case !bytes.Equal(a, b):
+		fail("threads", "repeated parallel run diverged:\n%s", firstDiff(a, b))
+	}
+	c, _, err := renderRun(spec, scenario.Options{Shards: cfg.Shards, ShardThreads: cfg.ShardThreads + 2})
+	switch {
+	case err != nil:
+		fail("threads", "threads=%d run errored: %v", cfg.ShardThreads+2, err)
+	case !bytes.Equal(a, c):
+		fail("threads", "threads=%d diverged from threads=%d:\n%s", cfg.ShardThreads+2, cfg.ShardThreads, firstDiff(a, c))
+	}
+	if laneUnsafe(spec) && !bytes.Equal(serial, a) {
+		fail("threads", "lane-unsafe spec did not fall back to the serial order:\n%s", firstDiff(serial, a))
+	}
+}
+
+// laneUnsafe reports whether the spec's configuration statically rules
+// out lane-safe parallel execution, in which case -shard-threads must
+// be a byte-level no-op (the executor falls back to the serial
+// tournament).
+func laneUnsafe(spec *scenario.Spec) bool {
+	return spec.Adversaries != nil || spec.Fleet.Audit != nil ||
+		spec.Fleet.DistributedMonitor || spec.Fleet.MonitorError > 0 ||
+		spec.Fleet.MonitorStaleness > 0
+}
+
+// checkMemnet runs the spec on the live runtime: same spec, real
+// node.Node agents on the deterministic memnet. The cross-engine
+// contract is shape-level, not byte-level.
+func checkMemnet(spec *scenario.Spec, fail func(string, string, ...any)) {
+	a, res, err := renderRun(spec, scenario.Options{Backend: scenario.BackendMemnet})
+	if err != nil {
+		fail("memnet", "%v", err)
+		return
+	}
+	b, _, err := renderRun(spec, scenario.Options{Backend: scenario.BackendMemnet})
+	switch {
+	case err != nil:
+		fail("memnet", "second identical run errored: %v", err)
+	case !bytes.Equal(a, b):
+		fail("memnet", "two identical memnet runs rendered different reports:\n%s", firstDiff(a, b))
+	}
+	for _, want := range []string{"mean_sliver_size", "max_sliver_size", "online_fraction"} {
+		if _, ok := res.Metrics[want]; !ok {
+			fail("memnet", "always-present metric %q missing from the memnet run", want)
+		}
+	}
+}
+
+// checkRunMany sweeps a few consecutive seeds serially and in parallel
+// and requires byte-identical aggregate reports — determinism per
+// world, parallelism across worlds.
+func checkRunMany(spec *scenario.Spec, cfg OracleConfig, fail func(string, string, ...any)) {
+	seeds := scenario.SeedRange(spec.Seed, cfg.RunManySeeds)
+	serial, err := renderRunMany(spec, seeds, 1)
+	if err != nil {
+		fail("runmany", "serial sweep errored: %v", err)
+		return
+	}
+	parallel, err := renderRunMany(spec, seeds, len(seeds))
+	switch {
+	case err != nil:
+		fail("runmany", "parallel sweep errored: %v", err)
+	case !bytes.Equal(serial, parallel):
+		fail("runmany", "parallel sweep diverged from serial:\n%s", firstDiff(serial, parallel))
+	}
+}
+
+// checkSemantics applies the bounds that hold in any world, honest or
+// adversarial.
+func checkSemantics(spec *scenario.Spec, res *scenario.Result, fail func(string, string, ...any)) {
+	const eps = 1e-9
+	fractional := []string{
+		"anycast_delivery_rate", "anycast_drop_rate",
+		"multicast_reliability",
+		"rangecast_coverage",
+		"agg_accuracy", "agg_coverage", "agg_completion_rate", "agg_divergence",
+		"attack_accept_rate", "legit_reject_rate",
+		"online_fraction", "adversary_fraction",
+		"audit_eviction_rate", "audit_false_positive_rate",
+	}
+	for _, name := range fractional {
+		if v, ok := res.Metrics[name]; ok && (v < -eps || v > 1+eps) {
+			fail("semantic", "%s = %v outside [0,1]", name, v)
+		}
+	}
+	for name, v := range res.Metrics {
+		if v < -eps {
+			fail("semantic", "%s = %v is negative", name, v)
+		}
+	}
+	if d, r := res.Metrics["anycast_delivery_rate"], res.Metrics["anycast_drop_rate"]; d+r > 1+eps {
+		fail("semantic", "anycast delivered (%v) + dropped (%v) exceeds 1", d, r)
+	}
+	// The binding tripwire: an unbound aggregation result must never be
+	// accepted, adversaries or not.
+	if v := res.Metrics["agg_forgery_accepted"]; v != 0 {
+		fail("semantic", "agg_forgery_accepted = %v, want 0 (result binding leaked)", v)
+	}
+	if spec.Adversaries == nil {
+		// Honest worlds must not trip the result-binding defense —
+		// forgery verdicts come from tokens, not estimates, so no amount
+		// of monitor noise excuses one.
+		if v := res.Metrics["agg_forgery_rejected"]; v != 0 {
+			fail("semantic", "honest run rejected %v aggregation results as forged", v)
+		}
+		// The PDF sanity checks compare availability claims against a
+		// ±0.1 hull; a degraded monitor (error/staleness) can push an
+		// honest claim past it by design, so zero rejections is only a
+		// contract for clean-monitor worlds (fuzz-seed40 calibration).
+		if v := res.Metrics["agg_rejected_partials"]; v != 0 && quietWorld(spec) {
+			fail("semantic", "honest clean-monitor run rejected %v aggregation partials via PDF sanity checks", v)
+		}
+	} else if _, ok := res.Metrics["audit_false_positive_rate"]; ok {
+		// The audit contract: honest nodes stay under ~1% false
+		// eviction in the checked-in suite; 5% is the fuzz-wide bound
+		// across arbitrary knob mixes.
+		if v := res.Metrics["audit_false_positive_rate"]; v > 0.05 {
+			fail("semantic", "audit_false_positive_rate = %v > 0.05 (honest-FP contract)", v)
+		}
+	}
+	// Quiet honest worlds (no adversaries, bursts, or degraded
+	// monitors) must aggregate accurately once every tree completes AND
+	// actually reached the band: for count ops accuracy equals
+	// coverage, and a narrow band in a tiny world legitimately builds a
+	// sparse tree (fuzz-seed35 calibration) — so the floor only applies
+	// when the trees gathered most of the eligible population.
+	if spec.Adversaries == nil && quietWorld(spec) {
+		done, okDone := res.Metrics["agg_completion_rate"]
+		cov, okCov := res.Metrics["agg_coverage"]
+		if okDone && done == 1 && okCov && cov >= 0.5 {
+			if v := res.Metrics["agg_accuracy"]; v < 0.3 {
+				fail("semantic", "quiet honest world completed all aggregations with coverage %v but accuracy %v < 0.3", cov, v)
+			}
+		}
+	}
+}
+
+// quietWorld reports whether the spec injects no correlated outages or
+// monitor degradation — the regime where accuracy floors are safe to
+// assert.
+func quietWorld(spec *scenario.Spec) bool {
+	if spec.Fleet.MonitorError > 0 || spec.Fleet.MonitorStaleness > 0 || spec.Fleet.DistributedMonitor {
+		return false
+	}
+	for i := range spec.Events {
+		if spec.Events[i].ChurnBurst != nil || spec.Events[i].MonitorNoise != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// specHosts resolves the effective fleet size (the engine default is
+// the 1442-host Overnet population).
+func specHosts(spec *scenario.Spec) int {
+	if spec.Fleet.Hosts > 0 {
+		return spec.Fleet.Hosts
+	}
+	return 1442
+}
+
+// renderRun executes the spec with the given engine options and
+// renders the full report (metrics, verdicts, event log) to bytes —
+// the byte-identity unit every metamorphic oracle compares. Panics are
+// converted to errors so one broken world cannot kill a campaign.
+func renderRun(spec *scenario.Spec, opts scenario.Options) (out []byte, res *scenario.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	res, err = scenario.Run(spec, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return render(res), res, nil
+}
+
+// renderRunObserved is renderRun with a live metrics registry and op
+// tracer armed; it also verifies the instruments actually saw traffic
+// (a byte-identity check against a never-wired observability layer
+// would be vacuous).
+func renderRunObserved(spec *scenario.Spec) (out []byte, res *scenario.Result, err error) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(0)
+	out, res, err = renderRun(spec, scenario.Options{Metrics: reg, OpTrace: tr})
+	if err != nil {
+		return nil, nil, err
+	}
+	if reg.Counter("sim_events_total").Value() == 0 {
+		return nil, nil, fmt.Errorf("observability armed but sim_events_total stayed 0")
+	}
+	return out, res, nil
+}
+
+// renderRunMany executes a multi-seed sweep and renders its aggregate
+// report, with the same panic containment as renderRun.
+func renderRunMany(spec *scenario.Spec, seeds []int64, parallelism int) (out []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	multi, err := scenario.RunMany(spec, seeds, parallelism, scenario.Options{})
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	multi.WriteReport(&buf)
+	return buf.Bytes(), nil
+}
+
+// render serializes a result to the canonical comparison form: the
+// sorted metric report plus the ordered event log.
+func render(res *scenario.Result) []byte {
+	var buf bytes.Buffer
+	res.WriteReport(&buf)
+	for _, line := range res.EventLog {
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// firstDiff renders the first differing line of two reports — enough
+// to identify the divergence without dumping two full reports into a
+// violation message.
+func firstDiff(a, b []byte) string {
+	al := bytes.Split(a, []byte{'\n'})
+	bl := bytes.Split(b, []byte{'\n'})
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			return fmt.Sprintf("line %d:\n  a: %s\n  b: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("reports differ in length: %d vs %d lines", len(al), len(bl))
+}

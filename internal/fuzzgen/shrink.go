@@ -1,0 +1,274 @@
+package fuzzgen
+
+import (
+	"time"
+
+	"avmem/internal/scenario"
+)
+
+// Shrink minimizes a failing spec by delta debugging: it repeatedly
+// applies reductions — drop events, halve the fleet, strip the
+// adversary cohort, strip audit, strip fleet extras, halve batch
+// counts and warmup — keeping a candidate only when it still violates
+// the same oracle, until no reduction applies or the evaluation budget
+// runs out. The returned spec is always a valid failing reproduction
+// (at worst the input itself); the second result is the violation set
+// of the minimized spec.
+//
+// maxEvals bounds the number of oracle evaluations (<= 0 means 60 —
+// every evaluation is a handful of full scenario runs).
+func Shrink(spec *scenario.Spec, cfg OracleConfig, maxEvals int) (*scenario.Spec, []Violation) {
+	return shrinkWith(spec, func(s *scenario.Spec) []Violation { return Check(s, cfg) }, maxEvals)
+}
+
+// shrinkWith is Shrink against an arbitrary failure predicate — the
+// delta-debugging engine itself, separated so tests can minimize
+// against a cheap synthetic oracle.
+func shrinkWith(spec *scenario.Spec, check func(*scenario.Spec) []Violation, maxEvals int) (*scenario.Spec, []Violation) {
+	if maxEvals <= 0 {
+		maxEvals = 60
+	}
+	cur := cloneSpec(spec)
+	curVs := check(cur)
+	if len(curVs) == 0 {
+		return cur, nil // not failing: nothing to minimize
+	}
+	oracle := curVs[0].Oracle
+	evals := 0
+	// stillFails evaluates a candidate and adopts it when it trips the
+	// same oracle.
+	stillFails := func(cand *scenario.Spec) bool {
+		if evals >= maxEvals {
+			return false
+		}
+		if len(cand.Events) == 0 || cand.Validate() != nil {
+			return false
+		}
+		evals++
+		vs := check(cand)
+		for _, v := range vs {
+			if v.Oracle == oracle {
+				cur, curVs = cand, vs
+				return true
+			}
+		}
+		return false
+	}
+
+	for reduced := true; reduced && evals < maxEvals; {
+		reduced = false
+		reduced = shrinkEvents(&cur, stillFails) || reduced
+		reduced = shrinkHosts(&cur, stillFails) || reduced
+		reduced = shrinkStructure(&cur, stillFails) || reduced
+	}
+	return cur, curVs
+}
+
+// shrinkEvents drops event chunks ddmin-style: halves first, then
+// single events.
+func shrinkEvents(cur **scenario.Spec, stillFails func(*scenario.Spec) bool) bool {
+	reduced := false
+	for chunk := len((*cur).Events) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start+chunk <= len((*cur).Events); {
+			cand := cloneSpec(*cur)
+			cand.Events = append(append([]scenario.Event{}, cand.Events[:start]...), cand.Events[start+chunk:]...)
+			if stillFails(cand) {
+				reduced = true
+				// cur shrank; retry the same window against it.
+				continue
+			}
+			start++
+		}
+	}
+	return reduced
+}
+
+// shrinkHosts halves the fleet toward the 50-host floor.
+func shrinkHosts(cur **scenario.Spec, stillFails func(*scenario.Spec) bool) bool {
+	reduced := false
+	for (*cur).Fleet.Hosts > 50 {
+		cand := cloneSpec(*cur)
+		cand.Fleet.Hosts /= 2
+		if cand.Fleet.Hosts < 50 {
+			cand.Fleet.Hosts = 50
+		}
+		if !stillFails(cand) {
+			break
+		}
+		reduced = true
+	}
+	return reduced
+}
+
+// shrinkStructure strips whole optional blocks and halves the
+// remaining magnitudes.
+func shrinkStructure(cur **scenario.Spec, stillFails func(*scenario.Spec) bool) bool {
+	reduced := false
+	try := func(mutate func(*scenario.Spec)) {
+		cand := cloneSpec(*cur)
+		mutate(cand)
+		if stillFails(cand) {
+			reduced = true
+		}
+	}
+	if (*cur).Adversaries != nil {
+		// Dropping the cohort also drops the events that require it.
+		try(func(s *scenario.Spec) {
+			s.Adversaries = nil
+			kept := s.Events[:0]
+			for _, e := range s.Events {
+				if e.Adversary == nil && e.BiasProbe == nil {
+					kept = append(kept, e)
+				}
+			}
+			s.Events = kept
+		})
+	}
+	if (*cur).Adversaries != nil && len((*cur).Adversaries.Behaviors) > 1 {
+		try(func(s *scenario.Spec) { s.Adversaries.Behaviors = s.Adversaries.Behaviors[:1] })
+	}
+	if (*cur).Fleet.Audit != nil {
+		try(func(s *scenario.Spec) { s.Fleet.Audit = nil })
+	}
+	if f := (*cur).Fleet; f.DistributedMonitor || f.MonitorError > 0 || f.MonitorStaleness > 0 {
+		try(func(s *scenario.Spec) {
+			s.Fleet.DistributedMonitor = false
+			s.Fleet.MonitorError = 0
+			s.Fleet.MonitorStaleness = 0
+		})
+	}
+	if f := (*cur).Fleet; f.Availability != "" || f.VerifyInbound || f.Epsilon != 0 || f.ViewSize != 0 {
+		try(func(s *scenario.Spec) {
+			s.Fleet.Availability = ""
+			s.Fleet.VerifyInbound = false
+			s.Fleet.Cushion = 0
+			s.Fleet.Epsilon = 0
+			s.Fleet.C1, s.Fleet.C2 = 0, 0
+			s.Fleet.ViewSize = 0
+		})
+	}
+	if (*cur).Warmup.D() > warmupFloor {
+		try(func(s *scenario.Spec) { s.Warmup = scenario.Duration((*cur).Warmup.D() / 2) })
+	}
+	if counts := batchCounts(*cur); counts > len((*cur).Events) {
+		try(func(s *scenario.Spec) { halveCounts(s) })
+	}
+	if hasRedundancy(*cur) {
+		try(func(s *scenario.Spec) {
+			for i := range s.Events {
+				if s.Events[i].Aggregate != nil {
+					s.Events[i].Aggregate.Redundancy = 0
+				}
+			}
+		})
+	}
+	return reduced
+}
+
+const warmupFloor = 30 * time.Minute
+
+// batchCounts sums the operation counts across all batch events.
+func batchCounts(s *scenario.Spec) int {
+	n := 0
+	for i := range s.Events {
+		switch e := &s.Events[i]; {
+		case e.AnycastBatch != nil:
+			n += e.AnycastBatch.Count
+		case e.MulticastBatch != nil:
+			n += e.MulticastBatch.Count
+		case e.Rangecast != nil:
+			n += e.Rangecast.Count
+		case e.Aggregate != nil:
+			n += e.Aggregate.Count
+		}
+	}
+	return n
+}
+
+// halveCounts halves every batch's operation count (floor 1).
+func halveCounts(s *scenario.Spec) {
+	half := func(c *int) {
+		if *c > 1 {
+			*c /= 2
+		}
+	}
+	for i := range s.Events {
+		switch e := &s.Events[i]; {
+		case e.AnycastBatch != nil:
+			half(&e.AnycastBatch.Count)
+		case e.MulticastBatch != nil:
+			half(&e.MulticastBatch.Count)
+		case e.Rangecast != nil:
+			half(&e.Rangecast.Count)
+		case e.Aggregate != nil:
+			half(&e.Aggregate.Count)
+		}
+	}
+}
+
+func hasRedundancy(s *scenario.Spec) bool {
+	for i := range s.Events {
+		if s.Events[i].Aggregate != nil && s.Events[i].Aggregate.Redundancy > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// cloneSpec deep-copies a spec so candidate mutations never alias the
+// current best reproduction.
+func cloneSpec(s *scenario.Spec) *scenario.Spec {
+	cp := *s
+	if s.Adversaries != nil {
+		a := *s.Adversaries
+		a.Behaviors = append([]string(nil), s.Adversaries.Behaviors...)
+		cp.Adversaries = &a
+	}
+	if s.Fleet.Audit != nil {
+		au := *s.Fleet.Audit
+		cp.Fleet.Audit = &au
+	}
+	cp.Events = make([]scenario.Event, len(s.Events))
+	for i, e := range s.Events {
+		ce := e
+		if e.ChurnBurst != nil {
+			v := *e.ChurnBurst
+			ce.ChurnBurst = &v
+		}
+		if e.Attack != nil {
+			v := *e.Attack
+			ce.Attack = &v
+		}
+		if e.MonitorNoise != nil {
+			v := *e.MonitorNoise
+			ce.MonitorNoise = &v
+		}
+		if e.AnycastBatch != nil {
+			v := *e.AnycastBatch
+			ce.AnycastBatch = &v
+		}
+		if e.MulticastBatch != nil {
+			v := *e.MulticastBatch
+			ce.MulticastBatch = &v
+		}
+		if e.Rangecast != nil {
+			v := *e.Rangecast
+			ce.Rangecast = &v
+		}
+		if e.Aggregate != nil {
+			v := *e.Aggregate
+			ce.Aggregate = &v
+		}
+		if e.Adversary != nil {
+			v := *e.Adversary
+			ce.Adversary = &v
+		}
+		if e.BiasProbe != nil {
+			v := *e.BiasProbe
+			ce.BiasProbe = &v
+		}
+		cp.Events[i] = ce
+	}
+	cp.Assertions = append([]scenario.Assertion(nil), s.Assertions...)
+	return &cp
+}

@@ -1,0 +1,166 @@
+package fuzzgen
+
+import (
+	"testing"
+
+	"avmem/internal/scenario"
+)
+
+// syntheticOracle builds a cheap failure predicate for shrinker tests:
+// the "bug" fires iff the fleet has at least minHosts hosts AND the
+// spec still carries an aggregate event. Everything else is noise the
+// shrinker should strip.
+func syntheticOracle(minHosts int) func(*scenario.Spec) []Violation {
+	return func(s *scenario.Spec) []Violation {
+		if s.Fleet.Hosts < minHosts {
+			return nil
+		}
+		for i := range s.Events {
+			if s.Events[i].Aggregate != nil {
+				return []Violation{{Oracle: "semantic", Detail: "synthetic bug"}}
+			}
+		}
+		return nil
+	}
+}
+
+// TestShrinkMinimizes pins that the shrinker converges to a small
+// reproduction: a noisy generated spec with an injected aggregate
+// "bug" must reduce to few events and the minimum failing host count,
+// with adversaries, audit, and fleet extras stripped.
+func TestShrinkMinimizes(t *testing.T) {
+	// Find a generated spec that is big and busy and contains an
+	// aggregate event, so there is something to strip.
+	var spec *scenario.Spec
+	for seed := int64(0); seed < 200; seed++ {
+		s := Generate(seed)
+		if s.Fleet.Hosts < 400 || len(s.Events) < 4 {
+			continue
+		}
+		for i := range s.Events {
+			if s.Events[i].Aggregate != nil {
+				spec = s
+			}
+		}
+		if spec != nil {
+			break
+		}
+	}
+	if spec == nil {
+		t.Fatal("no suitable generated spec found in 200 seeds")
+	}
+
+	check := syntheticOracle(60)
+	min, minVs := shrinkWith(spec, check, 500)
+
+	if len(minVs) == 0 || minVs[0].Oracle != "semantic" {
+		t.Fatalf("minimized spec no longer fails the original oracle: %v", minVs)
+	}
+	if err := min.Validate(); err != nil {
+		t.Fatalf("minimized spec is invalid: %v", err)
+	}
+	if min.Fleet.Hosts > 119 {
+		// Halving always lands at or below 2×floor−1 for this oracle.
+		t.Errorf("hosts not minimized: %d", min.Fleet.Hosts)
+	}
+	if len(min.Events) != 1 || min.Events[0].Aggregate == nil {
+		t.Errorf("events not minimized to the single trigger: %d events", len(min.Events))
+	}
+	if min.Adversaries != nil || min.Fleet.Audit != nil {
+		t.Errorf("optional structure not stripped: adversaries=%v audit=%v",
+			min.Adversaries != nil, min.Fleet.Audit != nil)
+	}
+}
+
+// TestShrinkKeepsFailingOracle pins that the shrinker never trades the
+// original oracle for a different failure while reducing.
+func TestShrinkKeepsFailingOracle(t *testing.T) {
+	spec := Generate(3)
+	spec.Fleet.Hosts = 300
+	spec.Events = append(spec.Events, scenario.Event{
+		Aggregate: &scenario.AggregateBatch{Count: 1, TargetLo: 0, TargetHi: 1},
+	})
+	// A predicate that fails "determinism" on big fleets and "semantic"
+	// on small ones: the shrinker must refuse the host halving because
+	// it changes which oracle trips.
+	check := func(s *scenario.Spec) []Violation {
+		if s.Fleet.Hosts >= 200 {
+			return []Violation{{Oracle: "determinism", Detail: "big-world bug"}}
+		}
+		return []Violation{{Oracle: "semantic", Detail: "different bug"}}
+	}
+	min, minVs := shrinkWith(spec, check, 200)
+	if minVs[0].Oracle != "determinism" {
+		t.Fatalf("shrinker switched oracle: %v", minVs)
+	}
+	if min.Fleet.Hosts < 200 {
+		t.Fatalf("adopted a candidate that fails a different oracle (hosts=%d)", min.Fleet.Hosts)
+	}
+}
+
+// TestShrinkPassingSpecIsNoop pins the not-failing contract.
+func TestShrinkPassingSpecIsNoop(t *testing.T) {
+	spec := Generate(5)
+	min, vs := shrinkWith(spec, func(*scenario.Spec) []Violation { return nil }, 10)
+	if vs != nil {
+		t.Fatalf("want nil violations for a passing spec, got %v", vs)
+	}
+	if min == nil {
+		t.Fatal("want the (cloned) input back, got nil")
+	}
+}
+
+// TestShrinkRespectsEvalBudget pins that the shrinker stops at the
+// evaluation ceiling instead of grinding arbitrarily long.
+func TestShrinkRespectsEvalBudget(t *testing.T) {
+	spec := Generate(11)
+	spec.Events = append(spec.Events, scenario.Event{
+		Aggregate: &scenario.AggregateBatch{Count: 1, TargetLo: 0, TargetHi: 1},
+	})
+	evals := 0
+	check := func(s *scenario.Spec) []Violation {
+		evals++
+		return []Violation{{Oracle: "run", Detail: "always fails"}}
+	}
+	shrinkWith(spec, check, 5)
+	// 1 for the initial classification + at most maxEvals candidates.
+	if evals > 6 {
+		t.Fatalf("shrinker ran %d evaluations with a budget of 5", evals)
+	}
+}
+
+// TestCloneSpecIsDeep pins that candidate mutations never alias the
+// original spec's pointer graph.
+func TestCloneSpecIsDeep(t *testing.T) {
+	orig := Generate(17)
+	if orig.Adversaries == nil {
+		orig.Adversaries = &scenario.AdversariesSpec{Fraction: 0.2, Behaviors: []string{"inflate", "deflate"}}
+	}
+	cp := cloneSpec(orig)
+	cp.Adversaries.Behaviors[0] = "mutated"
+	cp.Fleet.Hosts = 1
+	for i := range cp.Events {
+		e := &cp.Events[i]
+		switch {
+		case e.Aggregate != nil:
+			e.Aggregate.Count = 999999
+		case e.AnycastBatch != nil:
+			e.AnycastBatch.Count = 999999
+		}
+	}
+	if orig.Adversaries.Behaviors[0] == "mutated" {
+		t.Error("behaviors slice is shared with the clone")
+	}
+	if orig.Fleet.Hosts == 1 {
+		t.Error("fleet is shared with the clone")
+	}
+	for i := range orig.Events {
+		e := &orig.Events[i]
+		if e.Aggregate != nil && e.Aggregate.Count == 999999 {
+			t.Error("aggregate event is shared with the clone")
+		}
+		if e.AnycastBatch != nil && e.AnycastBatch.Count == 999999 {
+			t.Error("anycast event is shared with the clone")
+		}
+	}
+}

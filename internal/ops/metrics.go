@@ -69,12 +69,15 @@ type MulticastRecord struct {
 	LastDelivery time.Duration
 }
 
-// Reliability returns delivered/eligible in [0,1].
+// Reliability returns delivered/eligible, capped at 1: Eligible is an
+// initiation-time snapshot while Delivered integrates over the whole
+// dissemination, so churn drifting extra nodes into the target can
+// deliver to more in-range receivers than the snapshot counted.
 func (r *MulticastRecord) Reliability() float64 {
 	if r.Eligible == 0 {
 		return 0
 	}
-	return float64(len(r.Delivered)) / float64(r.Eligible)
+	return math.Min(1, float64(len(r.Delivered))/float64(r.Eligible))
 }
 
 // SpamRatio returns spam receptions per eligible node.
@@ -118,12 +121,15 @@ type RangecastRecord struct {
 	MaxDepth int
 }
 
-// Coverage returns delivered/eligible in [0,1].
+// Coverage returns delivered/eligible, capped at 1: Eligible is an
+// initiation-time snapshot while Delivered integrates over the whole
+// dissemination, so churn drifting extra nodes into the band can
+// deliver to more in-band receivers than the snapshot counted.
 func (r *RangecastRecord) Coverage() float64 {
 	if r.Eligible == 0 {
 		return 0
 	}
-	return float64(len(r.Delivered)) / float64(r.Eligible)
+	return math.Min(1, float64(len(r.Delivered))/float64(r.Eligible))
 }
 
 // SpamRatio returns out-of-band receptions per eligible node.
@@ -198,12 +204,13 @@ func (r *AggregateRecord) Value() float64 {
 	return r.Result.Value(r.Op)
 }
 
-// Coverage returns contributors/eligible in [0,1].
+// Coverage returns contributors/eligible, capped at 1 for the same
+// snapshot-vs-drift reason as RangecastRecord.Coverage.
 func (r *AggregateRecord) Coverage() float64 {
 	if r.Eligible == 0 {
 		return 0
 	}
-	return float64(r.Result.N) / float64(r.Eligible)
+	return math.Min(1, float64(r.Result.N)/float64(r.Eligible))
 }
 
 // TreeDepth returns the aggregation tree's hop radius (the deepest

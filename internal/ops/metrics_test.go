@@ -116,3 +116,36 @@ func TestCollectorEnumeration(t *testing.T) {
 		t.Errorf("Multicasts len = %d", got)
 	}
 }
+
+// TestCoverageCapsAtOne: Eligible is an initiation-time snapshot while
+// Delivered integrates over the dissemination, so churn can push the
+// raw ratio past 1 — the metrics must cap there (found by the scenario
+// fuzzer: scenarios/fuzz-corpus/fuzz-seed14.json).
+func TestCoverageCapsAtOne(t *testing.T) {
+	rc := &RangecastRecord{
+		Eligible: 2,
+		Delivered: map[string]time.Duration{
+			"n1": 1, "n2": 2, "n3": 3, // n3 drifted into the band mid-flight
+		},
+	}
+	if got := rc.Coverage(); got != 1 {
+		t.Errorf("rangecast Coverage = %v, want capped 1", got)
+	}
+	mc := &MulticastRecord{
+		Eligible:  2,
+		Delivered: map[string]time.Duration{"n1": 1, "n2": 2, "n3": 3},
+	}
+	if got := mc.Reliability(); got != 1 {
+		t.Errorf("multicast Reliability = %v, want capped 1", got)
+	}
+	ag := &AggregateRecord{Eligible: 2}
+	ag.Result.N = 3
+	if got := ag.Coverage(); got != 1 {
+		t.Errorf("aggregate Coverage = %v, want capped 1", got)
+	}
+	// The uncapped regime is untouched.
+	rc.Eligible = 6
+	if got := rc.Coverage(); got != 0.5 {
+		t.Errorf("rangecast Coverage = %v, want 0.5", got)
+	}
+}

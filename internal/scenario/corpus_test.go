@@ -1,0 +1,53 @@
+package scenario_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"avmem/internal/fuzzgen"
+	"avmem/internal/scenario"
+)
+
+// TestFuzzCorpusReplays replays every minimized spec in
+// scenarios/fuzz-corpus/ through the full metamorphic oracle battery.
+// Each file is a bug the fuzzer once found — this suite keeps every
+// fixed bug fixed. It lives in an external test package because the
+// oracles (internal/fuzzgen) import this package.
+func TestFuzzCorpusReplays(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays full scenario worlds")
+	}
+	dir := filepath.Join("..", "..", "scenarios", "fuzz-corpus")
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		t.Skip("no fuzz corpus checked in yet")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		found++
+		path := filepath.Join(dir, e.Name())
+		t.Run(e.Name(), func(t *testing.T) {
+			spec, problems := scenario.LoadFileAll(path)
+			if len(problems) > 0 {
+				t.Fatalf("corpus spec no longer validates: %v", problems)
+			}
+			if !strings.Contains(spec.Description, "minimized by internal/fuzzgen") {
+				t.Errorf("corpus spec lacks fuzzer provenance in its description: %q", spec.Description)
+			}
+			if vs := fuzzgen.Check(spec, fuzzgen.OracleConfig{}); len(vs) > 0 {
+				t.Errorf("regressed: %d oracle violation(s), first: %s", len(vs), vs[0])
+			}
+		})
+	}
+	if found == 0 {
+		t.Skip("fuzz-corpus directory is empty")
+	}
+}

@@ -183,7 +183,11 @@ func buildDeployment(spec *Spec, opts Options) (exp.Deployment, error) {
 		if spec.Fleet.Days > 0 {
 			gen.Epochs = int(spec.Fleet.Days * 24 * 3)
 		}
-		var err error
+		pdf, err := availabilityPDF(spec.Fleet.Availability)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		gen.PDF = pdf
 		tr, err = trace.Generate(gen)
 		if err != nil {
 			return nil, fmt.Errorf("scenario: generating churn trace: %w", err)

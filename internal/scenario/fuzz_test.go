@@ -1,0 +1,38 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoadFileAll throws arbitrary bytes at the scenario loader: it
+// must never panic, and anything it accepts with zero problems must be
+// a spec that full validation also accepts — the loader and the
+// validator may never disagree about what is runnable.
+func FuzzLoadFileAll(f *testing.F) {
+	f.Add([]byte(`{"name":"t","events":[{"at":"0s","attack":{"cushion":0.1}}]}`))
+	f.Add([]byte(`{"name":"t","seed":3,"fleet":{"hosts":120,"days":1,"availability":"bimodal"},` +
+		`"events":[{"at":"2m","aggregate":{"count":2,"op":"avg","target_lo":0.2,"target_hi":0.8,"redundancy":3}}],` +
+		`"assertions":[{"metric":"agg_accuracy","min":0.5}]}`))
+	f.Add([]byte(`{"name":"","bogus":1}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		spec, problems := LoadFileAll(path)
+		if len(problems) > 0 {
+			return
+		}
+		if spec == nil {
+			t.Fatal("zero problems but nil spec")
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("LoadFileAll accepted a spec Validate rejects: %v", err)
+		}
+	})
+}

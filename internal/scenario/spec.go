@@ -29,6 +29,7 @@ import (
 	"avmem/internal/adversary"
 	"avmem/internal/agg"
 	"avmem/internal/audit"
+	"avmem/internal/avdist"
 	"avmem/internal/core"
 	"avmem/internal/exp"
 	"avmem/internal/ops"
@@ -91,6 +92,11 @@ type Fleet struct {
 	// Trace optionally loads an archived avmem-trace file instead of
 	// synthesizing one (Hosts/Days are then ignored).
 	Trace string `json:"trace,omitempty"`
+	// Availability selects the long-term availability distribution the
+	// synthesized churn trace draws hosts from: "overnet" (default),
+	// "uniform", or "bimodal" (a Grid-like two-population shape).
+	// Ignored when Trace is set.
+	Availability string `json:"availability,omitempty"`
 	// Epsilon, C1, C2 are the predicate parameters (defaults 0.1, 3, 3).
 	Epsilon float64 `json:"epsilon,omitempty"`
 	C1      float64 `json:"c1,omitempty"`
@@ -727,6 +733,9 @@ func (s *Spec) Problems() []Problem {
 	if s.Fleet.Days < 0 {
 		ps.add("fleet.days", "must be non-negative, got %v", s.Fleet.Days)
 	}
+	if _, err := availabilityPDF(s.Fleet.Availability); err != nil {
+		ps.add("fleet.availability", "%v", err)
+	}
 	s.Fleet.Audit.problems(ps)
 	s.Adversaries.problems(ps)
 	if s.Warmup < 0 {
@@ -1001,6 +1010,23 @@ func bandHi(hi float64) float64 {
 		return 1.01
 	}
 	return hi
+}
+
+// availabilityPDF resolves a fleet.availability name to the trace
+// generator's target distribution; nil means the generator default
+// (Overnet). The bimodal shape fixes its modes at 0.2/0.9 with 40% of
+// the mass in the high mode — a Grid-like population.
+func availabilityPDF(name string) (*avdist.PDF, error) {
+	switch name {
+	case "", "overnet":
+		return nil, nil
+	case "uniform":
+		return avdist.Uniform(avdist.DefaultBuckets), nil
+	case "bimodal":
+		return avdist.Bimodal(avdist.DefaultBuckets, 0.2, 0.9, 0.4)
+	default:
+		return nil, fmt.Errorf("unknown availability distribution %q (overnet, uniform, bimodal)", name)
+	}
 }
 
 func parsePolicy(s string) (ops.Policy, error) {

@@ -77,8 +77,15 @@ func Read(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: non-positive dimensions in %q", line)
 	}
 
-	hostIDs := make([]ids.NodeID, 0, hosts)
-	rows := make([]string, 0, hosts)
+	// Cap the preallocation: hosts comes from an untrusted header, and
+	// honoring a huge claim would allocate gigabytes before a single
+	// row is read. The slices grow to the real row count regardless.
+	prealloc := hosts
+	if prealloc > 4096 {
+		prealloc = 4096
+	}
+	hostIDs := make([]ids.NodeID, 0, prealloc)
+	rows := make([]string, 0, prealloc)
 	for i := 0; i < hosts; i++ {
 		line, err = nextLine(sc)
 		if err != nil {

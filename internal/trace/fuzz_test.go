@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead throws arbitrary bytes at the avmem-trace text parser: it
+// must never panic or allocate proportionally to untrusted header
+// claims, and everything it accepts must survive a Write/Read
+// round-trip bit-for-bit.
+func FuzzRead(f *testing.F) {
+	f.Add([]byte("# avmem-trace v1\nhosts 2 epochs 3 epoch_seconds 60\nn0 010\nn1 111\n"))
+	f.Add([]byte("# avmem-trace v1\nhosts 1 epochs 1 epoch_seconds 1200\n# comment\na:1 1\n"))
+	f.Add([]byte("# avmem-trace v1\nhosts 999999999 epochs 504 epoch_seconds 1200\n"))
+	f.Add([]byte("hosts 2 epochs 3 epoch_seconds 60\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		back, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("serialized trace failed to reparse: %v", err)
+		}
+		if back.Hosts() != tr.Hosts() || back.Epochs() != tr.Epochs() || back.EpochLength() != tr.EpochLength() {
+			t.Fatalf("round-trip changed dimensions: %d/%d/%v vs %d/%d/%v",
+				tr.Hosts(), tr.Epochs(), tr.EpochLength(), back.Hosts(), back.Epochs(), back.EpochLength())
+		}
+		for h := 0; h < tr.Hosts(); h++ {
+			if back.HostID(h) != tr.HostID(h) {
+				t.Fatalf("round-trip changed host %d id: %q vs %q", h, tr.HostID(h), back.HostID(h))
+			}
+			for e := 0; e < tr.Epochs(); e++ {
+				if back.Up(h, e) != tr.Up(h, e) {
+					t.Fatalf("round-trip flipped host %d epoch %d", h, e)
+				}
+			}
+		}
+	})
+}
+
+// TestReadCapsHeaderPrealloc pins the untrusted-header fix: a file
+// claiming a huge host count but carrying no rows must fail fast with
+// a parse error instead of allocating gigabytes up front (found while
+// seeding the FuzzRead corpus).
+func TestReadCapsHeaderPrealloc(t *testing.T) {
+	in := "# avmem-trace v1\nhosts 999999999 epochs 504 epoch_seconds 1200\nn0 1\n"
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Fatal("trace with a bogus host count parsed")
+	}
+}
